@@ -1,0 +1,93 @@
+"""Experiment A3 (ablation) — rewriting / fragmentation overhead.
+
+The paper argues the middleware is cheap relative to shipping raw data.  This
+ablation measures the pure overhead of the PArADISE frontend — SQL parsing,
+policy-driven rewriting and vertical fragmentation — as the query grows in
+nesting depth and width, independent of data volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.fragment import VerticalFragmenter
+from repro.policy.presets import figure4_policy
+from repro.rewrite import QueryRewriter
+from repro.sql.parser import parse
+from repro.sql.render import render
+
+
+def nested_query(depth: int) -> str:
+    """Build a query with ``depth`` nested SELECT levels over d."""
+    sql = "SELECT x, y, z, t FROM d"
+    for level in range(1, depth):
+        sql = f"SELECT x, y, z, t FROM ({sql})"
+    return (
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (" + sql + ")"
+    )
+
+
+def wide_query(width: int) -> str:
+    """Build a flat query with ``width`` projection expressions."""
+    items = ", ".join(f"x + {i} AS c{i}" for i in range(width))
+    return f"SELECT x, y, z, t, {items} FROM d WHERE x > y AND z < 2"
+
+
+@pytest.mark.benchmark(group="overhead-parse")
+@pytest.mark.parametrize("depth", [1, 4, 8])
+def test_bench_parsing_depth(benchmark, depth):
+    sql = nested_query(depth)
+    query = benchmark(parse, sql)
+    assert render(query)
+
+
+@pytest.mark.benchmark(group="overhead-rewrite")
+@pytest.mark.parametrize("depth", [1, 4, 8])
+def test_bench_rewriting_depth(benchmark, depth):
+    rewriter = QueryRewriter(figure4_policy())
+    query = parse(nested_query(depth))
+    result = benchmark(rewriter.rewrite, query, "ActionFilter")
+    assert result.compliant
+
+
+@pytest.mark.benchmark(group="overhead-fragment")
+@pytest.mark.parametrize("depth", [1, 4, 8])
+def test_bench_fragmentation_depth(benchmark, depth):
+    rewriter = QueryRewriter(figure4_policy())
+    rewritten = rewriter.rewrite(parse(nested_query(depth)), "ActionFilter")
+    fragmenter = VerticalFragmenter()
+    plan = benchmark(fragmenter.fragment, rewritten.query)
+    assert len(plan.fragments) >= depth
+
+
+@pytest.mark.benchmark(group="overhead-width")
+@pytest.mark.parametrize("width", [4, 32, 128])
+def test_bench_rewriting_width(benchmark, width):
+    rewriter = QueryRewriter(figure4_policy())
+    query = parse(wide_query(width))
+    result = benchmark(rewriter.rewrite, query, "ActionFilter")
+    assert result.compliant
+
+
+def test_overhead_report():
+    rows = []
+    for depth in (1, 2, 4, 8):
+        sql = nested_query(depth)
+        rewriter = QueryRewriter(figure4_policy())
+        rewritten = rewriter.rewrite(parse(sql), "ActionFilter")
+        plan = VerticalFragmenter().fragment(rewritten.query)
+        rows.append(
+            {
+                "nesting depth": depth + 1,
+                "query chars": len(sql),
+                "fragments": len(plan.fragments),
+                "rewrite actions": len(rewritten.report.actions),
+            }
+        )
+    print_table(
+        "Ablation A3 — frontend overhead vs query size",
+        rows,
+        ["nesting depth", "query chars", "fragments", "rewrite actions"],
+    )
+    assert rows[-1]["fragments"] >= rows[0]["fragments"]

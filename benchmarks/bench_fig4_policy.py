@@ -1,0 +1,81 @@
+"""Experiment F4 — Figure 4: the privacy policy of the running example.
+
+Figure 4 prints the XML policy that drives the use case.  This benchmark
+(a) parses and re-serialises exactly that policy and checks the round trip,
+(b) measures parsing/serialisation/validation latency and (c) measures how the
+rewriting cost grows with the number of attribute rules in the policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import PAPER_SQL, print_table
+from repro.policy import PolicyBuilder, parse_policy_xml, policy_to_xml
+from repro.policy.presets import FIGURE4_POLICY_XML, figure4_policy
+from repro.policy.validation import has_errors, validate_policy
+from repro.rewrite import QueryRewriter
+from repro.sql.parser import parse
+
+
+def test_fig4_policy_roundtrip_report():
+    policy = parse_policy_xml(FIGURE4_POLICY_XML)
+    module = policy.module("ActionFilter")
+    rows = []
+    for rule in module.attributes.values():
+        rows.append(
+            {
+                "attribute": rule.name,
+                "allow": rule.allow,
+                "conditions": "; ".join(rule.conditions) or "-",
+                "aggregation": (
+                    f"{rule.aggregation.aggregation_type} GROUP BY "
+                    f"{', '.join(rule.aggregation.group_by)} HAVING {rule.aggregation.having}"
+                    if rule.aggregation
+                    else "-"
+                ),
+            }
+        )
+    print_table("Figure 4 — parsed policy", rows, ["attribute", "allow", "conditions", "aggregation"])
+    assert not has_errors(validate_policy(policy))
+    reparsed = parse_policy_xml(policy_to_xml(policy))
+    assert set(reparsed.module("ActionFilter").attributes) == set(module.attributes)
+
+
+@pytest.mark.benchmark(group="fig4-policy")
+def test_bench_policy_parsing(benchmark):
+    policy = benchmark(parse_policy_xml, FIGURE4_POLICY_XML)
+    assert policy.has_module("ActionFilter")
+
+
+@pytest.mark.benchmark(group="fig4-policy")
+def test_bench_policy_serialisation(benchmark):
+    policy = figure4_policy()
+    xml = benchmark(policy_to_xml, policy)
+    assert "ActionFilter" in xml
+
+
+@pytest.mark.benchmark(group="fig4-policy")
+def test_bench_policy_validation(benchmark):
+    policy = figure4_policy()
+    issues = benchmark(validate_policy, policy)
+    assert not has_errors(issues)
+
+
+def _policy_with_rules(count: int):
+    builder = PolicyBuilder().module("ActionFilter")
+    builder.allow("x", condition="x > y").allow("y").allow("t")
+    builder.allow("z", condition="z < 2", aggregation="AVG", group_by=["x", "y"], having="SUM(z) > 100")
+    for index in range(count):
+        builder.allow(f"extra_{index}", condition=f"extra_{index} > {index}")
+    return builder.build()
+
+
+@pytest.mark.benchmark(group="fig4-rewrite-scaling")
+@pytest.mark.parametrize("rule_count", [4, 32, 128])
+def test_bench_rewrite_scales_with_policy_size(benchmark, rule_count):
+    policy = _policy_with_rules(rule_count)
+    rewriter = QueryRewriter(policy)
+    query = parse(PAPER_SQL)
+    result = benchmark(rewriter.rewrite, query, "ActionFilter")
+    assert result.compliant

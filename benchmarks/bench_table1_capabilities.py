@@ -1,0 +1,84 @@
+"""Experiment T1 — Table 1: capability classes E1-E4 and operator placement.
+
+The paper's Table 1 maps each level of the vertical architecture to the SQL
+dialect it can execute.  This benchmark (a) regenerates the table, (b) checks
+for a catalogue of query features which level each lands on, and (c) measures
+how long the placement decision (feature analysis + capability lookup) takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.fragment.capabilities import (
+    CAPABILITY_LEVELS,
+    capability_table,
+    lowest_capable_level,
+)
+from repro.sql.analysis import analyze_query
+from repro.sql.parser import parse
+
+#: One representative query per capability row of Table 1.
+FEATURE_QUERIES = {
+    "constant filter (sensor)": "SELECT * FROM stream WHERE z < 2",
+    "attribute comparison": "SELECT x, y, z, t FROM d1 WHERE x > y",
+    "projection": "SELECT x, y FROM d1",
+    "join": "SELECT a.x FROM ubisense a JOIN sensfloor b ON a.t = b.t",
+    "grouping + HAVING": "SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100",
+    "window function": "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) FROM d3",
+    "subquery": "SELECT x FROM d WHERE t IN (SELECT t FROM d2)",
+    "set operation": "SELECT x FROM a UNION SELECT x FROM b",
+}
+
+EXPECTED_LEVEL = {
+    "constant filter (sensor)": "E4",
+    "attribute comparison": "E3",
+    "projection": "E3",
+    "join": "E3",
+    "grouping + HAVING": "E3",
+    "window function": "E2",
+    "subquery": "E2",
+    "set operation": "E2",
+}
+
+
+def placement_rows():
+    rows = []
+    for label, sql in FEATURE_QUERIES.items():
+        features = analyze_query(parse(sql))
+        level = lowest_capable_level(features)
+        rows.append(
+            {
+                "query feature": label,
+                "placed on": level.short_name,
+                "system": CAPABILITY_LEVELS[level].system,
+            }
+        )
+    return rows
+
+
+def test_table1_capability_rows_match_paper():
+    """The regenerated Table 1 must have the paper's four rows."""
+    table = capability_table()
+    assert [row["level"] for row in table] == ["E1", "E2", "E3", "E4"]
+    print_table("Table 1 — capability classes", table, ["level", "system", "capability", "nodes"])
+
+
+def test_operator_placement_matches_expectations():
+    rows = placement_rows()
+    print_table("Table 1 — operator placement", rows, ["query feature", "placed on", "system"])
+    placed = {row["query feature"]: row["placed on"] for row in rows}
+    assert placed == EXPECTED_LEVEL
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_placement_decision(benchmark):
+    """Latency of the placement decision for the full feature catalogue."""
+    parsed = [parse(sql) for sql in FEATURE_QUERIES.values()]
+
+    def place_all():
+        return [lowest_capable_level(analyze_query(query)) for query in parsed]
+
+    levels = benchmark(place_all)
+    assert len(levels) == len(FEATURE_QUERIES)

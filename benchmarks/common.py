@@ -1,0 +1,76 @@
+"""Shared workload builders for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (see DESIGN.md's
+experiment index).  The paper itself reports no quantitative measurements —
+its table and figures are architectural — so each benchmark (a) reconstructs
+the artefact programmatically and (b) measures the quantities the paper claims
+qualitatively: data reduction towards the cloud, operator placement, rewriting
+overhead and the privacy/utility trade-off of the postprocessor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.engine.schema import Schema
+from repro.engine.table import Relation
+from repro.policy.presets import figure4_policy, restrictive_policy
+from repro.processor.paradise import ParadiseProcessor
+from repro.sensors.scenario import INTEGRATED_SCHEMA
+
+#: The paper's analysis query (Section 4.2) as plain SQL.
+PAPER_SQL = (
+    "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) "
+    "FROM (SELECT x, y, z, t FROM d)"
+)
+
+#: The R analysis call wrapping the SQL island.
+PAPER_R_CODE = (
+    "filterByClass(sqldf(" + PAPER_SQL + "), action='walk', do.plot=F)"
+)
+
+
+def synthetic_sensor_relation(rows: int, seed: int = 0, grid: float = 1.0) -> Relation:
+    """Zone-quantised position readings shaped like the integrated relation d."""
+    rng = random.Random(seed)
+    data = []
+    for index in range(rows):
+        x = round(round(rng.uniform(0, 8) / grid) * grid, 3)
+        y = round(round(rng.uniform(0, 6) / grid) * grid, 3)
+        data.append(
+            {
+                "person_id": rng.randint(1, 6),
+                "x": x,
+                "y": y,
+                "z": round(rng.uniform(0.1, 1.9), 3),
+                "t": round(index * 0.1, 3),
+                "valid": rng.random() > 0.05,
+                "activity": rng.choice(["walk", "sit", "stand", "present"]),
+            }
+        )
+    return Relation(schema=INTEGRATED_SCHEMA, rows=data, name="d")
+
+
+def build_processor(rows: int, policy=None, seed: int = 0, **kwargs) -> ParadiseProcessor:
+    """A ready-to-run processor with ``rows`` synthetic readings loaded."""
+    relation = synthetic_sensor_relation(rows, seed=seed)
+    processor = ParadiseProcessor(
+        policy or figure4_policy(), schema=INTEGRATED_SCHEMA, **kwargs
+    )
+    processor.load_data(relation)
+    return processor
+
+
+def print_table(title: str, rows, columns) -> None:
+    """Print a small fixed-width results table (shown with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    print(header)
+    print("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        print(" | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has neither network access nor the ``wheel`` package,
+so PEP 517 editable installs cannot build an editable wheel.  This shim lets
+``pip install -e . --no-build-isolation`` (or ``--no-use-pep517``) fall back to
+the classic ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

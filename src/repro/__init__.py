@@ -1,0 +1,83 @@
+"""PArADISE — Privacy Protection through Query Rewriting in Smart Environments.
+
+A reproduction of Grunert & Heuer, EDBT 2016 (TR CS-01-16).  The package
+provides the complete middleware the paper describes:
+
+* a SQL frontend and in-memory relational engine (:mod:`repro.sql`,
+  :mod:`repro.engine`, :mod:`repro.streams`),
+* simulators for the smart-environment sensors and scenarios
+  (:mod:`repro.sensors`),
+* the privacy-policy language of Figure 4 (:mod:`repro.policy`),
+* the preprocessor: policy-driven query rewriting (:mod:`repro.rewrite`),
+* vertical fragmentation over the capability hierarchy of Table 1
+  (:mod:`repro.fragment`),
+* the postprocessor: anonymization and information-loss metrics
+  (:mod:`repro.anonymize`, :mod:`repro.metrics`),
+* SQLable-pattern extraction from R analysis code (:mod:`repro.rlang`),
+* and the end-to-end processor tying it all together
+  (:mod:`repro.processor`).
+
+Quickstart::
+
+    from repro import ParadiseProcessor, SmartMeetingRoom, figure4_policy
+
+    data = SmartMeetingRoom(person_count=4).generate(duration_seconds=60)
+    processor = ParadiseProcessor(figure4_policy(), schema=data.integrated.schema)
+    processor.load_data(data.integrated)
+    result = processor.process(
+        "SELECT x, y, z, t FROM d", module_id="ActionFilter"
+    )
+    print(result.summary())
+"""
+
+from repro.engine import Database, Relation, Schema
+from repro.fragment import CapabilityLevel, FragmentPlan, Topology, VerticalFragmenter
+from repro.policy import (
+    PolicyBuilder,
+    PrivacyPolicy,
+    figure4_policy,
+    open_policy,
+    parse_policy_xml,
+    policy_to_xml,
+    restrictive_policy,
+)
+from repro.processor import ParadiseProcessor, ProcessingResult
+from repro.rewrite import PolicyAnalyzer, QueryRewriter
+from repro.anonymize import Anonymizer, KAnonymizer, Slicer
+from repro.metrics import direct_distance, information_loss_summary, kl_divergence_relation
+from repro.sensors import AalApartment, SmartMeetingRoom
+from repro.sql import parse, render
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Relation",
+    "Schema",
+    "CapabilityLevel",
+    "FragmentPlan",
+    "Topology",
+    "VerticalFragmenter",
+    "PolicyBuilder",
+    "PrivacyPolicy",
+    "figure4_policy",
+    "open_policy",
+    "restrictive_policy",
+    "parse_policy_xml",
+    "policy_to_xml",
+    "ParadiseProcessor",
+    "ProcessingResult",
+    "PolicyAnalyzer",
+    "QueryRewriter",
+    "Anonymizer",
+    "KAnonymizer",
+    "Slicer",
+    "direct_distance",
+    "information_loss_summary",
+    "kl_divergence_relation",
+    "AalApartment",
+    "SmartMeetingRoom",
+    "parse",
+    "render",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""Generalization hierarchies for k-anonymity-style anonymization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class NumericHierarchy:
+    """Generalizes numeric values into ever coarser intervals.
+
+    Level 0 keeps the exact value, level ``i`` replaces it with the interval
+    of width ``base_width * factor**(i-1)`` containing it, and the top level
+    suppresses the value entirely (``*``).
+    """
+
+    minimum: float
+    maximum: float
+    base_width: float = 1.0
+    factor: float = 2.0
+    levels: int = 4
+
+    def generalize(self, value: Optional[float], level: int) -> Any:
+        """Return the generalization of ``value`` at ``level``."""
+        if value is None:
+            return None
+        if level <= 0:
+            return value
+        if level >= self.levels:
+            return "*"
+        width = self.base_width * (self.factor ** (level - 1))
+        low = self.minimum + int((float(value) - self.minimum) / width) * width
+        high = low + width
+        return f"[{low:g},{high:g})"
+
+    @property
+    def max_level(self) -> int:
+        """The suppression level."""
+        return self.levels
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], levels: int = 4, base_bins: int = 16
+    ) -> "NumericHierarchy":
+        """Build a hierarchy whose base width yields roughly ``base_bins`` bins."""
+        present = [float(v) for v in values if v is not None]
+        if not present:
+            return cls(minimum=0.0, maximum=1.0, base_width=1.0, levels=levels)
+        minimum, maximum = min(present), max(present)
+        spread = maximum - minimum
+        base_width = spread / base_bins if spread > 0 else 1.0
+        return cls(
+            minimum=minimum,
+            maximum=maximum,
+            base_width=max(base_width, 1e-9),
+            levels=levels,
+        )
+
+
+@dataclass
+class CategoricalHierarchy:
+    """Generalizes categorical values along an explicit taxonomy.
+
+    ``taxonomy`` maps each value to its chain of ancestors, most specific
+    first, e.g. ``{"walk": ["moving", "any"], "sit": ["resting", "any"]}``.
+    Values without an entry generalize straight to ``"*"``.
+    """
+
+    taxonomy: Dict[str, List[str]] = field(default_factory=dict)
+
+    def generalize(self, value: Optional[str], level: int) -> Any:
+        """Return the generalization of ``value`` at ``level``."""
+        if value is None:
+            return None
+        if level <= 0:
+            return value
+        ancestors = self.taxonomy.get(str(value), [])
+        if level <= len(ancestors):
+            return ancestors[level - 1]
+        return "*"
+
+    @property
+    def max_level(self) -> int:
+        """Deepest generalization level over all values (plus suppression)."""
+        if not self.taxonomy:
+            return 1
+        return max(len(ancestors) for ancestors in self.taxonomy.values()) + 1
+
+
+def generalize_value(value: Any, level: int, hierarchy: Optional[object] = None) -> Any:
+    """Generalize a single value with an optional hierarchy.
+
+    Without a hierarchy, numeric values are rounded to ``level`` fewer decimal
+    digits and everything else is suppressed once ``level > 0``.
+    """
+    if hierarchy is not None:
+        return hierarchy.generalize(value, level)  # type: ignore[attr-defined]
+    if value is None or level <= 0:
+        return value
+    if isinstance(value, bool):
+        return "*" if level > 0 else value
+    if isinstance(value, (int, float)):
+        digits = max(0, 3 - level)
+        return round(float(value), digits)
+    return "*"

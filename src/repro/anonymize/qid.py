@@ -1,0 +1,128 @@
+"""Quasi-identifier detection.
+
+The summary of the paper names "detecting quasi-identifiers" as the first step
+of the postprocessing technique.  Detection combines two signals:
+
+* schema annotations (columns flagged ``identifying`` / ``quasi_identifier`` /
+  ``sensitive`` in the :class:`~repro.engine.schema.ColumnDef`), and
+* a data-driven uniqueness analysis: columns (and small column combinations)
+  whose value combinations identify a large fraction of rows are quasi-
+  identifiers even without annotation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.table import Relation
+
+
+@dataclass
+class QuasiIdentifierReport:
+    """Outcome of the quasi-identifier analysis."""
+
+    identifying: List[str] = field(default_factory=list)
+    quasi_identifiers: List[str] = field(default_factory=list)
+    sensitive: List[str] = field(default_factory=list)
+    #: Uniqueness score per column: fraction of rows with a unique value.
+    uniqueness: Dict[str, float] = field(default_factory=dict)
+    #: Column combinations (up to pairs) whose combination is nearly unique.
+    risky_combinations: List[Tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def protected_columns(self) -> List[str]:
+        """All columns that require protection (identifying + QI + sensitive)."""
+        ordered: List[str] = []
+        for name in self.identifying + self.quasi_identifiers + self.sensitive:
+            if name not in ordered:
+                ordered.append(name)
+        return ordered
+
+
+def column_uniqueness(relation: Relation, column: str) -> float:
+    """Fraction of rows whose value in ``column`` appears exactly once."""
+    if len(relation) == 0:
+        return 0.0
+    counts: Dict[object, int] = {}
+    for value in relation.column_values(column):
+        key = str(value)
+        counts[key] = counts.get(key, 0) + 1
+    unique_rows = sum(count for count in counts.values() if count == 1)
+    return unique_rows / len(relation)
+
+
+def combination_distinct_ratio(relation: Relation, columns: Sequence[str]) -> float:
+    """Number of distinct value combinations divided by the row count."""
+    if len(relation) == 0:
+        return 0.0
+    seen = {
+        tuple(str(row.get(name)) for name in columns) for row in relation.rows
+    }
+    return len(seen) / len(relation)
+
+
+def detect_quasi_identifiers(
+    relation: Relation,
+    uniqueness_threshold: float = 0.5,
+    combination_threshold: float = 0.9,
+    max_combination_size: int = 2,
+    exclude: Sequence[str] = (),
+) -> QuasiIdentifierReport:
+    """Classify the columns of ``relation`` for anonymization purposes.
+
+    Args:
+        relation: The relation to analyse.
+        uniqueness_threshold: Columns whose per-value uniqueness exceeds this
+            fraction count as quasi-identifiers even without schema flags.
+        combination_threshold: Column combinations whose distinct-combination
+            ratio exceeds this fraction are reported as risky.
+        max_combination_size: Largest combination size examined.
+        exclude: Columns to skip entirely (e.g. the timestamp).
+    """
+    report = QuasiIdentifierReport()
+    excluded = {name.lower() for name in exclude}
+
+    candidate_columns: List[str] = []
+    for column in relation.schema:
+        if column.name.lower() in excluded:
+            continue
+        if column.identifying:
+            report.identifying.append(column.name)
+            continue
+        if column.sensitive:
+            report.sensitive.append(column.name)
+        if column.quasi_identifier:
+            report.quasi_identifiers.append(column.name)
+            candidate_columns.append(column.name)
+            continue
+        candidate_columns.append(column.name)
+
+    for name in candidate_columns:
+        uniqueness = column_uniqueness(relation, name)
+        report.uniqueness[name] = uniqueness
+        if uniqueness >= uniqueness_threshold and name not in report.quasi_identifiers:
+            report.quasi_identifiers.append(name)
+
+    # Column combinations: a pair of individually harmless columns may still
+    # identify individuals (e.g. x and y position together).  Combinations
+    # whose uniqueness is already explained by a single member column are
+    # skipped so that harmless companions (a constant column next to an id)
+    # are not flagged.
+    for size in range(2, max_combination_size + 1):
+        for combination in itertools.combinations(candidate_columns, size):
+            ratio = combination_distinct_ratio(relation, combination)
+            if ratio < combination_threshold:
+                continue
+            explained_by_member = any(
+                combination_distinct_ratio(relation, [name]) >= combination_threshold
+                for name in combination
+            )
+            if explained_by_member:
+                continue
+            report.risky_combinations.append(combination)
+            for name in combination:
+                if name not in report.quasi_identifiers:
+                    report.quasi_identifiers.append(name)
+    return report

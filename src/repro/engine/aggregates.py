@@ -1,0 +1,234 @@
+"""Aggregate function implementations.
+
+The paper's running example uses ``AVG``, ``SUM`` and the SQL:2003 linear
+regression aggregates (``regr_intercept``); the full set below covers the
+aggregates an activity-recognition workload typically needs.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.engine.errors import ExecutionError
+
+
+def _numeric(values: Sequence[Any]) -> List[float]:
+    return [float(v) for v in values if v is not None]
+
+
+def _agg_count(values: Sequence[Any]) -> int:
+    return sum(1 for v in values if v is not None)
+
+
+def _agg_count_star(values: Sequence[Any]) -> int:
+    return len(values)
+
+
+def _agg_sum(values: Sequence[Any]) -> Any:
+    numbers = _numeric(values)
+    if not numbers:
+        return None
+    total = sum(numbers)
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in values if v is not None):
+        return int(total)
+    return total
+
+
+def _agg_avg(values: Sequence[Any]) -> Any:
+    numbers = _numeric(values)
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+def _agg_min(values: Sequence[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return min(present) if present else None
+
+
+def _agg_max(values: Sequence[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return max(present) if present else None
+
+
+def _agg_median(values: Sequence[Any]) -> Any:
+    numbers = _numeric(values)
+    return statistics.median(numbers) if numbers else None
+
+
+def _agg_stddev_samp(values: Sequence[Any]) -> Any:
+    numbers = _numeric(values)
+    if len(numbers) < 2:
+        return None
+    return statistics.stdev(numbers)
+
+
+def _agg_stddev_pop(values: Sequence[Any]) -> Any:
+    numbers = _numeric(values)
+    if not numbers:
+        return None
+    return statistics.pstdev(numbers)
+
+
+def _agg_var_samp(values: Sequence[Any]) -> Any:
+    numbers = _numeric(values)
+    if len(numbers) < 2:
+        return None
+    return statistics.variance(numbers)
+
+
+def _agg_var_pop(values: Sequence[Any]) -> Any:
+    numbers = _numeric(values)
+    if not numbers:
+        return None
+    return statistics.pvariance(numbers)
+
+
+#: Single-argument aggregates.
+SIMPLE_AGGREGATES: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "COUNT": _agg_count,
+    "SUM": _agg_sum,
+    "AVG": _agg_avg,
+    "MIN": _agg_min,
+    "MAX": _agg_max,
+    "MEDIAN": _agg_median,
+    "STDDEV": _agg_stddev_samp,
+    "STDDEV_SAMP": _agg_stddev_samp,
+    "STDDEV_POP": _agg_stddev_pop,
+    "VARIANCE": _agg_var_samp,
+    "VAR_SAMP": _agg_var_samp,
+    "VAR_POP": _agg_var_pop,
+}
+
+
+def _regression_pairs(ys: Sequence[Any], xs: Sequence[Any]) -> List[Tuple[float, float]]:
+    pairs = []
+    for y, x in zip(ys, xs):
+        if y is None or x is None:
+            continue
+        pairs.append((float(y), float(x)))
+    return pairs
+
+
+def _regr_slope(ys: Sequence[Any], xs: Sequence[Any]) -> Any:
+    pairs = _regression_pairs(ys, xs)
+    if len(pairs) < 2:
+        return None
+    mean_x = sum(x for _, x in pairs) / len(pairs)
+    mean_y = sum(y for y, _ in pairs) / len(pairs)
+    sxx = sum((x - mean_x) ** 2 for _, x in pairs)
+    if sxx == 0:
+        return None
+    sxy = sum((x - mean_x) * (y - mean_y) for y, x in pairs)
+    return sxy / sxx
+
+
+def _regr_intercept(ys: Sequence[Any], xs: Sequence[Any]) -> Any:
+    """SQL:2003 ``REGR_INTERCEPT(y, x)``: intercept of the least-squares fit."""
+    slope = _regr_slope(ys, xs)
+    if slope is None:
+        return None
+    pairs = _regression_pairs(ys, xs)
+    mean_x = sum(x for _, x in pairs) / len(pairs)
+    mean_y = sum(y for y, _ in pairs) / len(pairs)
+    return mean_y - slope * mean_x
+
+
+def _regr_count(ys: Sequence[Any], xs: Sequence[Any]) -> int:
+    return len(_regression_pairs(ys, xs))
+
+
+def _regr_r2(ys: Sequence[Any], xs: Sequence[Any]) -> Any:
+    pairs = _regression_pairs(ys, xs)
+    if len(pairs) < 2:
+        return None
+    corr = _corr(ys, xs)
+    if corr is None:
+        syy = sum((y - sum(p[0] for p in pairs) / len(pairs)) ** 2 for y, _ in pairs)
+        return 1.0 if syy == 0 else None
+    return corr * corr
+
+
+def _corr(ys: Sequence[Any], xs: Sequence[Any]) -> Any:
+    pairs = _regression_pairs(ys, xs)
+    if len(pairs) < 2:
+        return None
+    mean_x = sum(x for _, x in pairs) / len(pairs)
+    mean_y = sum(y for y, _ in pairs) / len(pairs)
+    sxx = sum((x - mean_x) ** 2 for _, x in pairs)
+    syy = sum((y - mean_y) ** 2 for y, _ in pairs)
+    if sxx == 0 or syy == 0:
+        return None
+    sxy = sum((x - mean_x) * (y - mean_y) for y, x in pairs)
+    return sxy / math.sqrt(sxx * syy)
+
+
+def _covar_pop(ys: Sequence[Any], xs: Sequence[Any]) -> Any:
+    pairs = _regression_pairs(ys, xs)
+    if not pairs:
+        return None
+    mean_x = sum(x for _, x in pairs) / len(pairs)
+    mean_y = sum(y for y, _ in pairs) / len(pairs)
+    return sum((x - mean_x) * (y - mean_y) for y, x in pairs) / len(pairs)
+
+
+def _covar_samp(ys: Sequence[Any], xs: Sequence[Any]) -> Any:
+    pairs = _regression_pairs(ys, xs)
+    if len(pairs) < 2:
+        return None
+    mean_x = sum(x for _, x in pairs) / len(pairs)
+    mean_y = sum(y for y, _ in pairs) / len(pairs)
+    return sum((x - mean_x) * (y - mean_y) for y, x in pairs) / (len(pairs) - 1)
+
+
+#: Two-argument aggregates (SQL:2003 regression family).
+BINARY_AGGREGATES: Dict[str, Callable[[Sequence[Any], Sequence[Any]], Any]] = {
+    "REGR_SLOPE": _regr_slope,
+    "REGR_INTERCEPT": _regr_intercept,
+    "REGR_COUNT": _regr_count,
+    "REGR_R2": _regr_r2,
+    "CORR": _corr,
+    "COVAR_POP": _covar_pop,
+    "COVAR_SAMP": _covar_samp,
+}
+
+
+def compute_aggregate(
+    name: str, argument_values: Sequence[Sequence[Any]], is_star: bool = False, distinct: bool = False
+) -> Any:
+    """Compute the aggregate ``name`` over per-row argument value lists.
+
+    Args:
+        name: Aggregate function name (case-insensitive).
+        argument_values: One sequence per argument; each sequence holds the
+            evaluated argument for every row of the group.
+        is_star: True for ``COUNT(*)``.
+        distinct: True for ``agg(DISTINCT expr)``.
+    """
+    upper = name.upper()
+    if upper == "COUNT" and is_star:
+        return _agg_count_star(argument_values[0] if argument_values else [])
+    if upper in SIMPLE_AGGREGATES:
+        if not argument_values:
+            raise ExecutionError(f"{upper} requires one argument")
+        values = list(argument_values[0])
+        if distinct:
+            seen = []
+            for value in values:
+                if value not in seen:
+                    seen.append(value)
+            values = seen
+        return SIMPLE_AGGREGATES[upper](values)
+    if upper in BINARY_AGGREGATES:
+        if len(argument_values) != 2:
+            raise ExecutionError(f"{upper} requires two arguments")
+        return BINARY_AGGREGATES[upper](argument_values[0], argument_values[1])
+    raise ExecutionError(f"Unknown aggregate function: {name}")
+
+
+def is_known_aggregate(name: str) -> bool:
+    """Return True when ``name`` is a supported aggregate."""
+    upper = name.upper()
+    return upper in SIMPLE_AGGREGATES or upper in BINARY_AGGREGATES or upper == "COUNT"

@@ -1,0 +1,121 @@
+"""The per-node database façade.
+
+A :class:`Database` couples a named catalog of relations with the parser and
+executor, offering the small API the rest of the reproduction relies on:
+``create_table`` / ``insert_rows`` / ``register`` / ``query``.
+
+Every node of the vertical architecture (cloud, PC, appliance, sensor) carries
+its own :class:`Database`; the PArADISE processor registers shipped
+intermediate results under the fragment names (``d1``, ``d2``, ...) exactly
+like the staged queries in Section 4.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.engine.errors import ExecutionError, SchemaError
+from repro.engine.executor import QueryExecutor
+from repro.engine.schema import Schema
+from repro.engine.table import Relation
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class Database:
+    """A named collection of relations with a SQL query interface."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+    @property
+    def table_names(self) -> List[str]:
+        """Names of all registered tables (registration order)."""
+        return list(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._tables
+
+    def create_table(self, name: str, schema: Schema) -> Relation:
+        """Create an empty table with the given schema."""
+        key = name.lower()
+        if key in self._tables:
+            raise SchemaError(f"Table already exists: {name}")
+        relation = Relation.empty(schema, name=name)
+        self._tables[key] = relation
+        return relation
+
+    def register(self, name: str, relation: Relation, replace: bool = True) -> None:
+        """Register an existing relation under ``name``.
+
+        Shipped query results are registered this way when they arrive at a
+        node (``d1`` arriving at the appliance, ``d2`` at the media center...).
+        """
+        key = name.lower()
+        if not replace and key in self._tables:
+            raise SchemaError(f"Table already exists: {name}")
+        self._tables[key] = Relation(schema=relation.schema, rows=relation.to_dicts(), name=name)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        key = name.lower()
+        if key not in self._tables:
+            raise SchemaError(f"Unknown table: {name}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Relation:
+        """Return the relation registered under ``name``."""
+        key = name.lower()
+        if key not in self._tables:
+            raise SchemaError(f"Unknown table: {name}")
+        return self._tables[key]
+
+    def insert_rows(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Append rows to an existing table; returns the number inserted."""
+        relation = self.table(name)
+        count = 0
+        for row in rows:
+            unknown = [key for key in row if key not in relation.schema]
+            if unknown:
+                raise SchemaError(f"Unknown column(s) {unknown} for table {name}")
+            relation.rows.append({column: row.get(column) for column in relation.schema.names})
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, sql_or_ast: Union[str, ast.Query]) -> Relation:
+        """Parse (if needed) and execute a query against this database."""
+        query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
+        executor = QueryExecutor(self._tables)
+        return executor.execute(query)
+
+    def explain(self, sql_or_ast: Union[str, ast.Query]) -> dict:
+        """Return the structural summary of a query (no execution)."""
+        from repro.sql.analysis import query_summary
+
+        query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
+        return query_summary(query)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def load_rows(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        schema: Optional[Schema] = None,
+    ) -> Relation:
+        """Create (or replace) a table directly from dict rows."""
+        relation = Relation.from_rows(rows, name=name, schema=schema)
+        self._tables[name.lower()] = relation
+        return relation
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables (used by capacity checks)."""
+        return sum(len(relation) for relation in self._tables.values())

@@ -1,0 +1,15 @@
+"""Exception hierarchy for the relational engine."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for every engine error."""
+
+
+class SchemaError(EngineError):
+    """Raised for schema violations (unknown columns, duplicate tables...)."""
+
+
+class ExecutionError(EngineError):
+    """Raised when a query cannot be evaluated."""

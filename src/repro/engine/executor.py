@@ -1,0 +1,524 @@
+"""Query executor: evaluates a parsed query against a catalog of relations.
+
+The executor intentionally favours clarity over speed — relations are small
+in-memory sensor tables, joins are nested loops, grouping is a dict of lists.
+That is sufficient for the workloads of the paper (thousands to a few hundred
+thousand sensor rows per experiment) while keeping the semantics auditable,
+which matters because the privacy claims of the rewriter are verified by
+executing original and rewritten queries and comparing results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.aggregates import compute_aggregate
+from repro.engine.errors import ExecutionError
+from repro.engine.evaluator import EvaluationContext, evaluate, evaluate_predicate
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.table import Relation
+from repro.engine.types import infer_type
+from repro.engine.window import compute_window_values
+from repro.sql import ast
+from repro.sql.render import render_expression
+from repro.sql.visitor import collect_function_calls
+
+Scope = Dict[str, Any]
+
+
+def _shallow_function_calls(node: ast.Node) -> List[ast.FunctionCall]:
+    """Function calls in ``node`` that do not sit inside a nested subquery.
+
+    Aggregates/windows belonging to a scalar/EXISTS/IN subquery are evaluated
+    by that subquery's own executor pass, not by the enclosing query.
+    """
+    calls: List[ast.FunctionCall] = []
+    stack: List[ast.Node] = [node]
+    while stack:
+        current = stack.pop()
+        if current is None or isinstance(current, ast.Query):
+            continue
+        if isinstance(current, ast.FunctionCall):
+            calls.append(current)
+        stack.extend(child for child in current.children() if child is not None)
+    return calls
+
+
+class QueryExecutor:
+    """Execute :class:`~repro.sql.ast.Query` nodes against named relations."""
+
+    def __init__(self, catalog: Mapping[str, Relation]) -> None:
+        self._catalog = {name.lower(): relation for name, relation in catalog.items()}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(self, query: ast.Query) -> Relation:
+        """Execute ``query`` and return the result relation."""
+        return self._execute_query(query, parent=None)
+
+    def lookup_table(self, name: str) -> Relation:
+        """Return the catalog relation registered under ``name``."""
+        relation = self._catalog.get(name.lower())
+        if relation is None:
+            raise ExecutionError(f"Unknown table: {name}")
+        return relation
+
+    # ------------------------------------------------------------------
+    # query dispatch
+    # ------------------------------------------------------------------
+    def _execute_query(self, query: ast.Query, parent: Optional[EvaluationContext]) -> Relation:
+        if isinstance(query, ast.SetOperation):
+            return self._execute_set_operation(query, parent)
+        if isinstance(query, ast.SelectQuery):
+            return self._execute_select(query, parent)
+        raise ExecutionError(f"Cannot execute query of type {type(query).__name__}")
+
+    def _execute_set_operation(
+        self, query: ast.SetOperation, parent: Optional[EvaluationContext]
+    ) -> Relation:
+        left = self._execute_query(query.left, parent)
+        right = self._execute_query(query.right, parent)
+        if len(left.schema) != len(right.schema):
+            raise ExecutionError("Set operation operands have different arity")
+        operator = query.operator.upper()
+        left_rows = [tuple(row[name] for name in left.schema.names) for row in left]
+        right_rows = [tuple(row[name] for name in right.schema.names) for row in right]
+
+        if operator == "UNION":
+            combined = left_rows + right_rows
+            result_rows = combined if query.all else _unique(combined)
+        elif operator == "INTERSECT":
+            right_set = set(map(_freeze_tuple, right_rows))
+            result_rows = [row for row in left_rows if _freeze_tuple(row) in right_set]
+            if not query.all:
+                result_rows = _unique(result_rows)
+        elif operator == "EXCEPT":
+            right_set = set(map(_freeze_tuple, right_rows))
+            result_rows = [row for row in left_rows if _freeze_tuple(row) not in right_set]
+            if not query.all:
+                result_rows = _unique(result_rows)
+        else:
+            raise ExecutionError(f"Unknown set operator: {query.operator}")
+
+        rows = [dict(zip(left.schema.names, row)) for row in result_rows]
+        return Relation(schema=left.schema, rows=rows, name="")
+
+    # ------------------------------------------------------------------
+    # SELECT pipeline
+    # ------------------------------------------------------------------
+    def _execute_select(
+        self, query: ast.SelectQuery, parent: Optional[EvaluationContext]
+    ) -> Relation:
+        scopes, source_columns = self._evaluate_from(query.from_clause, parent)
+
+        # WHERE
+        if query.where is not None:
+            scopes = [
+                scope
+                for scope in scopes
+                if evaluate_predicate(query.where, self._context(scope, parent))
+            ]
+
+        has_group_by = bool(query.group_by)
+        has_aggregates = self._select_has_aggregates(query)
+
+        if has_group_by or has_aggregates:
+            output_rows, output_names = self._execute_grouped(query, scopes, parent)
+        else:
+            output_rows, output_names = self._execute_flat(query, scopes, source_columns, parent)
+
+        # DISTINCT
+        if query.distinct:
+            output_rows = _distinct_rows(output_rows, output_names)
+
+        # ORDER BY (may reference output aliases or source columns)
+        if query.order_by:
+            output_rows = self._apply_order_by(query, output_rows, scopes, parent, has_group_by or has_aggregates)
+
+        # LIMIT / OFFSET
+        if query.offset is not None:
+            output_rows = output_rows[query.offset :]
+        if query.limit is not None:
+            output_rows = output_rows[: query.limit]
+
+        schema = _build_schema(output_names, output_rows)
+        return Relation(schema=schema, rows=output_rows, name="")
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+    def _evaluate_from(
+        self, relation: Optional[ast.Relation], parent: Optional[EvaluationContext]
+    ) -> Tuple[List[Scope], List[str]]:
+        """Return per-row scopes and the ordered unqualified column names."""
+        if relation is None:
+            return [{}], []
+        if isinstance(relation, ast.TableRef):
+            table = self.lookup_table(relation.name)
+            qualifier = relation.effective_name
+            scopes = [_scoped_row(row, table.schema.names, qualifier) for row in table]
+            return scopes, list(table.schema.names)
+        if isinstance(relation, ast.SubqueryRef):
+            result = self._execute_query(relation.query, parent)
+            qualifier = relation.alias or ""
+            scopes = [_scoped_row(row, result.schema.names, qualifier) for row in result]
+            return scopes, list(result.schema.names)
+        if isinstance(relation, ast.Join):
+            return self._evaluate_join(relation, parent)
+        raise ExecutionError(f"Cannot evaluate FROM item of type {type(relation).__name__}")
+
+    def _evaluate_join(
+        self, join: ast.Join, parent: Optional[EvaluationContext]
+    ) -> Tuple[List[Scope], List[str]]:
+        left_scopes, left_columns = self._evaluate_from(join.left, parent)
+        right_scopes, right_columns = self._evaluate_from(join.right, parent)
+        join_type = join.join_type.upper()
+        columns = left_columns + [c for c in right_columns if c not in left_columns]
+
+        condition = join.condition
+        if join.using:
+            condition = None  # handled explicitly below
+
+        def matches(left: Scope, right: Scope) -> bool:
+            if join.using:
+                return all(
+                    left.get(name.lower()) == right.get(name.lower()) for name in join.using
+                )
+            if condition is None:
+                return True
+            merged = {**left, **right}
+            return evaluate_predicate(condition, self._context(merged, parent))
+
+        combined: List[Scope] = []
+        matched_right: set[int] = set()
+        for left_scope in left_scopes:
+            matched = False
+            for right_index, right_scope in enumerate(right_scopes):
+                if matches(left_scope, right_scope):
+                    combined.append({**left_scope, **right_scope})
+                    matched = True
+                    matched_right.add(right_index)
+            if not matched and join_type in {"LEFT", "FULL"}:
+                null_right = {key: None for key in (right_scopes[0] if right_scopes else {})}
+                combined.append({**left_scope, **_null_scope(right_columns, right_scopes)})
+        if join_type in {"RIGHT", "FULL"}:
+            for right_index, right_scope in enumerate(right_scopes):
+                if right_index not in matched_right:
+                    combined.append({**_null_scope(left_columns, left_scopes), **right_scope})
+        return combined, columns
+
+    # ------------------------------------------------------------------
+    # projection without grouping
+    # ------------------------------------------------------------------
+    def _execute_flat(
+        self,
+        query: ast.SelectQuery,
+        scopes: List[Scope],
+        source_columns: List[str],
+        parent: Optional[EvaluationContext],
+    ) -> Tuple[List[Dict[str, Any]], List[str]]:
+        items = self._expand_star_items(query.items, source_columns)
+        window_calls = [
+            call
+            for item in items
+            for call in _shallow_function_calls(item.expression)
+            if call.window is not None
+        ]
+        window_values: Dict[str, List[Any]] = {}
+        if window_calls:
+            window_values = compute_window_values(window_calls, scopes, parent)
+
+        output_names = self._output_names(items)
+        output_rows: List[Dict[str, Any]] = []
+        for index, scope in enumerate(scopes):
+            aggregates = {key: values[index] for key, values in window_values.items()}
+            context = self._context(scope, parent, aggregates)
+            row = {}
+            for item, name in zip(items, output_names):
+                row[name] = evaluate(item.expression, context)
+            output_rows.append(row)
+        return output_rows, output_names
+
+    # ------------------------------------------------------------------
+    # grouped projection
+    # ------------------------------------------------------------------
+    def _execute_grouped(
+        self,
+        query: ast.SelectQuery,
+        scopes: List[Scope],
+        parent: Optional[EvaluationContext],
+    ) -> Tuple[List[Dict[str, Any]], List[str]]:
+        items = query.items
+        if any(isinstance(item.expression, ast.Star) for item in items):
+            raise ExecutionError("SELECT * cannot be combined with GROUP BY / aggregates")
+
+        groups: Dict[Tuple[Any, ...], List[Scope]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for scope in scopes:
+            context = self._context(scope, parent)
+            key = tuple(
+                _freeze(evaluate(expression, context)) for expression in query.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(scope)
+
+        # A query with aggregates but no GROUP BY forms one global group, even
+        # when the input is empty (COUNT(*) over an empty table is 0).
+        if not query.group_by and not groups:
+            groups[()] = []
+            order.append(())
+
+        aggregate_calls = self._collect_aggregate_calls(query)
+        output_names = self._output_names(items)
+        output_rows: List[Dict[str, Any]] = []
+
+        for key in order:
+            group_scopes = groups[key]
+            aggregates = self._compute_group_aggregates(aggregate_calls, group_scopes, parent)
+            representative = group_scopes[0] if group_scopes else {}
+            context = self._context(representative, parent, aggregates)
+
+            if query.having is not None and not evaluate_predicate(query.having, context):
+                continue
+
+            row = {}
+            for item, name in zip(items, output_names):
+                row[name] = evaluate(item.expression, context)
+            output_rows.append(row)
+        return output_rows, output_names
+
+    def _collect_aggregate_calls(self, query: ast.SelectQuery) -> List[ast.FunctionCall]:
+        calls: List[ast.FunctionCall] = []
+        sources: List[ast.Node] = [item.expression for item in query.items]
+        if query.having is not None:
+            sources.append(query.having)
+        for item in query.order_by:
+            sources.append(item.expression)
+        for source in sources:
+            for call in _shallow_function_calls(source):
+                if call.window is None and ast.is_aggregate_function(call.name):
+                    calls.append(call)
+        return calls
+
+    def _compute_group_aggregates(
+        self,
+        calls: Sequence[ast.FunctionCall],
+        group_scopes: List[Scope],
+        parent: Optional[EvaluationContext],
+    ) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        for call in calls:
+            key = render_expression(call)
+            if key in results:
+                continue
+            is_star = len(call.arguments) == 1 and isinstance(call.arguments[0], ast.Star)
+            if is_star:
+                argument_columns = [[1] * len(group_scopes)]
+            else:
+                argument_columns = []
+                for argument in call.arguments:
+                    column_values = [
+                        evaluate(argument, self._context(scope, parent))
+                        for scope in group_scopes
+                    ]
+                    argument_columns.append(column_values)
+                if not argument_columns:
+                    argument_columns = [[1] * len(group_scopes)]
+            results[key] = compute_aggregate(
+                call.name, argument_columns, is_star=is_star, distinct=call.distinct
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _context(
+        self,
+        scope: Scope,
+        parent: Optional[EvaluationContext],
+        aggregates: Optional[Dict[str, Any]] = None,
+    ) -> EvaluationContext:
+        return EvaluationContext(
+            scope=scope,
+            aggregates=aggregates or {},
+            subquery_executor=self._execute_subquery,
+            parent=parent,
+        )
+
+    def _execute_subquery(
+        self, query: ast.SelectQuery, context: EvaluationContext
+    ) -> Relation:
+        return self._execute_query(query, parent=context)
+
+    def _select_has_aggregates(self, query: ast.SelectQuery) -> bool:
+        sources: List[ast.Node] = [item.expression for item in query.items]
+        if query.having is not None:
+            sources.append(query.having)
+        for source in sources:
+            for call in _shallow_function_calls(source):
+                if call.window is None and ast.is_aggregate_function(call.name):
+                    return True
+        return False
+
+    def _expand_star_items(
+        self, items: Sequence[ast.SelectItem], source_columns: List[str]
+    ) -> List[ast.SelectItem]:
+        expanded: List[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expression, ast.Star):
+                if item.expression.table:
+                    qualifier = item.expression.table
+                    expanded.extend(
+                        ast.SelectItem(expression=ast.Column(name=name, table=qualifier))
+                        for name in source_columns
+                    )
+                else:
+                    expanded.extend(
+                        ast.SelectItem(expression=ast.Column(name=name))
+                        for name in source_columns
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _output_names(self, items: Sequence[ast.SelectItem]) -> List[str]:
+        names: List[str] = []
+        used: set[str] = set()
+        for index, item in enumerate(items):
+            name = item.output_name or render_expression(item.expression)
+            base = name
+            suffix = 1
+            while name.lower() in used:
+                suffix += 1
+                name = f"{base}_{suffix}"
+            used.add(name.lower())
+            names.append(name)
+        return names
+
+    def _apply_order_by(
+        self,
+        query: ast.SelectQuery,
+        output_rows: List[Dict[str, Any]],
+        scopes: List[Scope],
+        parent: Optional[EvaluationContext],
+        grouped: bool,
+    ) -> List[Dict[str, Any]]:
+        # After grouping the source scopes no longer align with the output
+        # rows, so ORDER BY expressions are evaluated against the output row
+        # only.  For flat queries the source scope is merged in as fallback.
+        def row_scope(index: int, row: Dict[str, Any]) -> Scope:
+            scope = {key.lower(): value for key, value in row.items()}
+            if not grouped and index < len(scopes):
+                merged = dict(scopes[index])
+                merged.update(scope)
+                return merged
+            return scope
+
+        def sort_key(pair: Tuple[int, Dict[str, Any]]) -> Tuple:
+            index, row = pair
+            context = self._context(row_scope(index, row), parent)
+            keys = []
+            for item in query.order_by:
+                try:
+                    value = evaluate(item.expression, context)
+                except ExecutionError:
+                    value = None
+                keys.append(_OrderKey(value, item.ascending))
+            return tuple(keys)
+
+        ordered = sorted(enumerate(output_rows), key=sort_key)
+        return [row for _, row in ordered]
+
+
+# ---------------------------------------------------------------------------
+# module-level helpers
+# ---------------------------------------------------------------------------
+
+
+class _OrderKey:
+    """Comparable wrapper handling None values and descending order."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: Any, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        left, right = self.value, other.value
+        if not self.ascending:
+            left, right = right, left
+        if left is None:
+            return right is not None
+        if right is None:
+            return False
+        try:
+            return left < right
+        except TypeError:
+            return str(left) < str(right)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.value == other.value
+
+
+def _scoped_row(row: Mapping[str, Any], column_names: Sequence[str], qualifier: str) -> Scope:
+    scope: Scope = {}
+    for name in column_names:
+        value = row.get(name)
+        scope[name.lower()] = value
+        if qualifier:
+            scope[f"{qualifier.lower()}.{name.lower()}"] = value
+    return scope
+
+
+def _null_scope(columns: Sequence[str], scopes: List[Scope]) -> Scope:
+    template = scopes[0] if scopes else {name.lower(): None for name in columns}
+    return {key: None for key in template}
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return str(value)
+    return value
+
+
+def _freeze_tuple(row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    return tuple(_freeze(value) for value in row)
+
+
+def _unique(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    seen: set = set()
+    result = []
+    for row in rows:
+        key = _freeze_tuple(row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result
+
+
+def _distinct_rows(rows: List[Dict[str, Any]], names: List[str]) -> List[Dict[str, Any]]:
+    seen: set = set()
+    result = []
+    for row in rows:
+        key = tuple(_freeze(row.get(name)) for name in names)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result
+
+
+def _build_schema(names: List[str], rows: List[Dict[str, Any]]) -> Schema:
+    columns = []
+    for name in names:
+        data_type = None
+        for row in rows:
+            value = row.get(name)
+            if value is not None:
+                data_type = infer_type(value)
+                break
+        columns.append(ColumnDef(name=name, data_type=data_type or infer_type(0.0)))
+    return Schema(columns)

@@ -1,0 +1,125 @@
+"""Scalar function registry for the expression evaluator."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Sequence
+
+from repro.engine.errors import ExecutionError
+
+
+def _require(args: Sequence[Any], count: int, name: str) -> None:
+    if len(args) != count:
+        raise ExecutionError(f"{name} expects {count} argument(s), got {len(args)}")
+
+
+def _null_if_any_null(function: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(*args: Any) -> Any:
+        if any(argument is None for argument in args):
+            return None
+        return function(*args)
+
+    return wrapper
+
+
+def _coalesce(*args: Any) -> Any:
+    for argument in args:
+        if argument is not None:
+            return argument
+    return None
+
+
+def _nullif(*args: Any) -> Any:
+    _require(args, 2, "NULLIF")
+    return None if args[0] == args[1] else args[0]
+
+
+def _round(*args: Any) -> Any:
+    if args[0] is None:
+        return None
+    digits = int(args[1]) if len(args) > 1 and args[1] is not None else 0
+    return round(float(args[0]), digits)
+
+
+def _power(*args: Any) -> Any:
+    _require(args, 2, "POWER")
+    return float(args[0]) ** float(args[1])
+
+
+def _mod(*args: Any) -> Any:
+    _require(args, 2, "MOD")
+    return args[0] % args[1]
+
+
+def _substr(*args: Any) -> Any:
+    text = str(args[0])
+    start = int(args[1]) - 1
+    if len(args) > 2:
+        return text[start : start + int(args[2])]
+    return text[start:]
+
+
+def _greatest(*args: Any) -> Any:
+    values = [a for a in args if a is not None]
+    return max(values) if values else None
+
+
+def _least(*args: Any) -> Any:
+    values = [a for a in args if a is not None]
+    return min(values) if values else None
+
+
+def _width_bucket(*args: Any) -> Any:
+    """``WIDTH_BUCKET(value, low, high, buckets)`` as in SQL:2003.
+
+    Used by the anonymization examples to coarsen coordinates into grid cells.
+    """
+    _require(args, 4, "WIDTH_BUCKET")
+    value, low, high, buckets = (float(args[0]), float(args[1]), float(args[2]), int(args[3]))
+    if value < low:
+        return 0
+    if value >= high:
+        return buckets + 1
+    return int((value - low) / (high - low) * buckets) + 1
+
+
+#: Registry of scalar SQL functions.  Keys are upper-case function names.
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "ABS": _null_if_any_null(lambda x: abs(x)),
+    "CEIL": _null_if_any_null(lambda x: math.ceil(x)),
+    "CEILING": _null_if_any_null(lambda x: math.ceil(x)),
+    "FLOOR": _null_if_any_null(lambda x: math.floor(x)),
+    "ROUND": _round,
+    "SQRT": _null_if_any_null(lambda x: math.sqrt(x)),
+    "EXP": _null_if_any_null(lambda x: math.exp(x)),
+    "LN": _null_if_any_null(lambda x: math.log(x)),
+    "LOG": _null_if_any_null(lambda x: math.log10(x)),
+    "POWER": _null_if_any_null(_power),
+    "MOD": _null_if_any_null(_mod),
+    "SIGN": _null_if_any_null(lambda x: (x > 0) - (x < 0)),
+    "UPPER": _null_if_any_null(lambda x: str(x).upper()),
+    "LOWER": _null_if_any_null(lambda x: str(x).lower()),
+    "LENGTH": _null_if_any_null(lambda x: len(str(x))),
+    "TRIM": _null_if_any_null(lambda x: str(x).strip()),
+    "SUBSTR": _null_if_any_null(_substr),
+    "SUBSTRING": _null_if_any_null(_substr),
+    "CONCAT": lambda *args: "".join("" if a is None else str(a) for a in args),
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "GREATEST": _greatest,
+    "LEAST": _least,
+    "WIDTH_BUCKET": _null_if_any_null(_width_bucket),
+}
+
+
+def call_scalar_function(name: str, args: Sequence[Any]) -> Any:
+    """Invoke the scalar function ``name`` with the evaluated arguments."""
+    function = SCALAR_FUNCTIONS.get(name.upper())
+    if function is None:
+        raise ExecutionError(f"Unknown scalar function: {name}")
+    return function(*args)
+
+
+def is_scalar_function(name: str) -> bool:
+    """Return True when ``name`` is a registered scalar function."""
+    return name.upper() in SCALAR_FUNCTIONS

@@ -1,0 +1,226 @@
+"""The :class:`Relation` row container used throughout the reproduction.
+
+A relation couples a :class:`~repro.engine.schema.Schema` with a list of rows.
+Rows are plain dictionaries keyed by (unqualified) column name, which keeps the
+executor, the anonymizers and the metrics simple and debuggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.engine.errors import SchemaError
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import DataType
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class Relation:
+    """A named, schema-carrying bag of rows."""
+
+    schema: Schema
+    rows: List[Row] = field(default_factory=list)
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Mapping[str, Any]],
+        name: str = "",
+        schema: Optional[Schema] = None,
+    ) -> "Relation":
+        """Build a relation from dict rows, inferring the schema if needed."""
+        materialized = [dict(row) for row in rows]
+        if schema is None:
+            schema = Schema.infer(materialized)
+        return cls(schema=schema, rows=materialized, name=name)
+
+    @classmethod
+    def empty(cls, schema: Schema, name: str = "") -> "Relation":
+        """Return a relation with no rows."""
+        return cls(schema=schema, rows=[], name=name)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index]
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in schema order."""
+        return self.schema.names
+
+    def column_values(self, name: str) -> List[Any]:
+        """Return all values of one column (in row order)."""
+        if name not in self.schema:
+            raise SchemaError(f"Unknown column: {name}")
+        key = self._resolve_key(name)
+        return [row.get(key) for row in self.rows]
+
+    def _resolve_key(self, name: str) -> str:
+        return self.schema.column(name).name
+
+    # ------------------------------------------------------------------
+    # functional operators (each returns a new relation)
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[Row], bool], name: str = "") -> "Relation":
+        """Return only the rows for which ``predicate`` is true."""
+        return Relation(
+            schema=self.schema,
+            rows=[dict(row) for row in self.rows if predicate(row)],
+            name=name or self.name,
+        )
+
+    def project(self, names: Sequence[str], name: str = "") -> "Relation":
+        """Keep only the given columns."""
+        schema = self.schema.project(names)
+        keys = [self._resolve_key(column) for column in names]
+        rows = [{key: row.get(key) for key in keys} for row in self.rows]
+        return Relation(schema=schema, rows=rows, name=name or self.name)
+
+    def drop(self, names: Sequence[str], name: str = "") -> "Relation":
+        """Remove the given columns."""
+        remaining = [c for c in self.schema.names if c.lower() not in {n.lower() for n in names}]
+        return self.project(remaining, name=name)
+
+    def rename(self, mapping: Mapping[str, str], name: str = "") -> "Relation":
+        """Rename columns according to ``mapping``."""
+        schema = self.schema.rename(mapping)
+        lowered = {key.lower(): value for key, value in mapping.items()}
+        rows = []
+        for row in self.rows:
+            rows.append({lowered.get(key.lower(), key): value for key, value in row.items()})
+        return Relation(schema=schema, rows=rows, name=name or self.name)
+
+    def limit(self, count: int) -> "Relation":
+        """Return the first ``count`` rows."""
+        return Relation(schema=self.schema, rows=[dict(r) for r in self.rows[:count]], name=self.name)
+
+    def order_by(self, key: Callable[[Row], Any], reverse: bool = False) -> "Relation":
+        """Return a relation sorted by ``key``."""
+        return Relation(
+            schema=self.schema,
+            rows=sorted((dict(r) for r in self.rows), key=key, reverse=reverse),
+            name=self.name,
+        )
+
+    def map_rows(self, mapper: Callable[[Row], Row], schema: Optional[Schema] = None) -> "Relation":
+        """Apply ``mapper`` to every row, optionally with a new schema."""
+        rows = [mapper(dict(row)) for row in self.rows]
+        return Relation(schema=schema or self.schema, rows=rows, name=self.name)
+
+    def copy(self) -> "Relation":
+        """Deep-ish copy (rows are copied, values shared)."""
+        return Relation(schema=self.schema, rows=[dict(row) for row in self.rows], name=self.name)
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Append rows in place (used by stream buffers and simulators)."""
+        for row in rows:
+            self.rows.append(dict(row))
+
+    # ------------------------------------------------------------------
+    # measurement helpers used by the benchmarks
+    # ------------------------------------------------------------------
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells (rows × columns)."""
+        return len(self.rows) * len(self.schema)
+
+    def estimated_bytes(self) -> int:
+        """Rough wire-size estimate used for the data-transfer benchmarks.
+
+        Numbers count as 8 bytes, booleans as 1, strings/timestamps as their
+        textual length.  The absolute values do not matter; the benchmarks
+        compare ratios between configurations.
+        """
+        total = 0
+        for row in self.rows:
+            for value in row.values():
+                if value is None:
+                    total += 1
+                elif isinstance(value, bool):
+                    total += 1
+                elif isinstance(value, (int, float)):
+                    total += 8
+                else:
+                    total += len(str(value))
+        return total
+
+    def to_dicts(self) -> List[Row]:
+        """Return rows as a list of plain dicts (copies)."""
+        return [dict(row) for row in self.rows]
+
+    def distinct(self) -> "Relation":
+        """Return a relation with duplicate rows removed (order-preserving)."""
+        seen = set()
+        rows: List[Row] = []
+        for row in self.rows:
+            key = tuple((name, _hashable(row.get(name))) for name in self.schema.names)
+            if key not in seen:
+                seen.add(key)
+                rows.append(dict(row))
+        return Relation(schema=self.schema, rows=rows, name=self.name)
+
+    def head(self, count: int = 5) -> List[Row]:
+        """Return the first ``count`` rows (for examples and debugging)."""
+        return self.to_dicts()[:count]
+
+    def pretty(self, max_rows: int = 10) -> str:
+        """Render the relation as a fixed-width text table."""
+        names = self.schema.names
+        rows = self.rows[:max_rows]
+        cells = [[_format_cell(row.get(name)) for name in names] for row in rows]
+        widths = [
+            max(len(name), *(len(row[i]) for row in cells)) if cells else len(name)
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [header, separator]
+        for row in cells:
+            lines.append(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows)} rows total)")
+        return "\n".join(lines)
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return str(value)
+    return value
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def concat(relations: Sequence[Relation], name: str = "") -> Relation:
+    """Concatenate relations with identical column names."""
+    if not relations:
+        raise SchemaError("Cannot concatenate zero relations")
+    first = relations[0]
+    rows: List[Row] = []
+    for relation in relations:
+        if [n.lower() for n in relation.schema.names] != [
+            n.lower() for n in first.schema.names
+        ]:
+            raise SchemaError("Relations have different schemas")
+        rows.extend(dict(row) for row in relation.rows)
+    return Relation(schema=first.schema, rows=rows, name=name or first.name)

@@ -1,0 +1,260 @@
+"""Window function evaluation.
+
+The paper's running example computes ``regr_intercept(y, x) OVER (PARTITION BY
+z ORDER BY t)`` — an aggregate used as a window function.  This module
+evaluates such calls (and the usual ranking functions) over the rows produced
+by the executor's FROM/WHERE stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.engine.aggregates import compute_aggregate, is_known_aggregate
+from repro.engine.errors import ExecutionError
+from repro.engine.evaluator import EvaluationContext, evaluate
+from repro.sql import ast
+from repro.sql.render import render_expression
+
+_RANKING_FUNCTIONS = {
+    "ROW_NUMBER",
+    "RANK",
+    "DENSE_RANK",
+    "NTILE",
+    "LAG",
+    "LEAD",
+    "FIRST_VALUE",
+    "LAST_VALUE",
+}
+
+
+def is_window_capable(name: str) -> bool:
+    """Return True when ``name`` may be used with an OVER clause."""
+    return name.upper() in _RANKING_FUNCTIONS or is_known_aggregate(name)
+
+
+class _SortKey:
+    """Sort key wrapper that orders None before everything else."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        try:
+            return self.value < other.value
+        except TypeError:
+            return str(self.value) < str(other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def compute_window_values(
+    calls: Sequence[ast.FunctionCall],
+    scopes: List[Dict[str, Any]],
+    parent: EvaluationContext | None = None,
+) -> Dict[str, List[Any]]:
+    """Compute the value of each windowed call for every row.
+
+    Args:
+        calls: Window function calls (each must have ``window`` set).
+        scopes: One evaluation scope per input row, in input order.
+        parent: Optional enclosing context for correlated references.
+
+    Returns:
+        Mapping from ``render_expression(call)`` to the list of per-row values
+        aligned with ``scopes``.
+    """
+    results: Dict[str, List[Any]] = {}
+    for call in calls:
+        if call.window is None:
+            raise ExecutionError("compute_window_values expects windowed calls")
+        key = render_expression(call)
+        if key in results:
+            continue
+        results[key] = _compute_single_window(call, scopes, parent)
+    return results
+
+
+def _compute_single_window(
+    call: ast.FunctionCall,
+    scopes: List[Dict[str, Any]],
+    parent: EvaluationContext | None,
+) -> List[Any]:
+    window = call.window
+    assert window is not None
+    contexts = [EvaluationContext(scope=scope, parent=parent) for scope in scopes]
+
+    # Partition the row indices.
+    partitions: Dict[Tuple[Any, ...], List[int]] = {}
+    for index, context in enumerate(contexts):
+        partition_key = tuple(
+            _freeze(evaluate(expression, context)) for expression in window.partition_by
+        )
+        partitions.setdefault(partition_key, []).append(index)
+
+    values: List[Any] = [None] * len(scopes)
+    for indices in partitions.values():
+        ordered = _order_partition(indices, contexts, window.order_by)
+        _fill_partition(call, ordered, contexts, values, has_order=bool(window.order_by))
+    return values
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return str(value)
+    return value
+
+
+def _order_partition(
+    indices: List[int],
+    contexts: List[EvaluationContext],
+    order_by: Sequence[ast.OrderItem],
+) -> List[int]:
+    if not order_by:
+        return list(indices)
+
+    def sort_key(index: int) -> Tuple:
+        keys = []
+        for item in order_by:
+            value = evaluate(item.expression, contexts[index])
+            key = _SortKey(value)
+            keys.append(key if item.ascending else _Reversed(key))
+        return tuple(keys)
+
+    return sorted(indices, key=sort_key)
+
+
+class _Reversed:
+    """Inverts the comparison of a wrapped sort key (for DESC ordering)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: _SortKey) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.key == other.key
+
+
+def _fill_partition(
+    call: ast.FunctionCall,
+    ordered_indices: List[int],
+    contexts: List[EvaluationContext],
+    values: List[Any],
+    has_order: bool,
+) -> None:
+    name = call.name.upper()
+
+    if name in _RANKING_FUNCTIONS:
+        _fill_ranking(call, name, ordered_indices, contexts, values)
+        return
+
+    if not is_known_aggregate(name):
+        raise ExecutionError(f"Function {name} cannot be used as a window function")
+
+    # Aggregate over a window.  With an ORDER BY the default frame is the
+    # running prefix (UNBOUNDED PRECEDING .. CURRENT ROW); without it the
+    # aggregate covers the whole partition.
+    is_star = len(call.arguments) == 1 and isinstance(call.arguments[0], ast.Star)
+    if is_star:
+        argument_lists = [[1] for _ in ordered_indices]
+    else:
+        argument_lists = [
+            [evaluate(argument, contexts[i]) for argument in call.arguments]
+            for i in ordered_indices
+        ]
+
+    if not has_order:
+        columns = _transpose(argument_lists, len(call.arguments) if not is_star else 1)
+        total = compute_aggregate(name, columns, is_star=is_star, distinct=call.distinct)
+        for index in ordered_indices:
+            values[index] = total
+        return
+
+    for position, index in enumerate(ordered_indices):
+        prefix = argument_lists[: position + 1]
+        columns = _transpose(prefix, len(call.arguments) if not is_star else 1)
+        values[index] = compute_aggregate(
+            name, columns, is_star=is_star, distinct=call.distinct
+        )
+
+
+def _transpose(rows: List[List[Any]], width: int) -> List[List[Any]]:
+    if not rows:
+        return [[] for _ in range(max(width, 1))]
+    return [list(column) for column in zip(*rows)]
+
+
+def _fill_ranking(
+    call: ast.FunctionCall,
+    name: str,
+    ordered_indices: List[int],
+    contexts: List[EvaluationContext],
+    values: List[Any],
+) -> None:
+    window = call.window
+    assert window is not None
+
+    def order_key(index: int) -> Tuple:
+        return tuple(
+            _freeze(evaluate(item.expression, contexts[index])) for item in window.order_by
+        )
+
+    if name == "ROW_NUMBER":
+        for position, index in enumerate(ordered_indices, start=1):
+            values[index] = position
+        return
+    if name in {"RANK", "DENSE_RANK"}:
+        rank = 0
+        dense_rank = 0
+        previous_key: Any = object()
+        for position, index in enumerate(ordered_indices, start=1):
+            key = order_key(index)
+            if key != previous_key:
+                rank = position
+                dense_rank += 1
+                previous_key = key
+            values[index] = rank if name == "RANK" else dense_rank
+        return
+    if name in {"LAG", "LEAD"}:
+        offset = 1
+        default = None
+        if len(call.arguments) > 1:
+            offset_value = evaluate(call.arguments[1], contexts[ordered_indices[0]])
+            offset = int(offset_value) if offset_value is not None else 1
+        if len(call.arguments) > 2:
+            default = evaluate(call.arguments[2], contexts[ordered_indices[0]])
+        for position, index in enumerate(ordered_indices):
+            source = position - offset if name == "LAG" else position + offset
+            if 0 <= source < len(ordered_indices):
+                values[index] = evaluate(call.arguments[0], contexts[ordered_indices[source]])
+            else:
+                values[index] = default
+        return
+    if name == "FIRST_VALUE":
+        first = evaluate(call.arguments[0], contexts[ordered_indices[0]])
+        for index in ordered_indices:
+            values[index] = first
+        return
+    if name == "LAST_VALUE":
+        last = evaluate(call.arguments[0], contexts[ordered_indices[-1]])
+        for index in ordered_indices:
+            values[index] = last
+        return
+    if name == "NTILE":
+        buckets = int(evaluate(call.arguments[0], contexts[ordered_indices[0]]))
+        count = len(ordered_indices)
+        for position, index in enumerate(ordered_indices):
+            values[index] = (position * buckets) // count + 1
+        return
+    raise ExecutionError(f"Unsupported ranking function: {name}")

@@ -1,0 +1,195 @@
+"""Capability classes of the vertical architecture (Table 1 of the paper).
+
+=====  ====================  ==========================================  =================
+Level  System                Capability                                  Nodes per person
+=====  ====================  ==========================================  =================
+E1     cloud                 complex ML algorithm in R, SQL:2003 + UDF   n for m persons
+E2     PC in apartment       full SQL (the use case runs the window
+                             regression here)                            1
+E3     appliance             "SQL light" with joins, grouping            10 – 50
+E4     sensor                filter/window, simple selection, stream
+                             aggregates over the last seconds            ≫ 100
+=====  ====================  ==========================================  =================
+
+Table 1 labels E2 as "SQL-92"; the use case of Section 4.2 nevertheless
+executes the ``regr_intercept ... OVER`` window query on the apartment PC
+("the local server has enough power to perform the regression analysis part
+of the SQL query on its own").  We follow the use-case placement and include
+window functions in E2's capability set; the difference is documented in
+DESIGN.md and exercised by the Table 1 benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Union
+
+from repro.sql.analysis import QueryFeatures
+
+
+class CapabilityLevel(enum.IntEnum):
+    """Processing levels; smaller numbers are more powerful nodes."""
+
+    E1_CLOUD = 1
+    E2_PC = 2
+    E3_APPLIANCE = 3
+    E4_SENSOR = 4
+
+    @property
+    def short_name(self) -> str:
+        """Short identifier such as ``E1``."""
+        return f"E{int(self)}"
+
+    def is_at_least(self, other: "CapabilityLevel") -> bool:
+        """True when this level is at least as powerful as ``other``."""
+        return int(self) <= int(other)
+
+
+@dataclass(frozen=True)
+class CapabilityClass:
+    """What one level of the hierarchy can execute."""
+
+    level: CapabilityLevel
+    system: str
+    description: str
+    supported_features: FrozenSet[str]
+    nodes_per_person: str
+    #: Relative computing power (used by capacity checks and benchmarks).
+    relative_power: float = 1.0
+    #: True when the node can run the R / machine-learning remainder.
+    supports_ml: bool = False
+
+    def supports(self, features: Union[QueryFeatures, Iterable[str]]) -> bool:
+        """Return True when every feature in ``features`` is supported."""
+        if isinstance(features, QueryFeatures):
+            needed = set(features.features)
+        else:
+            needed = set(features)
+        return needed.issubset(self.supported_features)
+
+    def missing(self, features: Union[QueryFeatures, Iterable[str]]) -> List[str]:
+        """Return the features that exceed this capability class."""
+        if isinstance(features, QueryFeatures):
+            needed = set(features.features)
+        else:
+            needed = set(features)
+        return sorted(needed - self.supported_features)
+
+
+_SENSOR_FEATURES = frozenset(
+    {
+        "selection_constant",
+        "limit",
+        # Stream aggregation over the last seconds (no GROUP BY).
+        "stream_window",
+    }
+)
+
+_APPLIANCE_FEATURES = _SENSOR_FEATURES | frozenset(
+    {
+        "projection",
+        "selection_attribute",
+        "join",
+        "group_by",
+        "having",
+        "aggregation",
+        "order_by",
+        "distinct",
+        "arithmetic",
+        "scalar_function",
+        "like",
+        "case_expression",
+    }
+)
+
+_PC_FEATURES = _APPLIANCE_FEATURES | frozenset(
+    {
+        "subquery",
+        "in_subquery",
+        "exists",
+        "set_operation",
+        "window_function",
+    }
+)
+
+_CLOUD_FEATURES = _PC_FEATURES | frozenset({"recursion", "udf", "ml_algorithm"})
+
+
+#: The four capability classes, most powerful first (mirrors Table 1).
+CAPABILITY_LEVELS: Dict[CapabilityLevel, CapabilityClass] = {
+    CapabilityLevel.E1_CLOUD: CapabilityClass(
+        level=CapabilityLevel.E1_CLOUD,
+        system="cloud",
+        description="complex ML algorithm in R, SQL:2003 with UDF",
+        supported_features=_CLOUD_FEATURES,
+        nodes_per_person="n for m persons",
+        relative_power=100.0,
+        supports_ml=True,
+    ),
+    CapabilityLevel.E2_PC: CapabilityClass(
+        level=CapabilityLevel.E2_PC,
+        system="PC in apartment",
+        description="full SQL incl. window functions (local server)",
+        supported_features=_PC_FEATURES,
+        nodes_per_person="1 for 1 person",
+        relative_power=10.0,
+    ),
+    CapabilityLevel.E3_APPLIANCE: CapabilityClass(
+        level=CapabilityLevel.E3_APPLIANCE,
+        system="appliance in apartment",
+        description="SQL 'light' with joins",
+        supported_features=_APPLIANCE_FEATURES,
+        nodes_per_person="10 - 50 for 1 person",
+        relative_power=2.0,
+    ),
+    CapabilityLevel.E4_SENSOR: CapabilityClass(
+        level=CapabilityLevel.E4_SENSOR,
+        system="sensor in appliance / environment",
+        description="filter / window, simple selection, aggregates on streams",
+        supported_features=_SENSOR_FEATURES,
+        nodes_per_person=">= 100 for 1 person",
+        relative_power=0.1,
+    ),
+}
+
+
+def capability_for(level: CapabilityLevel) -> CapabilityClass:
+    """Return the capability class of ``level``."""
+    return CAPABILITY_LEVELS[level]
+
+
+def lowest_capable_level(
+    features: Union[QueryFeatures, Iterable[str]],
+    available: Optional[Iterable[CapabilityLevel]] = None,
+) -> CapabilityLevel:
+    """Return the *lowest* (least powerful) level able to evaluate ``features``.
+
+    The fragmenter pushes work as far down as possible, so candidate levels
+    are inspected from the sensor upwards.
+    """
+    candidates = sorted(
+        available if available is not None else CAPABILITY_LEVELS.keys(),
+        key=int,
+        reverse=True,  # E4 (sensor) first
+    )
+    for level in candidates:
+        if CAPABILITY_LEVELS[level].supports(features):
+            return level
+    return CapabilityLevel.E1_CLOUD
+
+
+def capability_table() -> List[Dict[str, str]]:
+    """Return Table 1 as a list of dict rows (used by the benchmark/report)."""
+    rows = []
+    for level in sorted(CAPABILITY_LEVELS, key=int):
+        capability = CAPABILITY_LEVELS[level]
+        rows.append(
+            {
+                "level": level.short_name,
+                "system": capability.system,
+                "capability": capability.description,
+                "nodes": capability.nodes_per_person,
+            }
+        )
+    return rows

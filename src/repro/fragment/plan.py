@@ -1,0 +1,127 @@
+"""Fragment plan data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fragment.capabilities import CapabilityLevel
+from repro.sql import ast
+from repro.sql.analysis import QueryFeatures, analyze_query
+from repro.sql.render import render
+
+
+@dataclass
+class QueryFragment:
+    """One pushed-down query fragment ``Qi`` of the plan.
+
+    Attributes:
+        name: Name of the fragment's output relation (``d1``, ``d2``, ...);
+            the next fragment reads this relation.
+        query: The fragment's query AST (reads either the base relation or the
+            previous fragment's output).
+        level: The capability level the fragment requires.
+        input_name: Name of the relation the fragment reads.
+        description: Short human-readable explanation (used in reports).
+    """
+
+    name: str
+    query: ast.Query
+    level: CapabilityLevel
+    input_name: str
+    description: str = ""
+    assigned_node: Optional[str] = None
+
+    @property
+    def sql(self) -> str:
+        """The fragment as SQL text."""
+        return render(self.query)
+
+    @property
+    def features(self) -> QueryFeatures:
+        """Structural features of the fragment."""
+        return analyze_query(self.query)
+
+
+@dataclass
+class FragmentPlan:
+    """A complete vertical fragmentation ``Q → Q1 .. Qj, Qδ``.
+
+    ``fragments`` are ordered bottom-up: the first fragment runs closest to
+    the sensor, the last one produces the relation the remainder consumes.
+    """
+
+    original_query: ast.Query
+    fragments: List[QueryFragment] = field(default_factory=list)
+    #: Description of the remainder Qδ executed at the cloud.  For pure SQL
+    #: workloads the remainder is usually a pass-through (the whole query was
+    #: pushed down); for R workloads it is the surrounding ML call.
+    remainder_description: str = "pass-through"
+    #: Optional remainder query executed at the cloud over the shipped data.
+    #: ``None`` means pass-through.  The cloud-only baseline plan sets this to
+    #: the original query so that all work happens at the top.
+    remainder_query: Optional[ast.Query] = None
+    #: Relation name under which the shipped data is registered at the cloud
+    #: before the remainder query runs.
+    remainder_input_alias: str = "d"
+    #: Name of the relation that finally leaves the apartment (d').
+    result_name: str = "d_prime"
+
+    @property
+    def original_sql(self) -> str:
+        """The original query as SQL text."""
+        return render(self.original_query)
+
+    @property
+    def pushed_down_levels(self) -> List[CapabilityLevel]:
+        """Levels used by the pushed-down fragments (bottom-up)."""
+        return [fragment.level for fragment in self.fragments]
+
+    def fragments_at(self, level: CapabilityLevel) -> List[QueryFragment]:
+        """All fragments requiring the given level."""
+        return [fragment for fragment in self.fragments if fragment.level == level]
+
+    @property
+    def deepest_pushdown(self) -> Optional[CapabilityLevel]:
+        """The least powerful level that received work (None when empty)."""
+        if not self.fragments:
+            return None
+        return max(self.pushed_down_levels, key=int)
+
+    def describe(self) -> List[Dict[str, str]]:
+        """Tabular description of the plan (one row per fragment)."""
+        rows = []
+        for fragment in self.fragments:
+            rows.append(
+                {
+                    "fragment": fragment.name,
+                    "level": fragment.level.short_name,
+                    "node": fragment.assigned_node or "",
+                    "input": fragment.input_name,
+                    "sql": fragment.sql,
+                    "description": fragment.description,
+                }
+            )
+        rows.append(
+            {
+                "fragment": "Q_delta",
+                "level": CapabilityLevel.E1_CLOUD.short_name,
+                "node": "cloud",
+                "input": self.fragments[-1].name if self.fragments else "d",
+                "sql": "",
+                "description": self.remainder_description,
+            }
+        )
+        return rows
+
+    def pretty(self) -> str:
+        """Multi-line, paper-style listing of the staged queries."""
+        lines = ["Vertical fragmentation plan:"]
+        for fragment in self.fragments:
+            node = f" @ {fragment.assigned_node}" if fragment.assigned_node else ""
+            lines.append(f"  [{fragment.level.short_name}{node}] {fragment.name}:")
+            lines.append(f"      {fragment.sql}")
+            if fragment.description:
+                lines.append(f"      -- {fragment.description}")
+        lines.append(f"  [E1 @ cloud] Q_delta: {self.remainder_description}")
+        return "\n".join(lines)

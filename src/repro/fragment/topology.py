@@ -1,0 +1,183 @@
+"""The node hierarchy of the smart environment.
+
+Figure 3 of the paper shows the peer chain: sensors feed appliances, which
+feed the apartment PC (local server), which feeds the provider's cloud.  A
+:class:`Topology` models that chain together with node capacities; the
+PArADISE processor walks it bottom-up when executing a fragment plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.fragment.capabilities import CapabilityClass, CapabilityLevel, capability_for
+
+
+@dataclass
+class Node:
+    """One processing node of the vertical architecture."""
+
+    name: str
+    level: CapabilityLevel
+    #: Relative CPU power; defaults to the level's typical power.
+    cpu_power: Optional[float] = None
+    #: Free main memory in MB, used for the preprocessor's capacity check.
+    free_memory_mb: float = 512.0
+    #: True when the node sits inside the user's apartment (its output never
+    #: "leaves the apartment"; only the edge towards the cloud is counted as
+    #: leaving).
+    inside_apartment: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cpu_power is None:
+            self.cpu_power = capability_for(self.level).relative_power
+
+    @property
+    def capability(self) -> CapabilityClass:
+        """The node's capability class."""
+        return capability_for(self.level)
+
+    def can_hold_rows(self, rows: int, bytes_per_row: float = 64.0) -> bool:
+        """Capacity check: do ``rows`` fit into the node's free memory?"""
+        return rows * bytes_per_row / (1024.0 * 1024.0) <= self.free_memory_mb
+
+
+class Topology:
+    """An ordered processing chain from the sensors up to the cloud."""
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._nodes = list(nodes)
+        if not self._nodes:
+            raise ValueError("Topology requires at least one node")
+        # Order from the least powerful (sensor) to the most powerful (cloud).
+        self._nodes.sort(key=lambda node: int(node.level), reverse=True)
+        names = [node.name for node in self._nodes]
+        if len(names) != len(set(names)):
+            raise ValueError("Node names must be unique")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def default_chain(
+        cls,
+        sensor_count: int = 1,
+        appliance_count: int = 1,
+        cloud_memory_mb: float = 1024 * 64,
+    ) -> "Topology":
+        """The canonical chain of Figure 3: sensors → appliance(s) → PC → cloud."""
+        nodes: List[Node] = []
+        for index in range(sensor_count):
+            nodes.append(
+                Node(
+                    name=f"sensor_{index}" if sensor_count > 1 else "sensor",
+                    level=CapabilityLevel.E4_SENSOR,
+                    free_memory_mb=1.0,
+                )
+            )
+        for index in range(appliance_count):
+            nodes.append(
+                Node(
+                    name=f"appliance_{index}" if appliance_count > 1 else "appliance",
+                    level=CapabilityLevel.E3_APPLIANCE,
+                    free_memory_mb=256.0,
+                )
+            )
+        nodes.append(Node(name="pc", level=CapabilityLevel.E2_PC, free_memory_mb=8192.0))
+        nodes.append(
+            Node(
+                name="cloud",
+                level=CapabilityLevel.E1_CLOUD,
+                free_memory_mb=cloud_memory_mb,
+                inside_apartment=False,
+            )
+        )
+        return cls(nodes)
+
+    @classmethod
+    def cloud_only(cls) -> "Topology":
+        """Degenerate topology used by the "no pushdown" ablation baseline."""
+        return cls(
+            [
+                Node(name="sensor", level=CapabilityLevel.E4_SENSOR, free_memory_mb=1.0),
+                Node(
+                    name="cloud",
+                    level=CapabilityLevel.E1_CLOUD,
+                    free_memory_mb=1024 * 64,
+                    inside_apartment=False,
+                ),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, least powerful first."""
+        return list(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> Node:
+        """Return the node with the given name."""
+        for node in self._nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"Unknown node: {name}")
+
+    @property
+    def levels(self) -> List[CapabilityLevel]:
+        """The distinct capability levels present, least powerful first."""
+        seen: List[CapabilityLevel] = []
+        for node in self._nodes:
+            if node.level not in seen:
+                seen.append(node.level)
+        return seen
+
+    def nodes_at(self, level: CapabilityLevel) -> List[Node]:
+        """All nodes of the given level."""
+        return [node for node in self._nodes if node.level == level]
+
+    def first_node_at_or_above(self, level: CapabilityLevel) -> Node:
+        """The least powerful node whose level is at least ``level``.
+
+        "At least" means equally or more powerful; when a level is absent from
+        the topology the next more powerful node takes over (the paper's rule
+        that a unit lacking power hands the work to a more powerful node).
+        """
+        for node in self._nodes:  # least powerful first
+            if node.level.is_at_least(level):
+                return node
+        return self._nodes[-1]
+
+    @property
+    def cloud(self) -> Node:
+        """The most powerful node (the query's origin)."""
+        return self._nodes[-1]
+
+    @property
+    def boundary_index(self) -> int:
+        """Index of the first node outside the apartment (data leaving point)."""
+        for index, node in enumerate(self._nodes):
+            if not node.inside_apartment:
+                return index
+        return len(self._nodes)
+
+    def describe(self) -> List[Dict[str, str]]:
+        """Tabular description used in reports and examples."""
+        return [
+            {
+                "node": node.name,
+                "level": node.level.short_name,
+                "system": node.capability.system,
+                "inside_apartment": str(node.inside_apartment),
+                "cpu_power": f"{node.cpu_power:g}",
+            }
+            for node in self._nodes
+        ]

@@ -1,0 +1,59 @@
+"""Privacy policies for smart environments.
+
+The paper bases its policy language on the W3C P3P draft, "but leaves out
+browser-specific details" and adds stream configuration (allowed query
+interval, aggregation levels).  A policy is organised per *module* (the
+consumer of the data, e.g. the ``ActionFilter`` activity-recognition module of
+Figure 4) and per *attribute*:
+
+* whether the attribute may be revealed at all (``allow``),
+* conditions that must hold on revealed tuples (``x > y``, ``z < 2``),
+* an optional mandatory aggregation (type, GROUP BY attributes, HAVING
+  condition) when the attribute may only leave in aggregated form,
+* stream settings such as the minimum query interval.
+
+Subpackages/modules:
+
+* :mod:`repro.policy.model` — dataclass model,
+* :mod:`repro.policy.xml_io` — parser/serializer for the XML dialect of
+  Figure 4,
+* :mod:`repro.policy.builder` — fluent programmatic construction,
+* :mod:`repro.policy.validation` — consistency checks,
+* :mod:`repro.policy.generator` — automatic generation/adaptation of policies
+  from relation schemas (the "automatic generation of privacy settings" box of
+  Figure 2),
+* :mod:`repro.policy.presets` — ready-made policies, including the exact
+  policy of Figure 4.
+"""
+
+from repro.policy.model import (
+    AggregationRule,
+    AttributeRule,
+    ModulePolicy,
+    PolicyError,
+    PrivacyPolicy,
+    StreamSettings,
+)
+from repro.policy.builder import PolicyBuilder
+from repro.policy.xml_io import parse_policy_xml, policy_to_xml
+from repro.policy.validation import PolicyIssue, validate_policy
+from repro.policy.generator import PolicyGenerator
+from repro.policy.presets import figure4_policy, open_policy, restrictive_policy
+
+__all__ = [
+    "AggregationRule",
+    "AttributeRule",
+    "ModulePolicy",
+    "PolicyError",
+    "PrivacyPolicy",
+    "StreamSettings",
+    "PolicyBuilder",
+    "parse_policy_xml",
+    "policy_to_xml",
+    "PolicyIssue",
+    "validate_policy",
+    "PolicyGenerator",
+    "figure4_policy",
+    "open_policy",
+    "restrictive_policy",
+]

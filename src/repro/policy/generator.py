@@ -1,0 +1,149 @@
+"""Automatic generation and adaptation of privacy policies.
+
+Figure 2 of the paper contains a module "for the automatic generation of
+privacy settings" that "produces and adapts existing user-defined privacy
+policies to new devices and changing requirements and queries" (detailed in
+the companion paper [GH15]).  :class:`PolicyGenerator` reproduces that
+behaviour on top of the schema classification carried by
+:class:`~repro.engine.schema.ColumnDef`:
+
+* identifying columns are denied,
+* sensitive columns are restricted to an aggregation (AVG grouped by the
+  quasi-identifiers, guarded by a minimum group size),
+* quasi-identifier columns are allowed with reduced precision,
+* everything else is allowed as-is.
+
+``adapt_to_query`` extends an existing policy when a new query references
+attributes the policy does not mention yet, using the same defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import DataType
+from repro.policy.model import (
+    AggregationRule,
+    AttributeRule,
+    ModulePolicy,
+    PrivacyPolicy,
+)
+from repro.sql import ast
+from repro.sql.analysis import analyze_query
+
+
+@dataclass
+class GeneratorSettings:
+    """Tunables of the automatic policy generator."""
+
+    #: Aggregate type imposed on sensitive numeric columns.
+    sensitive_aggregation: str = "AVG"
+    #: Minimum number of readings per group before a sensitive aggregate is
+    #: released (enforced through a ``HAVING COUNT(*) >= k`` condition).
+    minimum_group_size: int = 10
+    #: Decimal precision kept on quasi-identifier columns.
+    quasi_identifier_precision: int = 1
+    #: Minimum seconds between two queries of the same module.
+    query_interval_seconds: Optional[float] = 30.0
+    #: Deny unknown attributes by default.
+    default_allow: bool = False
+
+
+class PolicyGenerator:
+    """Generate and adapt :class:`~repro.policy.model.PrivacyPolicy` objects."""
+
+    def __init__(self, settings: Optional[GeneratorSettings] = None) -> None:
+        self.settings = settings or GeneratorSettings()
+
+    # ------------------------------------------------------------------
+    # generation from a schema
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        schema: Schema,
+        module_id: str,
+        owner: str = "user",
+    ) -> PrivacyPolicy:
+        """Generate a policy for ``module_id`` from a relation schema."""
+        module = ModulePolicy(module_id=module_id, default_allow=self.settings.default_allow)
+        module.stream_settings.query_interval_seconds = self.settings.query_interval_seconds
+        quasi_identifiers = [c.name for c in schema if c.quasi_identifier]
+        for column in schema:
+            module.add_rule(self._rule_for_column(column, quasi_identifiers))
+        policy = PrivacyPolicy(owner=owner)
+        policy.add_module(module)
+        return policy
+
+    def _rule_for_column(self, column: ColumnDef, quasi_identifiers: List[str]) -> AttributeRule:
+        if column.identifying:
+            return AttributeRule(name=column.name, allow=False)
+        if column.sensitive:
+            if column.data_type.is_numeric:
+                group_by = [name for name in quasi_identifiers if name != column.name]
+                aggregation = AggregationRule(
+                    aggregation_type=self.settings.sensitive_aggregation,
+                    group_by=group_by,
+                    having=f"COUNT(*) >= {self.settings.minimum_group_size}",
+                )
+                return AttributeRule(name=column.name, allow=True, aggregation=aggregation)
+            # Non-numeric sensitive columns (e.g. the activity label) are
+            # denied outright: there is no meaningful aggregate to hide behind.
+            return AttributeRule(name=column.name, allow=False)
+        if column.quasi_identifier:
+            return AttributeRule(
+                name=column.name,
+                allow=True,
+                max_precision=self.settings.quasi_identifier_precision,
+            )
+        return AttributeRule(name=column.name, allow=True)
+
+    # ------------------------------------------------------------------
+    # adaptation to new queries / devices
+    # ------------------------------------------------------------------
+    def adapt_to_query(
+        self,
+        policy: PrivacyPolicy,
+        module_id: str,
+        query: ast.Query,
+        schema: Optional[Schema] = None,
+    ) -> List[str]:
+        """Extend ``policy`` with rules for attributes the query introduces.
+
+        Returns the list of attribute names for which new rules were created.
+        Existing rules are never weakened.
+        """
+        module = policy.module(module_id)
+        features = analyze_query(query)
+        added: List[str] = []
+        quasi_identifiers = (
+            [c.name for c in schema if c.quasi_identifier] if schema is not None else []
+        )
+        for column_name in sorted(features.columns):
+            if module.rule_for(column_name) is not None:
+                continue
+            column = None
+            if schema is not None and column_name in schema:
+                column = schema.column(column_name)
+            if column is None:
+                column = ColumnDef(name=column_name, data_type=DataType.FLOAT)
+            module.add_rule(self._rule_for_column(column, quasi_identifiers))
+            added.append(column_name)
+        return added
+
+    def adapt_to_device(
+        self,
+        policy: PrivacyPolicy,
+        module_id: str,
+        device_schema: Schema,
+    ) -> List[str]:
+        """Extend ``policy`` with rules for the columns of a newly added device."""
+        module = policy.module(module_id)
+        quasi_identifiers = [c.name for c in device_schema if c.quasi_identifier]
+        added: List[str] = []
+        for column in device_schema:
+            if module.rule_for(column.name) is None:
+                module.add_rule(self._rule_for_column(column, quasi_identifiers))
+                added.append(column.name)
+        return added

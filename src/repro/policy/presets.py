@@ -1,0 +1,83 @@
+"""Ready-made policies used by the examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from repro.policy.builder import PolicyBuilder
+from repro.policy.model import PrivacyPolicy
+from repro.policy.xml_io import parse_policy_xml
+
+#: The exact policy of Figure 4 of the paper (ActionFilter module), as XML.
+FIGURE4_POLICY_XML = """\
+<module module_ID="ActionFilter">
+  <attributeList>
+    <attribute name="x">
+      <allow>true</allow>
+      <condition>
+        <atomicCondition>x&gt;y</atomicCondition>
+      </condition>
+    </attribute>
+    <attribute name="y">
+      <allow>true</allow>
+    </attribute>
+    <attribute name="z">
+      <allow>true</allow>
+      <condition>
+        <atomicCondition>z&lt;2</atomicCondition>
+      </condition>
+      <aggregation>
+        <aggregationType>AVG</aggregationType>
+        <groupBy>x, y</groupBy>
+        <having>SUM(z)&gt;100</having>
+      </aggregation>
+    </attribute>
+    <attribute name="t">
+      <allow>true</allow>
+    </attribute>
+  </attributeList>
+</module>
+"""
+
+
+def figure4_policy() -> PrivacyPolicy:
+    """The policy of Figure 4, parsed from its XML representation.
+
+    Two privacy claims are given: the x-value has to be greater than the
+    y-value at any time; the z-value has to be less than 2 and may only appear
+    as an AVG aggregation grouped by x and y with ``SUM(z) > 100`` per group.
+    """
+    return parse_policy_xml(FIGURE4_POLICY_XML)
+
+
+def open_policy(module_id: str = "ActionFilter") -> PrivacyPolicy:
+    """A policy that allows everything (the 'no privacy' baseline)."""
+    return PolicyBuilder(owner="user").module(module_id, default_allow=True).build()
+
+
+def restrictive_policy(module_id: str = "ActionFilter") -> PrivacyPolicy:
+    """A policy for the running example that protects the identity columns.
+
+    Compared to :func:`figure4_policy` it additionally denies ``person_id``
+    and the ground-truth ``activity`` label and forbids querying the raw
+    UbiSense table (substituting the coarser SensFloor readings), exercising
+    the FROM-clause substitution rule of the preprocessor.
+    """
+    return (
+        PolicyBuilder(owner="resident")
+        .module(module_id)
+        .deny("person_id")
+        .deny("activity")
+        .allow("x", condition="x > y")
+        .allow("y")
+        .allow(
+            "z",
+            condition="z < 2",
+            aggregation="AVG",
+            group_by=["x", "y"],
+            having="SUM(z) > 100",
+        )
+        .allow("t")
+        .allow("valid")
+        .substitute_relation("ubisense", "sensfloor")
+        .query_interval(60.0)
+        .build()
+    )

@@ -1,0 +1,178 @@
+"""Consistency checks for privacy policies.
+
+The preprocessor refuses to rewrite queries against a policy that is
+internally inconsistent (conditions that do not parse, aggregations grouped by
+denied attributes, HAVING clauses referencing attributes without rules...).
+``validate_policy`` returns the full list of issues so that policy authors can
+fix them in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.policy.model import ModulePolicy, PrivacyPolicy
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse_expression
+from repro.sql.visitor import collect_column_names
+
+
+@dataclass(frozen=True)
+class PolicyIssue:
+    """One validation finding."""
+
+    module_id: str
+    attribute: Optional[str]
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        scope = f"{self.module_id}.{self.attribute}" if self.attribute else self.module_id
+        return f"[{self.severity}] {scope}: {self.message}"
+
+
+def validate_policy(policy: PrivacyPolicy) -> List[PolicyIssue]:
+    """Validate every module of ``policy`` and return all issues found."""
+    issues: List[PolicyIssue] = []
+    if not policy.modules:
+        issues.append(
+            PolicyIssue(module_id="<policy>", attribute=None, severity="error",
+                        message="policy defines no module")
+        )
+    for module in policy.modules.values():
+        issues.extend(_validate_module(module))
+    return issues
+
+
+def has_errors(issues: List[PolicyIssue]) -> bool:
+    """Return True when at least one issue has severity ``error``."""
+    return any(issue.severity == "error" for issue in issues)
+
+
+def _validate_module(module: ModulePolicy) -> List[PolicyIssue]:
+    issues: List[PolicyIssue] = []
+    if not module.attributes and not module.default_allow:
+        issues.append(
+            PolicyIssue(
+                module_id=module.module_id,
+                attribute=None,
+                severity="warning",
+                message="module allows no attribute at all; every query will be rejected",
+            )
+        )
+
+    known = {name.lower() for name in module.attributes}
+
+    for rule in module.attributes.values():
+        issues.extend(_validate_conditions(module, rule.name, rule.conditions, known))
+        if rule.aggregation is None:
+            continue
+        aggregation = rule.aggregation
+        for group_attribute in aggregation.group_by:
+            lowered = group_attribute.lower()
+            if lowered in known and not module.attributes[lowered].allow:
+                issues.append(
+                    PolicyIssue(
+                        module_id=module.module_id,
+                        attribute=rule.name,
+                        severity="error",
+                        message=(
+                            f"aggregation groups by denied attribute '{group_attribute}'"
+                        ),
+                    )
+                )
+            if lowered not in known and not module.default_allow:
+                issues.append(
+                    PolicyIssue(
+                        module_id=module.module_id,
+                        attribute=rule.name,
+                        severity="warning",
+                        message=(
+                            f"aggregation groups by attribute '{group_attribute}' "
+                            "that has no policy rule"
+                        ),
+                    )
+                )
+        if aggregation.having is not None:
+            issues.extend(
+                _validate_conditions(module, rule.name, [aggregation.having], known,
+                                     context="HAVING condition")
+            )
+        if not rule.allow:
+            issues.append(
+                PolicyIssue(
+                    module_id=module.module_id,
+                    attribute=rule.name,
+                    severity="warning",
+                    message="aggregation specified for a denied attribute is ignored",
+                )
+            )
+
+    interval = module.stream_settings.query_interval_seconds
+    if interval is not None and interval < 0:
+        issues.append(
+            PolicyIssue(
+                module_id=module.module_id,
+                attribute=None,
+                severity="error",
+                message="query interval must be non-negative",
+            )
+        )
+    window = module.stream_settings.max_aggregation_window_seconds
+    if window is not None and window <= 0:
+        issues.append(
+            PolicyIssue(
+                module_id=module.module_id,
+                attribute=None,
+                severity="error",
+                message="maximum aggregation window must be positive",
+            )
+        )
+    return issues
+
+
+def _validate_conditions(
+    module: ModulePolicy,
+    attribute: str,
+    conditions: List[str],
+    known_attributes: set,
+    context: str = "condition",
+) -> List[PolicyIssue]:
+    issues: List[PolicyIssue] = []
+    for condition in conditions:
+        try:
+            expression = parse_expression(condition)
+        except SqlError as exc:
+            issues.append(
+                PolicyIssue(
+                    module_id=module.module_id,
+                    attribute=attribute,
+                    severity="error",
+                    message=f"{context} does not parse: {condition!r} ({exc})",
+                )
+            )
+            continue
+        for referenced in collect_column_names(expression):
+            if referenced not in known_attributes and not module.default_allow:
+                issues.append(
+                    PolicyIssue(
+                        module_id=module.module_id,
+                        attribute=attribute,
+                        severity="warning",
+                        message=(
+                            f"{context} references attribute '{referenced}' "
+                            "that has no policy rule"
+                        ),
+                    )
+                )
+            elif referenced in known_attributes and not module.attributes[referenced].allow:
+                issues.append(
+                    PolicyIssue(
+                        module_id=module.module_id,
+                        attribute=attribute,
+                        severity="error",
+                        message=f"{context} references denied attribute '{referenced}'",
+                    )
+                )
+    return issues

@@ -1,0 +1,224 @@
+"""XML serialisation of privacy policies.
+
+The format mirrors Figure 4 of the paper:
+
+.. code-block:: xml
+
+    <policy owner="user">
+      <module module_ID="ActionFilter">
+        <queryInterval>60</queryInterval>
+        <attributeList>
+          <attribute name="x">
+            <allow>true</allow>
+            <condition><atomicCondition>x&gt;y</atomicCondition></condition>
+          </attribute>
+          <attribute name="z">
+            <allow>true</allow>
+            <condition><atomicCondition>z&lt;2</atomicCondition></condition>
+            <aggregation>
+              <aggregationType>AVG</aggregationType>
+              <groupBy>x, y</groupBy>
+              <having>SUM(z)&gt;100</having>
+            </aggregation>
+          </attribute>
+        </attributeList>
+      </module>
+    </policy>
+
+A document whose root element is ``<module>`` (exactly the fragment printed in
+the paper) is accepted as well and yields a policy with that single module.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import List, Optional
+
+from repro.policy.model import (
+    AggregationRule,
+    AttributeRule,
+    ModulePolicy,
+    PolicyError,
+    PrivacyPolicy,
+    StreamSettings,
+)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_policy_xml(text: str) -> PrivacyPolicy:
+    """Parse a policy document (or a single ``<module>`` fragment)."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise PolicyError(f"Malformed policy XML: {exc}") from exc
+
+    if root.tag == "module":
+        policy = PrivacyPolicy(owner="user")
+        policy.add_module(_parse_module(root))
+        return policy
+    if root.tag != "policy":
+        raise PolicyError(f"Unexpected root element: <{root.tag}>")
+
+    policy = PrivacyPolicy(owner=root.get("owner", "user"))
+    for module_element in root.findall("module"):
+        policy.add_module(_parse_module(module_element))
+    return policy
+
+
+def _parse_module(element: ElementTree.Element) -> ModulePolicy:
+    module_id = element.get("module_ID") or element.get("module_id")
+    if not module_id:
+        raise PolicyError("<module> requires a module_ID attribute")
+
+    module = ModulePolicy(module_id=module_id)
+    module.default_allow = _parse_bool(element.findtext("defaultAllow"), default=False)
+
+    module.stream_settings = StreamSettings(
+        query_interval_seconds=_parse_float(element.findtext("queryInterval")),
+        max_aggregation_window_seconds=_parse_float(element.findtext("maxAggregationWindow")),
+        allowed_aggregation_levels=_parse_levels(element.findtext("aggregationLevels")),
+    )
+
+    for substitution in element.findall("relationSubstitution"):
+        source = substitution.get("from")
+        target = substitution.get("to")
+        if not source or not target:
+            raise PolicyError("<relationSubstitution> requires from and to attributes")
+        module.relation_substitutions[source.lower()] = target
+
+    attribute_list = element.find("attributeList")
+    if attribute_list is not None:
+        for attribute_element in attribute_list.findall("attribute"):
+            module.add_rule(_parse_attribute(attribute_element))
+    return module
+
+
+def _parse_attribute(element: ElementTree.Element) -> AttributeRule:
+    name = element.get("name")
+    if not name:
+        raise PolicyError("<attribute> requires a name attribute")
+    allow = _parse_bool(element.findtext("allow"), default=True)
+
+    conditions: List[str] = []
+    for condition_element in element.findall("condition"):
+        for atomic in condition_element.findall("atomicCondition"):
+            if atomic.text and atomic.text.strip():
+                conditions.append(atomic.text.strip())
+
+    aggregation: Optional[AggregationRule] = None
+    aggregation_element = element.find("aggregation")
+    if aggregation_element is not None:
+        aggregation_type = (aggregation_element.findtext("aggregationType") or "").strip()
+        if not aggregation_type:
+            raise PolicyError(f"Attribute {name}: <aggregation> requires an aggregationType")
+        group_by_text = aggregation_element.findtext("groupBy") or ""
+        having_text = aggregation_element.findtext("having")
+        aggregation = AggregationRule(
+            aggregation_type=aggregation_type,
+            group_by=[part.strip() for part in group_by_text.split(",") if part.strip()],
+            having=having_text.strip() if having_text else None,
+        )
+
+    max_precision = element.findtext("maxPrecision")
+    return AttributeRule(
+        name=name,
+        allow=allow,
+        conditions=conditions,
+        aggregation=aggregation,
+        max_precision=int(max_precision) if max_precision else None,
+    )
+
+
+def _parse_bool(text: Optional[str], default: bool) -> bool:
+    if text is None:
+        return default
+    return text.strip().lower() in {"true", "1", "yes"}
+
+
+def _parse_float(text: Optional[str]) -> Optional[float]:
+    if text is None or not text.strip():
+        return None
+    return float(text.strip())
+
+
+def _parse_levels(text: Optional[str]) -> List[str]:
+    if not text or not text.strip():
+        return ["window"]
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+
+
+def policy_to_xml(policy: PrivacyPolicy, pretty: bool = True) -> str:
+    """Serialise ``policy`` back into the XML dialect above."""
+    root = ElementTree.Element("policy", attrib={"owner": policy.owner})
+    for module in policy.modules.values():
+        root.append(_module_to_element(module))
+    if pretty:
+        ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def _module_to_element(module: ModulePolicy) -> ElementTree.Element:
+    element = ElementTree.Element("module", attrib={"module_ID": module.module_id})
+    if module.default_allow:
+        ElementTree.SubElement(element, "defaultAllow").text = "true"
+
+    settings = module.stream_settings
+    if settings.query_interval_seconds is not None:
+        ElementTree.SubElement(element, "queryInterval").text = _format_number(
+            settings.query_interval_seconds
+        )
+    if settings.max_aggregation_window_seconds is not None:
+        ElementTree.SubElement(element, "maxAggregationWindow").text = _format_number(
+            settings.max_aggregation_window_seconds
+        )
+    if settings.allowed_aggregation_levels != ["window"]:
+        ElementTree.SubElement(element, "aggregationLevels").text = ", ".join(
+            settings.allowed_aggregation_levels
+        )
+
+    for source, target in module.relation_substitutions.items():
+        ElementTree.SubElement(
+            element, "relationSubstitution", attrib={"from": source, "to": target}
+        )
+
+    attribute_list = ElementTree.SubElement(element, "attributeList")
+    for rule in module.attributes.values():
+        attribute_list.append(_attribute_to_element(rule))
+    return element
+
+
+def _attribute_to_element(rule: AttributeRule) -> ElementTree.Element:
+    element = ElementTree.Element("attribute", attrib={"name": rule.name})
+    ElementTree.SubElement(element, "allow").text = "true" if rule.allow else "false"
+    for condition in rule.conditions:
+        condition_element = ElementTree.SubElement(element, "condition")
+        ElementTree.SubElement(condition_element, "atomicCondition").text = condition
+    if rule.aggregation is not None:
+        aggregation_element = ElementTree.SubElement(element, "aggregation")
+        ElementTree.SubElement(aggregation_element, "aggregationType").text = (
+            rule.aggregation.aggregation_type
+        )
+        if rule.aggregation.group_by:
+            ElementTree.SubElement(aggregation_element, "groupBy").text = ", ".join(
+                rule.aggregation.group_by
+            )
+        if rule.aggregation.having:
+            ElementTree.SubElement(aggregation_element, "having").text = rule.aggregation.having
+    if rule.max_precision is not None:
+        ElementTree.SubElement(element, "maxPrecision").text = str(rule.max_precision)
+    return element
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return str(value)

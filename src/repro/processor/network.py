@@ -1,0 +1,149 @@
+"""Simulated peer network of the vertical architecture.
+
+Every node of the :class:`~repro.fragment.topology.Topology` owns its own
+in-memory :class:`~repro.engine.database.Database`.  Raw sensor data lives on
+the sensor node; query fragments execute bottom-up and their results are
+*shipped* to the node that runs the next fragment.  Every shipment is recorded
+in the :class:`TransferLog`, which is what the Figure 3 benchmark measures:
+how many rows/bytes travel on each hop and, in particular, how much data
+crosses the apartment boundary towards the cloud (``d`` vs ``d'``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.database import Database
+from repro.engine.table import Relation
+from repro.fragment.topology import Node, Topology
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One shipment of a relation between two nodes."""
+
+    source: str
+    target: str
+    relation_name: str
+    rows: int
+    bytes: int
+    leaves_apartment: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "  [leaves apartment]" if self.leaves_apartment else ""
+        return f"{self.source} -> {self.target}: {self.relation_name} ({self.rows} rows, {self.bytes} bytes){marker}"
+
+
+@dataclass
+class TransferLog:
+    """All shipments of one processing run."""
+
+    transfers: List[Transfer] = field(default_factory=list)
+
+    def record(self, transfer: Transfer) -> None:
+        """Append one transfer."""
+        self.transfers.append(transfer)
+
+    @property
+    def total_rows(self) -> int:
+        """Total rows moved across all hops."""
+        return sum(transfer.rows for transfer in self.transfers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved across all hops."""
+        return sum(transfer.bytes for transfer in self.transfers)
+
+    @property
+    def rows_leaving_apartment(self) -> int:
+        """Rows that crossed the apartment boundary (shipped to the cloud)."""
+        return sum(t.rows for t in self.transfers if t.leaves_apartment)
+
+    @property
+    def bytes_leaving_apartment(self) -> int:
+        """Bytes that crossed the apartment boundary."""
+        return sum(t.bytes for t in self.transfers if t.leaves_apartment)
+
+    def by_hop(self) -> List[Dict[str, object]]:
+        """Tabular per-hop summary."""
+        return [
+            {
+                "source": t.source,
+                "target": t.target,
+                "relation": t.relation_name,
+                "rows": t.rows,
+                "bytes": t.bytes,
+                "leaves_apartment": t.leaves_apartment,
+            }
+            for t in self.transfers
+        ]
+
+
+class NetworkSimulator:
+    """Holds the per-node databases and performs shipments."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._databases: Dict[str, Database] = {
+            node.name: Database(name=node.name) for node in topology
+        }
+        self.log = TransferLog()
+
+    # ------------------------------------------------------------------
+    # data placement
+    # ------------------------------------------------------------------
+    def database(self, node_name: str) -> Database:
+        """Return the database of ``node_name``."""
+        if node_name not in self._databases:
+            raise KeyError(f"Unknown node: {node_name}")
+        return self._databases[node_name]
+
+    def load_sensor_data(self, relation: Relation, table_name: str = "d") -> None:
+        """Place raw sensor data on the lowest node (the sensor itself)."""
+        sensor = self.topology.nodes[0]
+        database = self.database(sensor.name)
+        database.register(table_name, relation)
+        # "SELECT * FROM stream" of the use case reads the sensor's own stream.
+        if table_name != "stream":
+            database.register("stream", relation)
+
+    def load_device_tables(self, tables: Dict[str, Relation]) -> None:
+        """Register every device table on the sensor node."""
+        sensor = self.topology.nodes[0]
+        database = self.database(sensor.name)
+        for name, relation in tables.items():
+            database.register(name, relation)
+
+    # ------------------------------------------------------------------
+    # shipping
+    # ------------------------------------------------------------------
+    def ship(
+        self,
+        relation: Relation,
+        relation_name: str,
+        source: str,
+        target: str,
+    ) -> None:
+        """Ship ``relation`` from ``source`` to ``target`` and register it there."""
+        if source == target:
+            self.database(target).register(relation_name, relation)
+            return
+        source_node = self.topology.node(source)
+        target_node = self.topology.node(target)
+        leaves = source_node.inside_apartment and not target_node.inside_apartment
+        self.log.record(
+            Transfer(
+                source=source,
+                target=target,
+                relation_name=relation_name,
+                rows=len(relation),
+                bytes=relation.estimated_bytes(),
+                leaves_apartment=leaves,
+            )
+        )
+        self.database(target).register(relation_name, relation)
+
+    def reset_log(self) -> None:
+        """Clear the transfer log (databases keep their contents)."""
+        self.log = TransferLog()

@@ -1,0 +1,249 @@
+"""The PArADISE privacy-aware query processor.
+
+A :class:`ParadiseProcessor` run performs the full pipeline of Figures 2/3:
+
+1. **Admission** — the preprocessor checks the query against the module's
+   policy (coverage, information gain, capacity, query interval).
+2. **Rewriting** — disallowed attributes are removed, relations substituted,
+   policy conditions and mandatory aggregations injected.
+3. **Vertical fragmentation** — the rewritten query is split into fragments
+   assigned to the lowest capable nodes of the topology.
+4. **Distributed execution** — fragments run bottom-up on the per-node
+   databases; intermediate results are shipped hop by hop and logged.
+5. **Postprocessing** — before the result crosses the apartment boundary, the
+   anonymization step ``A`` runs on the most powerful in-apartment node.
+6. **Remainder** — the cloud receives only ``d'`` and runs the remainder
+   (for R workloads the surrounding ML call; for plain SQL a pass-through or
+   the original query in the no-pushdown baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Union
+
+from repro.anonymize.anonymizer import Anonymizer
+from repro.engine.schema import Schema
+from repro.engine.table import Relation
+from repro.fragment.fragmenter import VerticalFragmenter
+from repro.fragment.plan import FragmentPlan
+from repro.fragment.topology import Topology
+from repro.policy.model import PrivacyPolicy
+from repro.processor.network import NetworkSimulator
+from repro.processor.result import FragmentExecution, ProcessingResult
+from repro.rewrite.analyzer import NodeCapacity, PolicyAnalyzer
+from repro.rewrite.rewriter import QueryRewriter
+from repro.rlang.sqlable import RQueryExtraction, extract_sql_from_r
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class ParadiseProcessor:
+    """End-to-end privacy-aware query processing over a simulated environment."""
+
+    def __init__(
+        self,
+        policy: PrivacyPolicy,
+        topology: Optional[Topology] = None,
+        schema: Optional[Schema] = None,
+        anonymizer: Optional[Anonymizer] = None,
+        minimum_information_gain: float = 0.25,
+        enforce_query_interval: bool = False,
+    ) -> None:
+        self.policy = policy
+        self.topology = topology or Topology.default_chain()
+        self.schema = schema
+        self.network = NetworkSimulator(self.topology)
+        self.analyzer = PolicyAnalyzer(
+            policy, minimum_information_gain=minimum_information_gain
+        )
+        self.rewriter = QueryRewriter(policy, schema=schema)
+        self.fragmenter = VerticalFragmenter(self.topology)
+        self.anonymizer = anonymizer or Anonymizer(algorithm="k_anonymity", k=5)
+        self.enforce_query_interval = enforce_query_interval
+
+    # ------------------------------------------------------------------
+    # data placement
+    # ------------------------------------------------------------------
+    def load_data(self, relation: Relation, table_name: str = "d") -> None:
+        """Load the integrated sensor relation onto the sensor node."""
+        self.network.load_sensor_data(relation, table_name=table_name)
+
+    def load_device_tables(self, tables: Dict[str, Relation]) -> None:
+        """Load per-device tables onto the sensor node."""
+        self.network.load_device_tables(tables)
+
+    # ------------------------------------------------------------------
+    # main entry points
+    # ------------------------------------------------------------------
+    def process_r(self, r_code: str, module_id: str, **kwargs) -> ProcessingResult:
+        """Process an R analysis script containing an embedded SQL query."""
+        extraction = extract_sql_from_r(r_code)
+        result = self.process(extraction.sql, module_id, **kwargs)
+        result.remainder_call = extraction.residual_call("d_prime")
+        return result
+
+    def process(
+        self,
+        query: Union[str, ast.Query],
+        module_id: str,
+        anonymize: bool = True,
+        pushdown: bool = True,
+        apply_rewriting: bool = True,
+    ) -> ProcessingResult:
+        """Process a SQL query end to end.
+
+        Args:
+            query: SQL text or parsed query AST.
+            module_id: The requesting module (must have a policy, unless
+                rewriting is disabled for a baseline run).
+            anonymize: Apply the postprocessing anonymization step ``A``.
+            pushdown: Use vertical fragmentation; ``False`` ships the raw data
+                to the cloud (the ablation baseline).
+            apply_rewriting: Apply the policy-driven rewriting; ``False`` is
+                the "no privacy" baseline.
+        """
+        started = time.perf_counter()
+        parsed = parse(query) if isinstance(query, str) else query
+        raw_rows = self._raw_input_rows()
+
+        result = ProcessingResult(module_id=module_id, admitted=True, raw_input_rows=raw_rows)
+        self.network.reset_log()
+
+        # 1. admission + 2. rewriting
+        working_query = parsed
+        if apply_rewriting:
+            sensor_node = self.topology.nodes[0]
+            admission = self.analyzer.admit(
+                parsed,
+                module_id,
+                estimated_rows=raw_rows,
+                capacity=NodeCapacity(
+                    cpu_power=sensor_node.cpu_power or 1.0,
+                    free_memory_mb=self.topology.cloud.free_memory_mb,
+                ),
+                enforce_interval=self.enforce_query_interval,
+            )
+            result.admission = admission
+            if not admission.admitted:
+                result.admitted = False
+                result.elapsed_seconds = time.perf_counter() - started
+                return result
+            rewrite = self.rewriter.rewrite(parsed, module_id)
+            result.rewrite = rewrite
+            if not rewrite.compliant:
+                result.admitted = False
+                result.elapsed_seconds = time.perf_counter() - started
+                return result
+            working_query = rewrite.query
+
+        # 3. fragmentation
+        if pushdown:
+            plan = self.fragmenter.fragment(working_query)
+        else:
+            plan = self.fragmenter.cloud_only_plan(working_query)
+        result.plan = plan
+
+        # 4. distributed execution + 5. anonymization + 6. remainder
+        final = self._execute_plan(plan, result, anonymize=anonymize)
+        result.result = final
+        result.transfers = self.network.log
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+    def _execute_plan(
+        self, plan: FragmentPlan, result: ProcessingResult, anonymize: bool
+    ) -> Relation:
+        sensor_name = self.topology.nodes[0].name
+        current_node = sensor_name
+        current_relation: Optional[Relation] = None
+
+        for fragment in plan.fragments:
+            target_node = fragment.assigned_node or self.topology.cloud.name
+            # Ship the previous intermediate result to the node that needs it.
+            if current_relation is not None:
+                self.network.ship(
+                    current_relation, fragment.input_name, current_node, target_node
+                )
+            database = self.network.database(target_node)
+            input_rows = (
+                len(current_relation)
+                if current_relation is not None
+                else self._raw_input_rows()
+            )
+            fragment_started = time.perf_counter()
+            current_relation = database.query(fragment.query)
+            elapsed = time.perf_counter() - fragment_started
+            current_relation.name = fragment.name
+            database.register(fragment.name, current_relation)
+            result.executions.append(
+                FragmentExecution(
+                    fragment_name=fragment.name,
+                    node=target_node,
+                    level=fragment.level.short_name,
+                    sql=fragment.sql,
+                    input_rows=input_rows,
+                    output_rows=len(current_relation),
+                    elapsed_seconds=elapsed,
+                )
+            )
+            current_node = target_node
+
+        if current_relation is None:
+            current_relation = Relation.from_rows([], name="d_prime")
+
+        # 5. anonymization step A on the last in-apartment node.
+        if anonymize:
+            boundary_node = self._last_inside_node(current_node)
+            outcome = self.anonymizer.anonymize(
+                current_relation,
+                node_cpu_power=self.topology.node(boundary_node).cpu_power or 1.0,
+            )
+            result.anonymization = outcome
+            current_relation = outcome.relation
+
+        # 6. ship d' to the cloud and run the remainder there.
+        cloud = self.topology.cloud.name
+        if current_node != cloud:
+            self.network.ship(current_relation, plan.result_name, current_node, cloud)
+            current_node = cloud
+        if plan.remainder_query is not None:
+            database = self.network.database(cloud)
+            database.register(plan.remainder_input_alias, current_relation)
+            remainder_started = time.perf_counter()
+            current_relation = database.query(plan.remainder_query)
+            elapsed = time.perf_counter() - remainder_started
+            result.executions.append(
+                FragmentExecution(
+                    fragment_name="Q_delta",
+                    node=cloud,
+                    level="E1",
+                    sql=plan.remainder_description,
+                    input_rows=len(current_relation),
+                    output_rows=len(current_relation),
+                    elapsed_seconds=elapsed,
+                )
+            )
+        current_relation.name = "d_prime"
+        return current_relation
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _raw_input_rows(self) -> int:
+        sensor = self.topology.nodes[0]
+        database = self.network.database(sensor.name)
+        if "d" in database:
+            return len(database.table("d"))
+        return database.total_rows()
+
+    def _last_inside_node(self, current_node: str) -> str:
+        node = self.topology.node(current_node)
+        if node.inside_apartment:
+            return current_node
+        # Fall back to the most powerful in-apartment node.
+        inside = [n for n in self.topology.nodes if n.inside_apartment]
+        return inside[-1].name if inside else current_node

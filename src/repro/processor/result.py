@@ -1,0 +1,104 @@
+"""Result objects of a PArADISE processing run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.anonymize.anonymizer import AnonymizationOutcome
+from repro.engine.table import Relation
+from repro.fragment.plan import FragmentPlan
+from repro.processor.network import TransferLog
+from repro.rewrite.analyzer import AdmissionDecision
+from repro.rewrite.rewriter import RewriteResult
+
+
+@dataclass
+class FragmentExecution:
+    """Execution record of one fragment on one node."""
+
+    fragment_name: str
+    node: str
+    level: str
+    sql: str
+    input_rows: int
+    output_rows: int
+    elapsed_seconds: float
+
+    @property
+    def selectivity(self) -> float:
+        """Output rows divided by input rows (1.0 when the input was empty)."""
+        if self.input_rows == 0:
+            return 1.0
+        return self.output_rows / self.input_rows
+
+
+@dataclass
+class ProcessingResult:
+    """Everything a :class:`~repro.processor.paradise.ParadiseProcessor` run yields."""
+
+    module_id: str
+    admitted: bool
+    admission: Optional[AdmissionDecision] = None
+    rewrite: Optional[RewriteResult] = None
+    plan: Optional[FragmentPlan] = None
+    executions: List[FragmentExecution] = field(default_factory=list)
+    transfers: Optional[TransferLog] = None
+    result: Optional[Relation] = None
+    anonymization: Optional[AnonymizationOutcome] = None
+    raw_input_rows: int = 0
+    elapsed_seconds: float = 0.0
+    #: The residual analysis call executed at the cloud (for R workloads).
+    remainder_call: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # derived measures used by benchmarks and examples
+    # ------------------------------------------------------------------
+    @property
+    def rows_leaving_apartment(self) -> int:
+        """Rows shipped across the apartment boundary."""
+        if self.transfers is None:
+            return 0
+        return self.transfers.rows_leaving_apartment
+
+    @property
+    def bytes_leaving_apartment(self) -> int:
+        """Bytes shipped across the apartment boundary."""
+        if self.transfers is None:
+            return 0
+        return self.transfers.bytes_leaving_apartment
+
+    @property
+    def data_reduction_ratio(self) -> float:
+        """Raw input rows divided by rows leaving the apartment (>= 1)."""
+        leaving = self.rows_leaving_apartment
+        if leaving == 0:
+            return float("inf") if self.raw_input_rows > 0 else 1.0
+        return self.raw_input_rows / leaving
+
+    def summary(self) -> str:
+        """Multi-line human-readable report of the run."""
+        lines = [f"PArADISE processing result for module '{self.module_id}':"]
+        lines.append(f"  admitted: {self.admitted}")
+        if self.admission is not None and not self.admitted:
+            lines.append(f"  reasons: {'; '.join(self.admission.reasons)}")
+            return "\n".join(lines)
+        if self.rewrite is not None:
+            lines.append(f"  rewritten query: {self.rewrite.sql}")
+        for execution in self.executions:
+            lines.append(
+                f"  [{execution.level} @ {execution.node}] {execution.fragment_name}: "
+                f"{execution.input_rows} -> {execution.output_rows} rows "
+                f"({execution.elapsed_seconds * 1000:.1f} ms)"
+            )
+        if self.transfers is not None:
+            lines.append(
+                f"  data leaving apartment: {self.rows_leaving_apartment} rows / "
+                f"{self.bytes_leaving_apartment} bytes "
+                f"(reduction x{self.data_reduction_ratio:.1f} over {self.raw_input_rows} raw rows)"
+            )
+        if self.anonymization is not None:
+            lines.append("  " + self.anonymization.summary().replace("\n", "\n  "))
+        if self.remainder_call:
+            lines.append(f"  cloud remainder: {self.remainder_call}")
+        return "\n".join(lines)

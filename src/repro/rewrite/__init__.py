@@ -1,0 +1,39 @@
+"""Privacy-aware query rewriting (the preprocessor of Figure 2).
+
+Given an incoming analysis query and the privacy policy of the requesting
+module, the rewriter applies the transformation rules of Section 3.1 / 4.2 of
+the paper:
+
+* attributes the user does not reveal are removed from the SELECT clause,
+* relations that release too much information are substituted in the FROM
+  clause,
+* policy conditions are combined conjunctively with the query's WHERE clause
+  and placed in the innermost possible subquery,
+* attributes that may only leave in aggregated form are rewritten to the
+  mandated aggregation (GROUP BY / HAVING), and the new attribute names are
+  delegated to the outer queries.
+
+:class:`~repro.rewrite.rewriter.QueryRewriter` performs the transformation;
+:class:`~repro.rewrite.analyzer.PolicyAnalyzer` performs the admission checks
+(are the requested attributes covered at all, is the query interval
+respected, does enough information remain for the analysis to be useful).
+"""
+
+from repro.rewrite.report import RewriteAction, RewriteReport
+from repro.rewrite.analyzer import AdmissionDecision, PolicyAnalyzer, QueryPolicyAnalysis
+from repro.rewrite.rewriter import QueryRewriter, RewriteError, RewriteResult
+from repro.rewrite.containment import ContainmentVerdict, check_leakage, describe_view
+
+__all__ = [
+    "RewriteAction",
+    "RewriteReport",
+    "AdmissionDecision",
+    "PolicyAnalyzer",
+    "QueryPolicyAnalysis",
+    "QueryRewriter",
+    "RewriteError",
+    "RewriteResult",
+    "ContainmentVerdict",
+    "check_leakage",
+    "describe_view",
+]

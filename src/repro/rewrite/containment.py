@@ -1,0 +1,325 @@
+"""Conservative query-containment / leakage analysis.
+
+The paper closes with an open problem: "A remaining open problem is to decide
+whether a privacy-violating query Q↓ can be performed even on d' instead of d.
+In this case, we have to extend the anonymization step A already performed.
+This open problem results in a query containment problem."
+
+Full query containment is NP-hard already for conjunctive queries and
+undecidable in the general SQL case, so this module implements the practical,
+*conservative* check an enforcement point needs: it errs on the side of
+reporting a potential leak.  A privacy-violating query ``q_down`` is considered
+**answerable from** the released view ``d'`` (described by the rewritten /
+pushed-down query) when
+
+1. every attribute ``q_down`` needs is exposed by ``d'`` (raw, not only inside
+   an aggregate with a different grouping), and
+2. the selection predicates of ``d'`` do not restrict the data more than
+   ``q_down`` requires — i.e. every conjunctive comparison predicate of ``d'``
+   is implied by some predicate of ``q_down`` (otherwise tuples ``q_down``
+   needs may be missing, so ``q_down`` cannot be answered exactly), and
+3. ``d'`` performs no grouping, or ``q_down`` only needs the grouped
+   attributes and the aggregated outputs.
+
+When the answer is "not answerable", the released view is safe w.r.t.
+``q_down``;  when it is "answerable", the caller should extend the
+anonymization step A (e.g. raise k, coarsen the grouping) as the paper
+suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.render import render_expression
+from repro.sql.visitor import collect_column_names
+
+
+@dataclass
+class ContainmentVerdict:
+    """Outcome of the leakage check for one privacy-violating query."""
+
+    answerable: bool
+    reasons: List[str] = field(default_factory=list)
+    missing_attributes: List[str] = field(default_factory=list)
+    blocking_predicates: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable explanation of the verdict."""
+        status = (
+            "the released data STILL answers the privacy-violating query"
+            if self.answerable
+            else "the released data does not answer the privacy-violating query"
+        )
+        if not self.reasons:
+            return status
+        return status + ": " + "; ".join(self.reasons)
+
+
+@dataclass(frozen=True)
+class _Comparison:
+    """A normalised ``column <op> constant`` predicate."""
+
+    column: str
+    operator: str
+    constant: float
+
+
+# Comparison implication table: predicate A (on the view) is implied by
+# predicate B (of the attacker query) when every tuple satisfying B satisfies A.
+def _implies(required: _Comparison, given: _Comparison) -> bool:
+    if required.column != given.column:
+        return False
+    r_op, r_const = required.operator, required.constant
+    g_op, g_const = given.operator, given.constant
+    if r_op in ("<", "<="):
+        if g_op == "<" and (g_const <= r_const):
+            return True
+        if g_op == "<=" and (g_const < r_const or (g_const == r_const and r_op == "<=")):
+            return True
+        if g_op == "=" and (g_const < r_const or (g_const == r_const and r_op == "<=")):
+            return True
+        return False
+    if r_op in (">", ">="):
+        if g_op == ">" and (g_const >= r_const):
+            return True
+        if g_op == ">=" and (g_const > r_const or (g_const == r_const and r_op == ">=")):
+            return True
+        if g_op == "=" and (g_const > r_const or (g_const == r_const and r_op == ">=")):
+            return True
+        return False
+    if r_op == "=":
+        return g_op == "=" and g_const == r_const
+    return False
+
+
+@dataclass
+class ViewDescription:
+    """What the released relation d' exposes, derived from its defining query."""
+
+    #: Attributes available as raw values (output name, lower-cased).
+    raw_attributes: Set[str]
+    #: Output name → (aggregate function, source attribute) for aggregated outputs.
+    aggregated_attributes: Dict[str, Tuple[str, str]]
+    #: Normalised constant comparisons applied by the view.
+    predicates: List[_Comparison]
+    #: Attribute-vs-attribute comparison predicates (rendered) applied by the view.
+    attribute_predicates: List[str]
+    #: GROUP BY attributes (lower-cased); empty when the view does not group.
+    group_by: Set[str]
+    #: True when the view projects ``*`` (every base attribute is exposed).
+    exposes_everything: bool = False
+
+
+def describe_view(view_query: ast.Query) -> ViewDescription:
+    """Summarise what the (rewritten, innermost-to-outermost) query releases.
+
+    The description is computed from the innermost SELECT reading a base
+    relation up through the chain of FROM-subqueries, mirroring how the
+    fragment plan materialises d'.
+    """
+    stages: List[ast.SelectQuery] = []
+    current = view_query
+    while isinstance(current, ast.SelectQuery):
+        stages.append(current)
+        from_clause = current.from_clause
+        if isinstance(from_clause, ast.SubqueryRef) and isinstance(
+            from_clause.query, ast.SelectQuery
+        ):
+            current = from_clause.query
+        else:
+            break
+    stages.reverse()  # innermost first
+
+    raw: Set[str] = set()
+    aggregated: Dict[str, Tuple[str, str]] = {}
+    predicates: List[_Comparison] = []
+    attribute_predicates: List[str] = []
+    group_by: Set[str] = set()
+    exposes_everything = False
+
+    for index, stage in enumerate(stages):
+        for term in ast.conjunction_terms(stage.where) + ast.conjunction_terms(stage.having):
+            comparison = _normalise_comparison(term)
+            if comparison is not None:
+                predicates.append(comparison)
+            elif isinstance(term, ast.BinaryOp):
+                attribute_predicates.append(render_expression(term))
+        if stage.group_by:
+            group_by = {name for e in stage.group_by for name in collect_column_names(e)}
+
+        stage_raw: Set[str] = set()
+        stage_aggregated: Dict[str, Tuple[str, str]] = {}
+        stage_star = False
+        for item in stage.items:
+            expression = item.expression
+            if isinstance(expression, ast.Star):
+                stage_star = True
+                continue
+            name = (item.output_name or render_expression(expression)).lower()
+            if isinstance(expression, ast.Column):
+                stage_raw.add(name)
+            elif isinstance(expression, ast.FunctionCall) and ast.is_aggregate_function(
+                expression.name
+            ):
+                sources = collect_column_names(expression)
+                stage_aggregated[name] = (
+                    expression.name.upper(),
+                    sources[0] if sources else "",
+                )
+            else:
+                stage_raw.add(name)
+
+        if index == 0:
+            raw = stage_raw
+            aggregated = stage_aggregated
+            exposes_everything = stage_star
+        else:
+            # Outer stages can only narrow (or aggregate) what inner stages expose.
+            if not stage_star:
+                previously_raw = raw | set(aggregated)
+                raw = {
+                    name
+                    for name in stage_raw
+                    if name in previously_raw or exposes_everything
+                }
+                carried_aggregates = {
+                    name: aggregated[name] for name in stage_raw if name in aggregated
+                }
+                aggregated = {**carried_aggregates, **stage_aggregated}
+                exposes_everything = False
+    return ViewDescription(
+        raw_attributes=raw,
+        aggregated_attributes=aggregated,
+        predicates=predicates,
+        attribute_predicates=attribute_predicates,
+        group_by=group_by,
+        exposes_everything=exposes_everything,
+    )
+
+
+def check_leakage(view_query: ast.Query, violating_query) -> ContainmentVerdict:
+    """Decide (conservatively) whether ``violating_query`` is answerable from d'.
+
+    Args:
+        view_query: The rewritten query whose result is released as d'.
+        violating_query: The privacy-violating query Q↓ (SQL text or AST).
+    """
+    if isinstance(violating_query, str):
+        violating_query = parse(violating_query)
+    view = describe_view(view_query)
+    verdict = ContainmentVerdict(answerable=True)
+
+    needed = _needed_attributes(violating_query)
+    available = set(view.raw_attributes) | set(view.aggregated_attributes)
+
+    if not view.exposes_everything:
+        missing = sorted(name for name in needed if name not in available)
+        # Attributes only available in aggregated form do not answer queries
+        # that use them as raw values (e.g. in WHERE or as plain projections),
+        # unless the violating query asks for the same aggregate output name.
+        aggregate_only = sorted(
+            name
+            for name in needed
+            if name in view.aggregated_attributes and name not in view.raw_attributes
+        )
+        if missing:
+            verdict.answerable = False
+            verdict.missing_attributes = missing
+            verdict.reasons.append(
+                "attributes not exposed by d': " + ", ".join(missing)
+            )
+        if view.group_by and not needed <= (view.group_by | set(view.aggregated_attributes)):
+            outside = sorted(needed - view.group_by - set(view.aggregated_attributes))
+            if outside:
+                verdict.answerable = False
+                verdict.reasons.append(
+                    "d' is grouped by "
+                    + ", ".join(sorted(view.group_by))
+                    + "; per-tuple values of "
+                    + ", ".join(outside)
+                    + " are lost"
+                )
+        del aggregate_only
+
+    # Predicate check: every filter d' applies must be implied by the
+    # violating query, otherwise rows Q↓ needs are missing from d'.
+    violating_predicates = [
+        comparison
+        for term in _all_conjunctive_terms(violating_query)
+        if (comparison := _normalise_comparison(term)) is not None
+    ]
+    for required in view.predicates:
+        if not any(_implies(required, given) for given in violating_predicates):
+            verdict.answerable = False
+            verdict.blocking_predicates.append(
+                f"{required.column} {required.operator} {required.constant:g}"
+            )
+    if verdict.blocking_predicates:
+        verdict.reasons.append(
+            "d' only contains tuples satisfying: "
+            + ", ".join(verdict.blocking_predicates)
+        )
+    for rendered in view.attribute_predicates:
+        violating_rendered = {
+            render_expression(term) for term in _all_conjunctive_terms(violating_query)
+        }
+        if rendered not in violating_rendered:
+            verdict.answerable = False
+            verdict.blocking_predicates.append(rendered)
+            verdict.reasons.append(f"d' only contains tuples satisfying: {rendered}")
+
+    if verdict.answerable:
+        verdict.reasons.append(
+            "every attribute and tuple the query needs survives in d'; "
+            "extend the anonymization step A"
+        )
+    return verdict
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _needed_attributes(query: ast.Query) -> Set[str]:
+    return set(collect_column_names(query))
+
+
+def _all_conjunctive_terms(query: ast.Query) -> List[ast.Expression]:
+    terms: List[ast.Expression] = []
+    stack: List[ast.Query] = [query]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.SetOperation):
+            stack.extend([current.left, current.right])
+            continue
+        if not isinstance(current, ast.SelectQuery):
+            continue
+        terms.extend(ast.conjunction_terms(current.where))
+        terms.extend(ast.conjunction_terms(current.having))
+        from_clause = current.from_clause
+        if isinstance(from_clause, ast.SubqueryRef):
+            stack.append(from_clause.query)
+    return terms
+
+
+def _normalise_comparison(term: ast.Expression) -> Optional[_Comparison]:
+    if not isinstance(term, ast.BinaryOp):
+        return None
+    operator = term.operator
+    if operator not in {"<", "<=", ">", ">=", "="}:
+        return None
+    left, right = term.left, term.right
+    if isinstance(left, ast.Column) and isinstance(right, ast.Literal):
+        if isinstance(right.value, (int, float)) and not isinstance(right.value, bool):
+            return _Comparison(left.name.lower(), operator, float(right.value))
+        return None
+    if isinstance(left, ast.Literal) and isinstance(right, ast.Column):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}[operator]
+        if isinstance(left.value, (int, float)) and not isinstance(left.value, bool):
+            return _Comparison(right.name.lower(), flipped, float(left.value))
+    return None

@@ -1,0 +1,74 @@
+"""Structured reports of what the rewriter did to a query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class RewriteAction:
+    """One individual rewriting step.
+
+    Attributes:
+        kind: Action type; one of ``remove_projection``,
+            ``substitute_relation``, ``inject_condition``, ``inject_having``,
+            ``enforce_aggregation``, ``rename_reference``,
+            ``remove_predicate`` and ``reject``.
+        attribute: The attribute concerned, when applicable.
+        detail: Human-readable description (the injected SQL text, the old and
+            new relation names, ...).
+    """
+
+    kind: str
+    attribute: Optional[str] = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        scope = f" [{self.attribute}]" if self.attribute else ""
+        return f"{self.kind}{scope}: {self.detail}"
+
+
+@dataclass
+class RewriteReport:
+    """The full record of a rewriting run."""
+
+    module_id: str
+    actions: List[RewriteAction] = field(default_factory=list)
+    original_sql: str = ""
+    rewritten_sql: str = ""
+    compliant: bool = True
+    rejection_reason: Optional[str] = None
+
+    def add(self, kind: str, attribute: Optional[str] = None, detail: str = "") -> None:
+        """Append an action to the report."""
+        self.actions.append(RewriteAction(kind=kind, attribute=attribute, detail=detail))
+
+    def actions_of(self, kind: str) -> List[RewriteAction]:
+        """Return all actions of the given kind."""
+        return [action for action in self.actions if action.kind == kind]
+
+    @property
+    def removed_attributes(self) -> List[str]:
+        """Attributes removed from projections."""
+        return [a.attribute for a in self.actions_of("remove_projection") if a.attribute]
+
+    @property
+    def injected_conditions(self) -> List[str]:
+        """WHERE/HAVING condition texts injected by the rewriter."""
+        return [
+            action.detail
+            for action in self.actions
+            if action.kind in ("inject_condition", "inject_having")
+        ]
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"Rewrite report for module '{self.module_id}':"]
+        if not self.actions:
+            lines.append("  (query already complies with the policy)")
+        for action in self.actions:
+            lines.append(f"  - {action}")
+        if not self.compliant:
+            lines.append(f"  => query rejected: {self.rejection_reason}")
+        return "\n".join(lines)

@@ -1,0 +1,494 @@
+"""The query rewriter (preprocessor core).
+
+The rewriter walks the nested query bottom-up.  Policy enforcement happens at
+the innermost SELECT blocks — the ones that read base relations — exactly as
+the paper describes: "the additional conditions will be inserted as WHERE and
+HAVING clauses in the innermost possible part of the nested SQL query.
+Regarding aggregated values, new attribute names are inserted and, if
+necessary, delegated to the outer queries."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.schema import Schema
+from repro.policy.model import AttributeRule, ModulePolicy, PolicyError, PrivacyPolicy
+from repro.rewrite.report import RewriteReport
+from repro.sql import ast
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse, parse_expression
+from repro.sql.render import render, render_expression
+from repro.sql.visitor import clone, collect_column_names, replace_columns
+
+
+class RewriteError(SqlError):
+    """Raised when a query cannot be made policy-compliant at all."""
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of a rewriting run."""
+
+    query: ast.Query
+    report: RewriteReport
+    renamed_attributes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def sql(self) -> str:
+        """The rewritten query as SQL text."""
+        return render(self.query)
+
+    @property
+    def compliant(self) -> bool:
+        """True when the rewritten query satisfies the policy."""
+        return self.report.compliant
+
+
+class QueryRewriter:
+    """Rewrites queries so that they satisfy a module's privacy policy."""
+
+    def __init__(self, policy: PrivacyPolicy, schema: Optional[Schema] = None) -> None:
+        """Create a rewriter.
+
+        Args:
+            policy: The user's privacy policy.
+            schema: Optional schema of the integrated sensor relation; when
+                provided, ``SELECT *`` projections over base tables are
+                expanded so that denied attributes can be stripped and
+                mandatory aggregations applied even to star queries.
+        """
+        self.policy = policy
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def rewrite_sql(self, sql: str, module_id: str) -> RewriteResult:
+        """Parse ``sql`` and rewrite it for ``module_id``."""
+        return self.rewrite(parse(sql), module_id)
+
+    def rewrite(self, query: ast.Query, module_id: str) -> RewriteResult:
+        """Rewrite ``query`` according to the policy of ``module_id``."""
+        try:
+            module = self.policy.module(module_id)
+        except PolicyError as exc:
+            raise RewriteError(str(exc)) from exc
+
+        report = RewriteReport(module_id=module.module_id, original_sql=render(query))
+        working = clone(query)
+        rewritten, renames, removed = self._rewrite_query(working, module, report)
+
+        if isinstance(rewritten, ast.SelectQuery) and not rewritten.items:
+            report.compliant = False
+            report.rejection_reason = (
+                "after removing denied attributes the query has an empty SELECT list"
+            )
+            report.add("reject", detail=report.rejection_reason)
+
+        report.rewritten_sql = render(rewritten)
+        return RewriteResult(query=rewritten, report=report, renamed_attributes=renames)
+
+    # ------------------------------------------------------------------
+    # recursive rewriting
+    # ------------------------------------------------------------------
+    def _rewrite_query(
+        self, query: ast.Query, module: ModulePolicy, report: RewriteReport
+    ) -> Tuple[ast.Query, Dict[str, str], Set[str]]:
+        if isinstance(query, ast.SetOperation):
+            left, left_renames, left_removed = self._rewrite_query(query.left, module, report)
+            right, _, right_removed = self._rewrite_query(query.right, module, report)
+            query.left, query.right = left, right
+            return query, left_renames, left_removed | right_removed
+        assert isinstance(query, ast.SelectQuery)
+        return self._rewrite_select(query, module, report)
+
+    def _rewrite_select(
+        self, query: ast.SelectQuery, module: ModulePolicy, report: RewriteReport
+    ) -> Tuple[ast.SelectQuery, Dict[str, str], Set[str]]:
+        child_renames: Dict[str, str] = {}
+        child_removed: Set[str] = set()
+        reads_base = False
+
+        if query.from_clause is not None:
+            query.from_clause, child_renames, child_removed, reads_base = self._rewrite_relation(
+                query.from_clause, module, report
+            )
+
+        # Delegate renamed attributes of children to this level.
+        if child_renames:
+            self._apply_renames(query, child_renames, report)
+        # Prune references to attributes a child no longer exposes.
+        if child_removed:
+            self._prune_removed(query, child_removed, report)
+
+        renames: Dict[str, str] = dict(child_renames)
+        removed: Set[str] = set()
+
+        if reads_base:
+            removed |= self._enforce_projection(query, module, report)
+            # Aggregations first: they may introduce GROUP BY attributes whose
+            # own policy conditions must then be injected as well (otherwise a
+            # second rewriting pass would still find work to do).
+            aggregation_renames = self._enforce_aggregations(query, module, report)
+            renames.update(aggregation_renames)
+            self._enforce_conditions(query, module, report)
+
+        return query, renames, removed | child_removed
+
+    def _rewrite_relation(
+        self, relation: ast.Relation, module: ModulePolicy, report: RewriteReport
+    ) -> Tuple[ast.Relation, Dict[str, str], Set[str], bool]:
+        if isinstance(relation, ast.TableRef):
+            substitution = module.relation_substitutions.get(relation.name.lower())
+            if substitution:
+                report.add(
+                    "substitute_relation",
+                    detail=f"{relation.name} -> {substitution}",
+                )
+                relation = ast.TableRef(name=substitution, alias=relation.alias)
+            return relation, {}, set(), True
+        if isinstance(relation, ast.SubqueryRef):
+            if isinstance(relation.query, ast.SelectQuery):
+                child, renames, removed = self._rewrite_select(relation.query, module, report)
+                relation.query = child
+                return relation, renames, removed, False
+            child, renames, removed = self._rewrite_query(relation.query, module, report)
+            relation.query = child
+            return relation, renames, removed, False
+        if isinstance(relation, ast.Join):
+            left, left_renames, left_removed, left_base = self._rewrite_relation(
+                relation.left, module, report
+            )
+            right, right_renames, right_removed, right_base = self._rewrite_relation(
+                relation.right, module, report
+            )
+            relation.left, relation.right = left, right
+            renames = {**left_renames, **right_renames}
+            removed = left_removed | right_removed
+            return relation, renames, removed, left_base or right_base
+        return relation, {}, set(), False
+
+    # ------------------------------------------------------------------
+    # enforcement steps (applied at base-table level)
+    # ------------------------------------------------------------------
+    def _enforce_projection(
+        self, query: ast.SelectQuery, module: ModulePolicy, report: RewriteReport
+    ) -> Set[str]:
+        """Remove denied attributes from the SELECT clause."""
+        denied = {name.lower() for name in module.denied_attributes}
+        if not module.default_allow and self.schema is not None:
+            # Attributes present in the schema but lacking any rule are denied
+            # by default ("involved personal information ... is monitored,
+            # whether it is uncovered by the user at all").
+            for column in self.schema:
+                if module.rule_for(column.name) is None:
+                    denied.add(column.name.lower())
+        if not denied:
+            return set()
+
+        removed: Set[str] = set()
+        new_items: List[ast.SelectItem] = []
+        for item in query.items:
+            if isinstance(item.expression, ast.Star):
+                expanded = self._expand_star(item, denied, report)
+                new_items.extend(expanded)
+                continue
+            referenced = set(collect_column_names(item.expression))
+            blocked = referenced & denied
+            if blocked:
+                name = item.output_name or render_expression(item.expression)
+                report.add(
+                    "remove_projection",
+                    attribute=", ".join(sorted(blocked)),
+                    detail=f"removed select item '{render_expression(item.expression)}'",
+                )
+                removed.add((name or "").lower())
+                removed |= {b for b in blocked}
+                continue
+            new_items.append(item)
+        query.items = new_items
+
+        # Predicates over denied attributes cannot be evaluated on revealed
+        # data; drop the offending conjunction terms.
+        if query.where is not None:
+            kept_terms = []
+            for term in ast.conjunction_terms(query.where):
+                if set(collect_column_names(term)) & denied:
+                    report.add(
+                        "remove_predicate",
+                        detail=f"removed predicate '{render_expression(term)}'",
+                    )
+                else:
+                    kept_terms.append(term)
+            query.where = ast.conjunction(*kept_terms)
+
+        query.group_by = [
+            expression
+            for expression in query.group_by
+            if not set(collect_column_names(expression)) & denied
+        ]
+        query.order_by = [
+            item
+            for item in query.order_by
+            if not set(collect_column_names(item.expression)) & denied
+        ]
+        return removed
+
+    def _expand_star(
+        self, item: ast.SelectItem, denied: Set[str], report: RewriteReport
+    ) -> List[ast.SelectItem]:
+        if self.schema is None:
+            # Without schema knowledge the star cannot be expanded; the
+            # sensor-level "SELECT *" of the paper is handled by the
+            # postprocessing / anonymization step instead.
+            report.add(
+                "remove_projection",
+                attribute="*",
+                detail="cannot expand SELECT * without a schema; "
+                "denied attributes must be stripped by the postprocessor",
+            )
+            return [item]
+        expanded = []
+        for column in self.schema:
+            if column.name.lower() in denied:
+                report.add(
+                    "remove_projection",
+                    attribute=column.name,
+                    detail="removed from expanded SELECT *",
+                )
+                continue
+            expanded.append(ast.SelectItem(expression=ast.Column(name=column.name)))
+        return expanded
+
+    def _enforce_conditions(
+        self, query: ast.SelectQuery, module: ModulePolicy, report: RewriteReport
+    ) -> None:
+        """Conjunctively add the policy conditions of referenced attributes."""
+        referenced = self._referenced_attributes(query)
+        existing = {
+            render_expression(term).lower()
+            for term in ast.conjunction_terms(query.where)
+        }
+        for rule in module.attributes.values():
+            if not rule.allow or not rule.conditions:
+                continue
+            if rule.name.lower() not in referenced:
+                continue
+            for condition_text in rule.conditions:
+                condition = parse_expression(condition_text)
+                rendered = render_expression(condition)
+                if rendered.lower() in existing:
+                    continue
+                query.where = ast.conjunction(query.where, condition)
+                existing.add(rendered.lower())
+                report.add(
+                    "inject_condition",
+                    attribute=rule.name,
+                    detail=rendered,
+                )
+
+    def _enforce_aggregations(
+        self, query: ast.SelectQuery, module: ModulePolicy, report: RewriteReport
+    ) -> Dict[str, str]:
+        """Replace raw projections of aggregation-only attributes."""
+        renames: Dict[str, str] = {}
+        for rule in module.attributes.values():
+            if not rule.requires_aggregation:
+                continue
+            if not self._projects_raw_attribute(query, rule.name):
+                continue
+            renames.update(self._apply_aggregation_rule(query, rule, report))
+        return renames
+
+    def _projects_raw_attribute(self, query: ast.SelectQuery, attribute: str) -> bool:
+        lowered = attribute.lower()
+        for item in query.items:
+            expression = item.expression
+            if isinstance(expression, ast.Column) and expression.name.lower() == lowered:
+                return True
+            if isinstance(expression, ast.Star):
+                return self.schema is not None and attribute in self.schema
+        return False
+
+    def _apply_aggregation_rule(
+        self, query: ast.SelectQuery, rule: AttributeRule, report: RewriteReport
+    ) -> Dict[str, str]:
+        aggregation = rule.aggregation
+        assert aggregation is not None
+        alias = aggregation.alias_for(rule.name)
+        lowered = rule.name.lower()
+
+        new_items: List[ast.SelectItem] = []
+        replaced = False
+        for item in query.items:
+            expression = item.expression
+            if isinstance(expression, ast.Column) and expression.name.lower() == lowered:
+                new_items.append(
+                    ast.SelectItem(
+                        expression=ast.FunctionCall(
+                            name=aggregation.aggregation_type,
+                            arguments=[ast.Column(name=rule.name)],
+                        ),
+                        alias=alias,
+                    )
+                )
+                replaced = True
+            elif isinstance(expression, ast.Star) and self.schema is not None:
+                for column in self.schema:
+                    if column.name.lower() == lowered:
+                        new_items.append(
+                            ast.SelectItem(
+                                expression=ast.FunctionCall(
+                                    name=aggregation.aggregation_type,
+                                    arguments=[ast.Column(name=rule.name)],
+                                ),
+                                alias=alias,
+                            )
+                        )
+                        replaced = True
+                    else:
+                        new_items.append(
+                            ast.SelectItem(expression=ast.Column(name=column.name))
+                        )
+            else:
+                new_items.append(item)
+        if not replaced:
+            return {}
+        query.items = new_items
+
+        report.add(
+            "enforce_aggregation",
+            attribute=rule.name,
+            detail=(
+                f"{rule.name} -> {aggregation.aggregation_type}({rule.name}) AS {alias}"
+            ),
+        )
+
+        # GROUP BY the mandated attributes (without duplicating existing ones).
+        existing_groups = {
+            render_expression(expression).lower() for expression in query.group_by
+        }
+        for group_attribute in aggregation.group_by:
+            column = ast.Column(name=group_attribute)
+            rendered = render_expression(column).lower()
+            if rendered not in existing_groups:
+                query.group_by.append(column)
+                existing_groups.add(rendered)
+
+        # HAVING condition guarding the group mass.
+        having_expression = aggregation.having_expression()
+        if having_expression is not None:
+            rendered = render_expression(having_expression)
+            already = {
+                render_expression(term).lower()
+                for term in ast.conjunction_terms(query.having)
+            }
+            if rendered.lower() not in already:
+                query.having = ast.conjunction(query.having, having_expression)
+                report.add("inject_having", attribute=rule.name, detail=rendered)
+
+        return {lowered: alias}
+
+    # ------------------------------------------------------------------
+    # propagation helpers
+    # ------------------------------------------------------------------
+    def _apply_renames(
+        self, query: ast.SelectQuery, renames: Dict[str, str], report: RewriteReport
+    ) -> None:
+        """Rename references to child output columns that were aggregated."""
+        mapping = {old: ast.Column(name=new) for old, new in renames.items()}
+
+        def rename_expression(expression: ast.Expression) -> ast.Expression:
+            return replace_columns(expression, mapping)
+
+        for item in query.items:
+            if not isinstance(item.expression, ast.Star):
+                item.expression = rename_expression(item.expression)
+        if query.where is not None:
+            query.where = rename_expression(query.where)
+        query.group_by = [rename_expression(expression) for expression in query.group_by]
+        if query.having is not None:
+            query.having = rename_expression(query.having)
+        for order_item in query.order_by:
+            order_item.expression = rename_expression(order_item.expression)
+        for old, new in renames.items():
+            report.add(
+                "rename_reference",
+                attribute=old,
+                detail=f"references to '{old}' delegated to '{new}'",
+            )
+
+    def _prune_removed(
+        self, query: ast.SelectQuery, removed: Set[str], report: RewriteReport
+    ) -> None:
+        """Drop references to attributes a child query no longer produces."""
+        removed_lower = {name.lower() for name in removed}
+
+        surviving_items = []
+        for item in query.items:
+            if isinstance(item.expression, ast.Star):
+                surviving_items.append(item)
+                continue
+            if set(collect_column_names(item.expression)) & removed_lower:
+                report.add(
+                    "remove_projection",
+                    attribute=", ".join(
+                        sorted(set(collect_column_names(item.expression)) & removed_lower)
+                    ),
+                    detail=(
+                        "removed outer select item "
+                        f"'{render_expression(item.expression)}' (source attribute removed)"
+                    ),
+                )
+                continue
+            surviving_items.append(item)
+        query.items = surviving_items
+
+        if query.where is not None:
+            kept = [
+                term
+                for term in ast.conjunction_terms(query.where)
+                if not set(collect_column_names(term)) & removed_lower
+            ]
+            if len(kept) != len(ast.conjunction_terms(query.where)):
+                report.add("remove_predicate", detail="outer predicate referenced removed attribute")
+            query.where = ast.conjunction(*kept)
+        query.group_by = [
+            expression
+            for expression in query.group_by
+            if not set(collect_column_names(expression)) & removed_lower
+        ]
+        if query.having is not None and set(collect_column_names(query.having)) & removed_lower:
+            query.having = None
+        query.order_by = [
+            item
+            for item in query.order_by
+            if not set(collect_column_names(item.expression)) & removed_lower
+        ]
+
+    def _referenced_attributes(self, query: ast.SelectQuery) -> Set[str]:
+        """Attributes referenced at this query level (star counts as 'all')."""
+        referenced: Set[str] = set()
+        star = False
+        for item in query.items:
+            if isinstance(item.expression, ast.Star):
+                star = True
+            else:
+                referenced |= set(collect_column_names(item.expression))
+        for expression in query.group_by:
+            referenced |= set(collect_column_names(expression))
+        if query.where is not None:
+            referenced |= set(collect_column_names(query.where))
+        if query.having is not None:
+            referenced |= set(collect_column_names(query.having))
+        for order_item in query.order_by:
+            referenced |= set(collect_column_names(order_item.expression))
+        if star:
+            if self.schema is not None:
+                referenced |= {column.name.lower() for column in self.schema}
+            else:
+                # Star without schema: assume every policy attribute may occur.
+                referenced |= set()
+        return referenced

@@ -1,0 +1,31 @@
+"""Detection of "SQLable" patterns in R analysis code.
+
+The paper's workloads are R machine-learning scripts whose data access happens
+through an embedded SQL query (via ``sqldf``).  Recognising the *maximal*
+SQL-able part of an arbitrary R program is undecidable in general, so — like
+the paper ([Weu16]) — this subpackage detects the common pattern: an analysis
+call (e.g. ``filterByClass``) wrapping a ``sqldf(<SQL>)`` data source.
+
+* :mod:`repro.rlang.parser` — a miniature parser for R call expressions,
+* :mod:`repro.rlang.sqlable` — extraction of the embedded SQL and construction
+  of the residual R call that the cloud executes over ``d'``.
+"""
+
+from repro.rlang.parser import RArgument, RCall, RParseError, parse_r_call
+from repro.rlang.sqlable import (
+    RQueryExtraction,
+    SqlablePatternError,
+    extract_sql_from_r,
+    find_sqldf_calls,
+)
+
+__all__ = [
+    "RArgument",
+    "RCall",
+    "RParseError",
+    "parse_r_call",
+    "RQueryExtraction",
+    "SqlablePatternError",
+    "extract_sql_from_r",
+    "find_sqldf_calls",
+]

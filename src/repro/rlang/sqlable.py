@@ -1,0 +1,153 @@
+"""Extraction of the embedded SQL ("SQLable pattern") from R analysis code.
+
+``extract_sql_from_r`` finds the ``sqldf(...)`` data source inside an analysis
+call, parses the embedded SQL with :mod:`repro.sql` and returns both the query
+and a *residual call*: the surrounding R expression with the ``sqldf`` source
+replaced by a reference to the pushed-down result ``d'`` — exactly the
+transformation of Section 4.2::
+
+    filterByClass(sqldf(SELECT ...), action=''walk'', do.plot=F)
+        →  SQL part:      SELECT ...
+        →  residual call: filterByClass(d', action=''walk'', do.plot=F)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.rlang.parser import RParseError, parse_r_call
+from repro.sql import ast
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse
+
+
+class SqlablePatternError(Exception):
+    """Raised when no extractable SQL pattern is found in the R code."""
+
+
+_SQLDF_RE = re.compile(r"\bsqldf\s*\(", re.IGNORECASE)
+
+
+@dataclass
+class RQueryExtraction:
+    """The result of extracting the SQL island from an R script."""
+
+    original_code: str
+    sql: str
+    query: ast.Query
+    #: The R code with the sqldf(...) call replaced by the placeholder.
+    residual_template: str
+    #: Name of the wrapping analysis function (e.g. ``filterByClass``).
+    wrapper_function: Optional[str] = None
+    #: Remaining (non-data) arguments of the wrapper, rendered as text.
+    wrapper_arguments: List[str] = field(default_factory=list)
+
+    def residual_call(self, result_name: str = "d_prime") -> str:
+        """Return the residual R call over the pushed-down result."""
+        return self.residual_template.replace("{RESULT}", result_name)
+
+
+def find_sqldf_calls(r_code: str) -> List[Tuple[int, int, str]]:
+    """Find every ``sqldf(...)`` occurrence.
+
+    Returns tuples ``(start, end, inner_text)`` where ``start``/``end`` span
+    the whole call (inclusive of the closing parenthesis) and ``inner_text``
+    is the raw argument text.
+    """
+    results: List[Tuple[int, int, str]] = []
+    for match in _SQLDF_RE.finditer(r_code):
+        open_index = match.end() - 1
+        close_index = _matching_paren(r_code, open_index)
+        inner = r_code[open_index + 1 : close_index]
+        results.append((match.start(), close_index + 1, inner))
+    return results
+
+
+def extract_sql_from_r(r_code: str) -> RQueryExtraction:
+    """Extract the (first) embedded SQL query from ``r_code``.
+
+    Raises:
+        SqlablePatternError: when no ``sqldf`` call is present or the embedded
+            text does not parse as SQL.
+    """
+    normalized = r_code.strip()
+    calls = find_sqldf_calls(normalized)
+    if not calls:
+        raise SqlablePatternError("No sqldf(...) call found in the R code")
+    start, end, inner = calls[0]
+
+    sql_text = _strip_quotes(inner.strip())
+    try:
+        query = parse(sql_text)
+    except SqlError as exc:
+        raise SqlablePatternError(f"Embedded text is not parseable SQL: {exc}") from exc
+
+    residual_template = normalized[:start] + "{RESULT}" + normalized[end:]
+    residual_template = _collapse_whitespace(residual_template)
+
+    wrapper_function: Optional[str] = None
+    wrapper_arguments: List[str] = []
+    try:
+        wrapper = parse_r_call(_collapse_whitespace(normalized))
+        wrapper_function = wrapper.function
+        for argument in wrapper.arguments:
+            if argument.call is not None and argument.call.function.lower() == "sqldf":
+                continue
+            if "sqldf" in argument.text.lower():
+                continue
+            rendered = argument.text if argument.name is None else f"{argument.name}={argument.text}"
+            wrapper_arguments.append(rendered)
+    except RParseError:
+        # The surrounding code is not a single call (e.g. an assignment or a
+        # multi-statement script); the extraction still works, only the
+        # wrapper metadata stays empty.
+        pass
+
+    return RQueryExtraction(
+        original_code=r_code,
+        sql=_collapse_whitespace(sql_text),
+        query=query,
+        residual_template=residual_template,
+        wrapper_function=wrapper_function,
+        wrapper_arguments=wrapper_arguments,
+    )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _matching_paren(text: str, open_index: int) -> int:
+    depth = 0
+    in_string: Optional[str] = None
+    index = open_index
+    while index < len(text):
+        char = text[index]
+        if in_string is not None:
+            if char == in_string:
+                in_string = None
+            index += 1
+            continue
+        if char in "'\"":
+            in_string = char
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                return index
+        index += 1
+    raise SqlablePatternError("Unbalanced parentheses around sqldf(...)")
+
+
+def _strip_quotes(text: str) -> str:
+    if len(text) >= 2 and text[0] in "'\"" and text[-1] == text[0]:
+        return text[1:-1]
+    return text
+
+
+def _collapse_whitespace(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()

@@ -1,0 +1,59 @@
+"""Smart-environment simulators.
+
+The paper evaluates its techniques on recordings from the MuSAMA Smart
+Appliance Lab (Figure 1) — data we do not have.  This subpackage substitutes a
+parameterised simulator for every sensor class the paper lists in Section 1:
+
+* dimmable lamps and motorised screens,
+* power sockets reporting current draw in milliamperes,
+* the Smart Board pen sensor,
+* a thermometer,
+* UbiSense tags delivering (x, y, z) positions per person,
+* the SensFloor pressure-sensitive carpet,
+* Extron/VGA port sensors and the EIB gateway controlling the blinds.
+
+Two scenario generators compose these devices into complete environments: the
+Smart Meeting Room of the MuSAMA lab and an AAL apartment for the
+fall-detection use case.  Both produce the integrated sensor relation ``d``
+that the queries of Section 4 are issued against, as well as the per-device
+tables.
+"""
+
+from repro.sensors.activity import Activity, ActivityTrace, PersonSimulator
+from repro.sensors.base import SensorDevice, SensorReadingBatch
+from repro.sensors.devices import (
+    EibGateway,
+    LampSensor,
+    PenSensor,
+    PowerSocketSensor,
+    ScreenSensor,
+    SensFloor,
+    Thermometer,
+    UbisenseTag,
+    VgaSensor,
+)
+from repro.sensors.scenario import (
+    AalApartment,
+    ScenarioData,
+    SmartMeetingRoom,
+)
+
+__all__ = [
+    "Activity",
+    "ActivityTrace",
+    "PersonSimulator",
+    "SensorDevice",
+    "SensorReadingBatch",
+    "LampSensor",
+    "ScreenSensor",
+    "PowerSocketSensor",
+    "PenSensor",
+    "Thermometer",
+    "UbisenseTag",
+    "SensFloor",
+    "VgaSensor",
+    "EibGateway",
+    "SmartMeetingRoom",
+    "AalApartment",
+    "ScenarioData",
+]

@@ -1,0 +1,216 @@
+"""Activity and movement model for simulated persons.
+
+The paper's analysis queries feed an activity- and intention-recognition
+algorithm ([KNY+14]); the interesting activity classes for the use cases are
+*walk*, *sit*, *stand*, *present* (at the Smart Board) and — for the AAL
+apartment — *fall*.  The :class:`PersonSimulator` produces a continuous
+(x, y, z) trajectory labelled with these activities, which the UbiSense tag
+and SensFloor simulators then sample.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Activity(enum.Enum):
+    """Activity classes used by the recognition workloads."""
+
+    WALK = "walk"
+    STAND = "stand"
+    SIT = "sit"
+    PRESENT = "present"
+    FALL = "fall"
+    LIE = "lie"
+
+    @property
+    def typical_height(self) -> float:
+        """Typical z-coordinate (tag height in metres) for the activity."""
+        return {
+            Activity.WALK: 1.4,
+            Activity.STAND: 1.45,
+            Activity.SIT: 1.0,
+            Activity.PRESENT: 1.5,
+            Activity.FALL: 0.4,
+            Activity.LIE: 0.2,
+        }[self]
+
+
+@dataclass
+class ActivitySegment:
+    """One contiguous stretch of a single activity."""
+
+    activity: Activity
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Segment length in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class ActivityTrace:
+    """The ground-truth activity timeline of one person."""
+
+    person_id: int
+    segments: List[ActivitySegment] = field(default_factory=list)
+
+    def activity_at(self, timestamp: float) -> Optional[Activity]:
+        """Return the activity at ``timestamp`` (None outside the trace)."""
+        for segment in self.segments:
+            if segment.start <= timestamp < segment.end:
+                return segment.activity
+        return None
+
+    @property
+    def duration(self) -> float:
+        """Total trace duration in seconds."""
+        if not self.segments:
+            return 0.0
+        return self.segments[-1].end - self.segments[0].start
+
+
+#: Transition weights between activities for the meeting-room scenario.
+_MEETING_TRANSITIONS: Dict[Activity, Sequence[Tuple[Activity, float]]] = {
+    Activity.WALK: ((Activity.SIT, 0.5), (Activity.STAND, 0.3), (Activity.PRESENT, 0.2)),
+    Activity.SIT: ((Activity.SIT, 0.5), (Activity.WALK, 0.3), (Activity.STAND, 0.2)),
+    Activity.STAND: ((Activity.WALK, 0.5), (Activity.SIT, 0.3), (Activity.PRESENT, 0.2)),
+    Activity.PRESENT: ((Activity.PRESENT, 0.4), (Activity.WALK, 0.4), (Activity.SIT, 0.2)),
+}
+
+#: Transition weights for the AAL apartment scenario (includes falls).
+_APARTMENT_TRANSITIONS: Dict[Activity, Sequence[Tuple[Activity, float]]] = {
+    Activity.WALK: (
+        (Activity.SIT, 0.35),
+        (Activity.STAND, 0.3),
+        (Activity.LIE, 0.2),
+        (Activity.FALL, 0.15),
+    ),
+    Activity.SIT: ((Activity.SIT, 0.4), (Activity.WALK, 0.4), (Activity.STAND, 0.2)),
+    Activity.STAND: ((Activity.WALK, 0.6), (Activity.SIT, 0.4)),
+    Activity.LIE: ((Activity.LIE, 0.5), (Activity.STAND, 0.5)),
+    Activity.FALL: ((Activity.LIE, 0.7), (Activity.STAND, 0.3)),
+}
+
+
+class PersonSimulator:
+    """Simulate one person's movement and activity inside a rectangular room."""
+
+    def __init__(
+        self,
+        person_id: int,
+        room_width: float = 8.0,
+        room_depth: float = 6.0,
+        scenario: str = "meeting",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if scenario not in {"meeting", "apartment"}:
+            raise ValueError(f"Unknown scenario: {scenario}")
+        self.person_id = person_id
+        self.room_width = room_width
+        self.room_depth = room_depth
+        self.scenario = scenario
+        self._rng = rng or random.Random(person_id)
+        self._position = (
+            self._rng.uniform(0.5, room_width - 0.5),
+            self._rng.uniform(0.5, room_depth - 0.5),
+        )
+
+    # ------------------------------------------------------------------
+    # activity timeline
+    # ------------------------------------------------------------------
+    def generate_trace(self, duration: float, mean_segment: float = 30.0) -> ActivityTrace:
+        """Generate a ground-truth activity timeline of ``duration`` seconds."""
+        transitions = (
+            _MEETING_TRANSITIONS if self.scenario == "meeting" else _APARTMENT_TRANSITIONS
+        )
+        segments: List[ActivitySegment] = []
+        current = Activity.WALK
+        timestamp = 0.0
+        while timestamp < duration:
+            segment_length = max(2.0, self._rng.expovariate(1.0 / mean_segment))
+            # Falls are short events.
+            if current is Activity.FALL:
+                segment_length = self._rng.uniform(1.0, 4.0)
+            end = min(duration, timestamp + segment_length)
+            segments.append(ActivitySegment(activity=current, start=timestamp, end=end))
+            timestamp = end
+            current = self._next_activity(current, transitions)
+        return ActivityTrace(person_id=self.person_id, segments=segments)
+
+    def _next_activity(
+        self,
+        current: Activity,
+        transitions: Dict[Activity, Sequence[Tuple[Activity, float]]],
+    ) -> Activity:
+        options = transitions.get(current)
+        if not options:
+            return Activity.WALK
+        activities = [activity for activity, _ in options]
+        weights = [weight for _, weight in options]
+        return self._rng.choices(activities, weights=weights, k=1)[0]
+
+    # ------------------------------------------------------------------
+    # positions
+    # ------------------------------------------------------------------
+    def positions(
+        self, trace: ActivityTrace, rate_hz: float = 10.0
+    ) -> List[Dict[str, float]]:
+        """Sample the trajectory implied by ``trace`` at ``rate_hz``.
+
+        Returns dict rows with keys ``t``, ``x``, ``y``, ``z``, ``person_id``
+        and ``activity`` (the ground-truth label, used for evaluating the
+        recognition workload, never shipped by the rewritten queries).
+        """
+        rows: List[Dict[str, float]] = []
+        step = 1.0 / rate_hz
+        timestamp = 0.0
+        x, y = self._position
+        heading = self._rng.uniform(0.0, 2.0 * math.pi)
+        duration = trace.duration
+        while timestamp < duration:
+            activity = trace.activity_at(timestamp) or Activity.STAND
+            if activity is Activity.WALK:
+                speed = self._rng.uniform(0.6, 1.4)
+                heading += self._rng.gauss(0.0, 0.3)
+                x += math.cos(heading) * speed * step
+                y += math.sin(heading) * speed * step
+                x, heading = _bounce(x, heading, 0.2, self.room_width - 0.2, axis="x")
+                y, heading = _bounce(y, heading, 0.2, self.room_depth - 0.2, axis="y")
+            else:
+                # Small jitter while (roughly) stationary.
+                x += self._rng.gauss(0.0, 0.02)
+                y += self._rng.gauss(0.0, 0.02)
+                x = min(max(x, 0.2), self.room_width - 0.2)
+                y = min(max(y, 0.2), self.room_depth - 0.2)
+            z = max(0.05, activity.typical_height + self._rng.gauss(0.0, 0.05))
+            rows.append(
+                {
+                    "t": round(timestamp, 3),
+                    "x": round(x, 3),
+                    "y": round(y, 3),
+                    "z": round(z, 3),
+                    "person_id": self.person_id,
+                    "activity": activity.value,
+                }
+            )
+            timestamp += step
+        self._position = (x, y)
+        return rows
+
+
+def _bounce(value: float, heading: float, low: float, high: float, axis: str) -> Tuple[float, float]:
+    """Reflect a coordinate at the room walls, flipping the heading."""
+    if value < low:
+        value = low + (low - value)
+        heading = math.pi - heading if axis == "x" else -heading
+    elif value > high:
+        value = high - (value - high)
+        heading = math.pi - heading if axis == "x" else -heading
+    return value, heading

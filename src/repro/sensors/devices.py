@@ -1,0 +1,382 @@
+"""Simulators for the individual devices of the Smart Appliance Lab.
+
+Each class models one device family from Section 1 of the paper.  The readings
+are intentionally simple but realistic in shape: they carry the columns an
+activity-recognition workload would query (positions, pressure, power draw,
+switch states) together with identifying device/user columns that the privacy
+machinery later has to protect.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import DataType
+from repro.sensors.activity import Activity, ActivityTrace, PersonSimulator
+from repro.sensors.base import Reading, SensorDevice
+
+
+class LampSensor(SensorDevice):
+    """A dimmable lamp reporting its brightness level (0–100 %)."""
+
+    device_type = "lamp"
+    default_rate_hz = 0.2
+
+    def __init__(self, device_id: str, rng: Optional[random.Random] = None) -> None:
+        super().__init__(device_id, rng)
+        self._level = self._rng.choice([0, 30, 60, 100])
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            self._base_columns()
+            + [
+                ColumnDef(name="level", data_type=DataType.INTEGER),
+                ColumnDef(name="powered", data_type=DataType.BOOLEAN),
+            ]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        if self._rng.random() < 0.05:
+            self._level = self._rng.choice([0, 10, 30, 60, 80, 100])
+        return [{"level": self._level, "powered": self._level > 0}]
+
+
+class ScreenSensor(SensorDevice):
+    """A motorised projection screen that can be turned up or down."""
+
+    device_type = "screen"
+    default_rate_hz = 0.1
+
+    def __init__(self, device_id: str, rng: Optional[random.Random] = None) -> None:
+        super().__init__(device_id, rng)
+        self._lowered = self._rng.random() < 0.5
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            self._base_columns()
+            + [ColumnDef(name="lowered", data_type=DataType.BOOLEAN)]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        if self._rng.random() < 0.02:
+            self._lowered = not self._lowered
+        return [{"lowered": self._lowered}]
+
+
+class PowerSocketSensor(SensorDevice):
+    """An electrical outlet tracking its current draw in milliamperes."""
+
+    device_type = "powersocket"
+    default_rate_hz = 1.0
+
+    def __init__(
+        self,
+        device_id: str,
+        base_load_ma: float = 120.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(device_id, rng)
+        self._base_load = base_load_ma
+        self._active = self._rng.random() < 0.7
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            self._base_columns()
+            + [
+                ColumnDef(name="milliamperes", data_type=DataType.FLOAT, sensitive=True),
+                ColumnDef(name="active", data_type=DataType.BOOLEAN),
+            ]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        if self._rng.random() < 0.01:
+            self._active = not self._active
+        if self._active:
+            draw = max(0.0, self._rng.gauss(self._base_load, self._base_load * 0.1))
+        else:
+            draw = max(0.0, self._rng.gauss(2.0, 1.0))  # standby draw
+        return [{"milliamperes": round(draw, 2), "active": self._active}]
+
+
+class PenSensor(SensorDevice):
+    """The Smart Board pen tray: which pen is currently taken."""
+
+    device_type = "pensensor"
+    default_rate_hz = 0.5
+    PEN_COLOURS = ("black", "red", "blue", "green")
+
+    def __init__(self, device_id: str, rng: Optional[random.Random] = None) -> None:
+        super().__init__(device_id, rng)
+        self._taken: Dict[str, bool] = {colour: False for colour in self.PEN_COLOURS}
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            self._base_columns()
+            + [
+                ColumnDef(name="pen", data_type=DataType.TEXT),
+                ColumnDef(name="taken", data_type=DataType.BOOLEAN),
+            ]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        if self._rng.random() < 0.05:
+            colour = self._rng.choice(self.PEN_COLOURS)
+            self._taken[colour] = not self._taken[colour]
+        return [
+            {"pen": colour, "taken": taken} for colour, taken in self._taken.items()
+        ]
+
+
+class Thermometer(SensorDevice):
+    """Room thermometer reporting degrees Celsius."""
+
+    device_type = "thermometer"
+    default_rate_hz = 0.1
+
+    def __init__(
+        self,
+        device_id: str,
+        base_temperature: float = 21.5,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(device_id, rng)
+        self._base = base_temperature
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            self._base_columns()
+            + [ColumnDef(name="celsius", data_type=DataType.FLOAT)]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        drift = 0.8 * math.sin(timestamp / 600.0)
+        noise = self._rng.gauss(0.0, 0.1)
+        return [{"celsius": round(self._base + drift + noise, 2)}]
+
+
+class UbisenseTag(SensorDevice):
+    """A UbiSense location tag worn by one person.
+
+    Positions come from the shared :class:`PersonSimulator` trajectory so that
+    the SensFloor readings and the activity ground truth stay consistent.  The
+    ``valid`` flag models the "whether the position is valid or not" extra
+    information the paper mentions.
+    """
+
+    device_type = "ubisense"
+    default_rate_hz = 10.0
+
+    def __init__(
+        self,
+        device_id: str,
+        person: PersonSimulator,
+        trace: ActivityTrace,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(device_id, rng)
+        self._person = person
+        self._trace = trace
+        self._trajectory = person.positions(trace, rate_hz=self.default_rate_hz)
+        self._index = 0
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            [
+                ColumnDef(name="device_id", data_type=DataType.TEXT, identifying=True),
+                ColumnDef(name="t", data_type=DataType.FLOAT),
+                ColumnDef(name="person_id", data_type=DataType.INTEGER, identifying=True),
+                ColumnDef(name="x", data_type=DataType.FLOAT, quasi_identifier=True),
+                ColumnDef(name="y", data_type=DataType.FLOAT, quasi_identifier=True),
+                ColumnDef(name="z", data_type=DataType.FLOAT, sensitive=True),
+                ColumnDef(name="valid", data_type=DataType.BOOLEAN),
+                ColumnDef(name="activity", data_type=DataType.TEXT, sensitive=True),
+            ]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        if self._index >= len(self._trajectory):
+            return []
+        point = self._trajectory[self._index]
+        self._index += 1
+        valid = self._rng.random() > 0.03
+        reading: Reading = {
+            "person_id": point["person_id"],
+            "x": point["x"] if valid else None,
+            "y": point["y"] if valid else None,
+            "z": point["z"] if valid else None,
+            "valid": valid,
+            "activity": point["activity"],
+            "t": point["t"],
+        }
+        return [reading]
+
+    @property
+    def trajectory(self) -> List[Reading]:
+        """The full ground-truth trajectory (used by SensFloor and tests)."""
+        return [dict(point) for point in self._trajectory]
+
+
+class SensFloor(SensorDevice):
+    """The pressure-sensitive carpet covering the centre of the room.
+
+    The floor reports, per sampled instant, the grid cell a person stands on
+    and the pressure exerted.  Readings are derived from the UbiSense
+    trajectories of all persons that stand inside the carpet area.
+    """
+
+    device_type = "sensfloor"
+    default_rate_hz = 5.0
+
+    def __init__(
+        self,
+        device_id: str,
+        trajectories: Sequence[Sequence[Reading]],
+        area: tuple = (2.0, 1.5, 6.0, 4.5),
+        cell_size: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(device_id, rng)
+        self._trajectories = [list(trajectory) for trajectory in trajectories]
+        self._area = area
+        self._cell_size = cell_size
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            [
+                ColumnDef(name="device_id", data_type=DataType.TEXT),
+                ColumnDef(name="t", data_type=DataType.FLOAT),
+                ColumnDef(name="cell_x", data_type=DataType.INTEGER, quasi_identifier=True),
+                ColumnDef(name="cell_y", data_type=DataType.INTEGER, quasi_identifier=True),
+                ColumnDef(name="pressure", data_type=DataType.FLOAT, sensitive=True),
+            ]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        x_min, y_min, x_max, y_max = self._area
+        readings: List[Reading] = []
+        for trajectory in self._trajectories:
+            point = _closest_point(trajectory, timestamp)
+            if point is None:
+                continue
+            x, y = point["x"], point["y"]
+            if x is None or y is None:
+                continue
+            if not (x_min <= x <= x_max and y_min <= y <= y_max):
+                continue
+            # Pressure depends on posture: standing concentrates weight.
+            activity = point.get("activity", Activity.STAND.value)
+            base_pressure = 75.0 if activity == Activity.WALK.value else 60.0
+            if activity in (Activity.FALL.value, Activity.LIE.value):
+                base_pressure = 30.0
+            readings.append(
+                {
+                    "cell_x": int((x - x_min) / self._cell_size),
+                    "cell_y": int((y - y_min) / self._cell_size),
+                    "pressure": round(max(5.0, self._rng.gauss(base_pressure, 8.0)), 2),
+                }
+            )
+        return readings
+
+
+class VgaSensor(SensorDevice):
+    """Extron/VGA matrix sensor: which video port feeds which projector."""
+
+    device_type = "vgasensor"
+    default_rate_hz = 0.1
+
+    def __init__(
+        self,
+        device_id: str,
+        port_count: int = 4,
+        projector_count: int = 2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(device_id, rng)
+        self._port_count = port_count
+        self._projector_count = projector_count
+        self._mapping = {
+            projector: self._rng.randrange(port_count)
+            for projector in range(projector_count)
+        }
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            self._base_columns()
+            + [
+                ColumnDef(name="projector", data_type=DataType.INTEGER),
+                ColumnDef(name="port", data_type=DataType.INTEGER),
+                ColumnDef(name="connected", data_type=DataType.BOOLEAN),
+            ]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        if self._rng.random() < 0.05:
+            projector = self._rng.randrange(self._projector_count)
+            self._mapping[projector] = self._rng.randrange(self._port_count)
+        return [
+            {"projector": projector, "port": port, "connected": True}
+            for projector, port in self._mapping.items()
+        ]
+
+
+class EibGateway(SensorDevice):
+    """EIB/KNX gateway controlling the blinds (reports blind positions)."""
+
+    device_type = "eibgateway"
+    default_rate_hz = 0.05
+
+    def __init__(
+        self, device_id: str, blind_count: int = 3, rng: Optional[random.Random] = None
+    ) -> None:
+        super().__init__(device_id, rng)
+        self._positions = [self._rng.choice([0, 50, 100]) for _ in range(blind_count)]
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            self._base_columns()
+            + [
+                ColumnDef(name="blind", data_type=DataType.INTEGER),
+                ColumnDef(name="position", data_type=DataType.INTEGER),
+            ]
+        )
+
+    def sample(self, timestamp: float) -> List[Reading]:
+        if self._rng.random() < 0.1:
+            index = self._rng.randrange(len(self._positions))
+            self._positions[index] = self._rng.choice([0, 25, 50, 75, 100])
+        return [
+            {"blind": index, "position": position}
+            for index, position in enumerate(self._positions)
+        ]
+
+
+def _closest_point(trajectory: Sequence[Reading], timestamp: float) -> Optional[Reading]:
+    """Return the trajectory point closest in time to ``timestamp``."""
+    if not trajectory:
+        return None
+    best = None
+    best_delta = float("inf")
+    # Trajectories are ordered by time; a linear scan with early exit is fine
+    # for the simulation sizes used here.
+    for point in trajectory:
+        delta = abs(point["t"] - timestamp)
+        if delta < best_delta:
+            best = point
+            best_delta = delta
+        elif point["t"] > timestamp and delta > best_delta:
+            break
+    if best is not None and best_delta > 1.0:
+        return None
+    return best

@@ -1,0 +1,38 @@
+"""SQL frontend: lexer, parser, AST, renderer and analysis utilities.
+
+This subpackage is the SQL substrate of the PArADISE reproduction.  The
+original paper relies on ordinary SQL tooling (the queries of Section 4.2 are
+SQL:2003 with window functions); since no SQL parsing library is available in
+this environment, the subpackage implements the whole frontend from scratch:
+
+* :mod:`repro.sql.lexer` — tokenizer for the SQL dialect used by the paper,
+* :mod:`repro.sql.ast` — immutable-ish dataclass AST nodes,
+* :mod:`repro.sql.parser` — recursive-descent parser producing the AST,
+* :mod:`repro.sql.render` — canonical SQL text rendering,
+* :mod:`repro.sql.visitor` — walkers and transformers used by the rewriter,
+* :mod:`repro.sql.analysis` — query feature extraction (columns, tables,
+  aggregates, window functions, nesting depth) consumed by the fragmenter.
+"""
+
+from repro.sql.errors import LexerError, ParseError, SqlError
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse, parse_expression
+from repro.sql.render import render, render_expression
+from repro.sql.analysis import QueryFeatures, analyze_query
+from repro.sql import ast
+
+__all__ = [
+    "SqlError",
+    "LexerError",
+    "ParseError",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "render",
+    "render_expression",
+    "QueryFeatures",
+    "analyze_query",
+    "ast",
+]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the SQL frontend."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for every error raised by :mod:`repro.sql`."""
+
+
+class LexerError(SqlError):
+    """Raised when the tokenizer meets a character sequence it cannot handle."""
+
+    def __init__(self, message: str, position: int, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser meets an unexpected token."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position

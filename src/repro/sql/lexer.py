@@ -1,0 +1,219 @@
+"""Tokenizer for the SQL dialect used throughout the reproduction.
+
+The dialect covers everything the paper's running example needs (SQL:2003
+window functions, nested subqueries, aggregate functions) plus the usual
+scalar expression syntax.  The lexer is a straightforward hand-written state
+machine; it reports precise line/column information so that parse errors in
+user-provided policies or queries are easy to diagnose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.sql.errors import LexerError
+from repro.sql.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+_IDENTIFIER_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENTIFIER_BODY = _IDENTIFIER_START | frozenset("0123456789$'")
+# The apostrophe is excluded from identifier bodies below; it is listed here
+# only so that the frozenset literal above stays a single expression.
+_IDENTIFIER_BODY = _IDENTIFIER_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_WHITESPACE = frozenset(" \t\r\n")
+
+
+class Lexer:
+    """Convert SQL text into a list of :class:`~repro.sql.tokens.Token`."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Tokenize the whole input, appending a trailing EOF token."""
+        tokens = list(self._iter_tokens())
+        tokens.append(
+            Token(TokenType.EOF, "", self._pos, self._line, self._column)
+        )
+        return tokens
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _iter_tokens(self) -> Iterator[Token]:
+        while self._pos < self._length:
+            char = self._text[self._pos]
+            if char in _WHITESPACE:
+                self._advance()
+                continue
+            if char == "-" and self._peek(1) == "-":
+                self._skip_line_comment()
+                continue
+            if char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+                continue
+            if char in _IDENTIFIER_START:
+                yield self._read_word()
+                continue
+            if char in _DIGITS or (char == "." and self._peek(1) in _DIGITS):
+                yield self._read_number()
+                continue
+            if char == "'":
+                yield self._read_string()
+                continue
+            if char == '"':
+                yield self._read_quoted_identifier()
+                continue
+            if char == "?":
+                yield self._make_token(TokenType.PARAMETER, "?", 1)
+                continue
+            multi = self._match_multi_char_operator()
+            if multi is not None:
+                yield multi
+                continue
+            if char in SINGLE_CHAR_OPERATORS:
+                yield self._make_token(TokenType.OPERATOR, char, 1)
+                continue
+            if char in PUNCTUATION:
+                yield self._make_token(TokenType.PUNCTUATION, char, 1)
+                continue
+            raise LexerError(
+                f"Unexpected character {char!r}", self._pos, self._line, self._column
+            )
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= self._length:
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _peek(self, offset: int) -> str:
+        index = self._pos + offset
+        if index < self._length:
+            return self._text[index]
+        return ""
+
+    def _make_token(self, token_type: TokenType, value: str, length: int) -> Token:
+        token = Token(token_type, value, self._pos, self._line, self._column)
+        self._advance(length)
+        return token
+
+    def _skip_line_comment(self) -> None:
+        while self._pos < self._length and self._text[self._pos] != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_column, start_pos = self._line, self._column, self._pos
+        self._advance(2)
+        while self._pos < self._length:
+            if self._text[self._pos] == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexerError("Unterminated block comment", start_pos, start_line, start_column)
+
+    def _read_word(self) -> Token:
+        start = self._pos
+        line, column = self._line, self._column
+        while self._pos < self._length and self._text[self._pos] in _IDENTIFIER_BODY:
+            self._advance()
+        word = self._text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start, line, column)
+        return Token(TokenType.IDENTIFIER, word, start, line, column)
+
+    def _read_number(self) -> Token:
+        start = self._pos
+        line, column = self._line, self._column
+        seen_dot = False
+        seen_exponent = False
+        while self._pos < self._length:
+            char = self._text[self._pos]
+            if char in _DIGITS:
+                self._advance()
+            elif char == "." and not seen_dot and not seen_exponent:
+                seen_dot = True
+                self._advance()
+            elif char in "eE" and not seen_exponent and self._pos > start:
+                nxt = self._peek(1)
+                if nxt in _DIGITS or (nxt in "+-" and self._peek(2) in _DIGITS):
+                    seen_exponent = True
+                    self._advance()
+                    if self._text[self._pos] in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        return Token(TokenType.NUMBER, self._text[start : self._pos], start, line, column)
+
+    def _read_string(self) -> Token:
+        start = self._pos
+        line, column = self._line, self._column
+        self._advance()  # opening quote
+        pieces: list[str] = []
+        while True:
+            if self._pos >= self._length:
+                raise LexerError("Unterminated string literal", start, line, column)
+            char = self._text[self._pos]
+            if char == "'":
+                if self._peek(1) == "'":
+                    pieces.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            pieces.append(char)
+            self._advance()
+        return Token(TokenType.STRING, "".join(pieces), start, line, column)
+
+    def _read_quoted_identifier(self) -> Token:
+        start = self._pos
+        line, column = self._line, self._column
+        self._advance()  # opening quote
+        pieces: list[str] = []
+        while True:
+            if self._pos >= self._length:
+                raise LexerError("Unterminated quoted identifier", start, line, column)
+            char = self._text[self._pos]
+            if char == '"':
+                if self._peek(1) == '"':
+                    pieces.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            pieces.append(char)
+            self._advance()
+        return Token(TokenType.IDENTIFIER, "".join(pieces), start, line, column)
+
+    def _match_multi_char_operator(self) -> Token | None:
+        for operator in MULTI_CHAR_OPERATORS:
+            end = self._pos + len(operator)
+            if self._text[self._pos : end] == operator:
+                return self._make_token(TokenType.OPERATOR, operator, len(operator))
+        return None
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` and return the token list (including the EOF token)."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,274 @@
+"""Render AST nodes back into canonical SQL text.
+
+The renderer produces a normalised form (upper-case keywords, explicit
+parentheses around subqueries, single spaces) so that rewritten queries can be
+compared textually in tests and printed in reports exactly like the staged
+queries of Section 4.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql import ast
+from repro.sql.errors import SqlError
+
+
+def render(query: ast.Query, pretty: bool = False, indent: int = 0) -> str:
+    """Render a query node to SQL text.
+
+    Args:
+        query: The query AST (SELECT or set operation).
+        pretty: When true, major clauses start on their own line and nested
+            subqueries are indented, mirroring the listing style of the paper.
+        indent: Starting indentation level (used internally for nesting).
+    """
+    if isinstance(query, ast.SelectQuery):
+        return _render_select(query, pretty=pretty, indent=indent)
+    if isinstance(query, ast.SetOperation):
+        operator = query.operator.upper() + (" ALL" if query.all else "")
+        left = render(query.left, pretty=pretty, indent=indent)
+        right = render(query.right, pretty=pretty, indent=indent)
+        separator = "\n" if pretty else " "
+        return f"{left}{separator}{operator}{separator}{right}"
+    raise SqlError(f"Cannot render node of type {type(query).__name__}")
+
+
+def render_expression(expression: ast.Expression) -> str:
+    """Render a scalar/boolean expression to SQL text."""
+    return _render_expression(expression)
+
+
+# ---------------------------------------------------------------------------
+# SELECT rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_select(query: ast.SelectQuery, pretty: bool, indent: int) -> str:
+    clauses: List[str] = []
+
+    select_keyword = "SELECT DISTINCT" if query.distinct else "SELECT"
+    items = ", ".join(_render_select_item(item) for item in query.items)
+    clauses.append(f"{select_keyword} {items}")
+
+    if query.from_clause is not None:
+        clauses.append("FROM " + _render_relation(query.from_clause, pretty, indent))
+    if query.where is not None:
+        clauses.append("WHERE " + _render_expression(query.where))
+    if query.group_by:
+        clauses.append("GROUP BY " + ", ".join(_render_expression(e) for e in query.group_by))
+    if query.having is not None:
+        clauses.append("HAVING " + _render_expression(query.having))
+    if query.order_by:
+        clauses.append("ORDER BY " + ", ".join(_render_order_item(o) for o in query.order_by))
+    if query.limit is not None:
+        clauses.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        clauses.append(f"OFFSET {query.offset}")
+
+    if not pretty:
+        return " ".join(clauses)
+    pad = "  " * indent
+    return ("\n" + pad).join(clauses)
+
+
+def _render_select_item(item: ast.SelectItem) -> str:
+    text = _render_expression(item.expression)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _render_order_item(item: ast.OrderItem) -> str:
+    text = _render_expression(item.expression)
+    if not item.ascending:
+        text += " DESC"
+    if item.nulls_first is True:
+        text += " NULLS FIRST"
+    elif item.nulls_first is False:
+        text += " NULLS LAST"
+    return text
+
+
+def _render_relation(relation: ast.Relation, pretty: bool = False, indent: int = 0) -> str:
+    if isinstance(relation, ast.TableRef):
+        if relation.alias:
+            return f"{relation.name} AS {relation.alias}"
+        return relation.name
+    if isinstance(relation, ast.SubqueryRef):
+        inner = render(relation.query, pretty=pretty, indent=indent + 1)
+        if pretty:
+            pad = "  " * (indent + 1)
+            text = f"(\n{pad}{inner}\n" + "  " * indent + ")"
+        else:
+            text = f"({inner})"
+        if relation.alias:
+            return f"{text} AS {relation.alias}"
+        return text
+    if isinstance(relation, ast.Join):
+        left = _render_relation(relation.left, pretty, indent)
+        right = _render_relation(relation.right, pretty, indent)
+        if relation.join_type == "CROSS" and relation.condition is None and not relation.using:
+            return f"{left} CROSS JOIN {right}"
+        join_keyword = f"{relation.join_type} JOIN"
+        text = f"{left} {join_keyword} {right}"
+        if relation.condition is not None:
+            text += " ON " + _render_expression(relation.condition)
+        elif relation.using:
+            text += " USING (" + ", ".join(relation.using) + ")"
+        return text
+    raise SqlError(f"Cannot render relation of type {type(relation).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# expression rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_expression(expression: ast.Expression) -> str:
+    if isinstance(expression, ast.Literal):
+        return _render_literal(expression)
+    if isinstance(expression, ast.Column):
+        return expression.qualified_name
+    if isinstance(expression, ast.Star):
+        return f"{expression.table}.*" if expression.table else "*"
+    if isinstance(expression, ast.UnaryOp):
+        operand = _render_expression(expression.operand)
+        if expression.operator.upper() == "NOT":
+            return f"NOT ({operand})"
+        return f"{expression.operator}{_maybe_parenthesise(expression.operand, operand)}"
+    if isinstance(expression, ast.BinaryOp):
+        return _render_binary(expression)
+    if isinstance(expression, ast.FunctionCall):
+        return _render_function(expression)
+    if isinstance(expression, ast.CaseExpression):
+        return _render_case(expression)
+    if isinstance(expression, ast.InList):
+        values = ", ".join(_render_expression(v) for v in expression.values)
+        keyword = "NOT IN" if expression.negated else "IN"
+        return f"{_render_expression(expression.expression)} {keyword} ({values})"
+    if isinstance(expression, ast.InSubquery):
+        keyword = "NOT IN" if expression.negated else "IN"
+        return f"{_render_expression(expression.expression)} {keyword} ({render(expression.query)})"
+    if isinstance(expression, ast.Between):
+        keyword = "NOT BETWEEN" if expression.negated else "BETWEEN"
+        return (
+            f"{_render_expression(expression.expression)} {keyword} "
+            f"{_render_expression(expression.low)} AND {_render_expression(expression.high)}"
+        )
+    if isinstance(expression, ast.Like):
+        keyword = "NOT LIKE" if expression.negated else "LIKE"
+        return f"{_render_expression(expression.expression)} {keyword} {_render_expression(expression.pattern)}"
+    if isinstance(expression, ast.IsNull):
+        keyword = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"{_render_expression(expression.expression)} {keyword}"
+    if isinstance(expression, ast.Exists):
+        keyword = "NOT EXISTS" if expression.negated else "EXISTS"
+        return f"{keyword} ({render(expression.query)})"
+    if isinstance(expression, ast.ScalarSubquery):
+        return f"({render(expression.query)})"
+    if isinstance(expression, ast.Cast):
+        return f"CAST({_render_expression(expression.expression)} AS {expression.target_type})"
+    raise SqlError(f"Cannot render expression of type {type(expression).__name__}")
+
+
+def _render_literal(literal: ast.Literal) -> str:
+    value = literal.value
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and value.is_integer():
+        return str(value)
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4,
+    "<>": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "||": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def _render_binary(expression: ast.BinaryOp) -> str:
+    operator = expression.operator.upper()
+    precedence = _PRECEDENCE.get(operator, 7)
+
+    def side(child: ast.Expression) -> str:
+        text = _render_expression(child)
+        if isinstance(child, ast.BinaryOp):
+            child_precedence = _PRECEDENCE.get(child.operator.upper(), 7)
+            if child_precedence < precedence:
+                return f"({text})"
+        return text
+
+    return f"{side(expression.left)} {operator} {side(expression.right)}"
+
+
+def _maybe_parenthesise(node: ast.Expression, text: str) -> str:
+    if isinstance(node, ast.BinaryOp):
+        return f"({text})"
+    return text
+
+
+def _render_function(call: ast.FunctionCall) -> str:
+    arguments = ", ".join(_render_expression(argument) for argument in call.arguments)
+    if call.distinct:
+        arguments = f"DISTINCT {arguments}"
+    text = f"{call.name}({arguments})"
+    if call.window is not None:
+        text += " OVER (" + _render_window(call.window) + ")"
+    return text
+
+
+def _render_window(window: ast.WindowSpec) -> str:
+    parts: List[str] = []
+    if window.partition_by:
+        parts.append(
+            "PARTITION BY " + ", ".join(_render_expression(e) for e in window.partition_by)
+        )
+    if window.order_by:
+        parts.append("ORDER BY " + ", ".join(_render_order_item(o) for o in window.order_by))
+    if window.frame is not None:
+        parts.append(_render_frame(window.frame))
+    return " ".join(parts)
+
+
+def _render_frame(frame: ast.WindowFrame) -> str:
+    return (
+        f"{frame.mode} BETWEEN {_render_frame_bound(frame.start)} "
+        f"AND {_render_frame_bound(frame.end)}"
+    )
+
+
+def _render_frame_bound(bound: ast.FrameBound) -> str:
+    if bound.offset is not None:
+        return f"{_render_expression(bound.offset)} {bound.kind}"
+    return bound.kind
+
+
+def _render_case(expression: ast.CaseExpression) -> str:
+    parts = ["CASE"]
+    for branch in expression.branches:
+        parts.append(
+            f"WHEN {_render_expression(branch.condition)} THEN {_render_expression(branch.result)}"
+        )
+    if expression.default is not None:
+        parts.append(f"ELSE {_render_expression(expression.default)}")
+    parts.append("END")
+    return " ".join(parts)

@@ -1,0 +1,137 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    PARAMETER = "parameter"
+    EOF = "eof"
+
+
+#: Reserved words recognised by the lexer.  Matching is case-insensitive; the
+#: lexer stores the upper-cased form in :attr:`Token.value`.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "OFFSET",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "BETWEEN",
+        "LIKE",
+        "EXISTS",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "CROSS",
+        "ON",
+        "USING",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "ALL",
+        "DISTINCT",
+        "OVER",
+        "PARTITION",
+        "ASC",
+        "DESC",
+        "CAST",
+        "WITH",
+        "RECURSIVE",
+        "VALUES",
+        "INSERT",
+        "INTO",
+        "CREATE",
+        "TABLE",
+        "STREAM",
+        "WINDOW",
+        "ROWS",
+        "RANGE",
+        "PRECEDING",
+        "FOLLOWING",
+        "CURRENT",
+        "ROW",
+        "UNBOUNDED",
+        "NULLS",
+        "FIRST",
+        "LAST",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPERATORS = ("<>", "!=", ">=", "<=", "||")
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS = ("=", "<", ">", "+", "-", "*", "/", "%")
+
+#: Punctuation characters that structure the query.
+PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: Lexical category.
+        value: Normalised token text (keywords are upper-cased, string
+            literals are unquoted).
+        position: Character offset of the token start in the source text.
+        line: 1-based line number.
+        column: 1-based column number.
+    """
+
+    type: TokenType
+    value: str
+    position: int = 0
+    line: int = 1
+    column: int = 1
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """Return ``True`` when the token has the given type (and value)."""
+        if self.type is not token_type:
+            return False
+        if value is None:
+            return True
+        return self.value.upper() == value.upper()
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return ``True`` when the token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in {
+            name.upper() for name in names
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.type.value}:{self.value!r}@{self.line}:{self.column}"

@@ -1,0 +1,19 @@
+"""Stream processing for the sensor level (E4) of the vertical architecture.
+
+According to Table 1 of the paper, sensors can only evaluate "filter / window,
+simple selection, aggregates on streams (over the last seconds)".  This
+subpackage provides exactly that capability: a bounded
+:class:`~repro.streams.stream.SensorStream` buffer with constant-comparison
+filters and sliding/tumbling window aggregation.
+"""
+
+from repro.streams.windows import SlidingWindow, TumblingWindow, WindowAggregate
+from repro.streams.stream import SensorStream, StreamFilter
+
+__all__ = [
+    "SlidingWindow",
+    "TumblingWindow",
+    "WindowAggregate",
+    "SensorStream",
+    "StreamFilter",
+]

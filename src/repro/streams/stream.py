@@ -1,0 +1,120 @@
+"""Bounded sensor stream buffers with sensor-grade filtering.
+
+The lowest level of the paper's architecture (E4) "can only compute some
+filter mechanisms (simple selections) and some simple aggregations over the
+last values generated".  :class:`SensorStream` models exactly this: it keeps a
+bounded buffer of readings, applies *constant-comparison* filters (a sensor
+cannot compare two attributes against each other — that is an appliance-level
+capability in the paper's use case) and exposes window aggregation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.engine.errors import ExecutionError
+from repro.engine.schema import Schema
+from repro.engine.table import Relation
+from repro.streams.windows import SlidingWindow, WindowAggregate
+
+Reading = Dict[str, Any]
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class StreamFilter:
+    """A single attribute-vs-constant comparison, e.g. ``z < 2``."""
+
+    column: str
+    operator: str
+    constant: Any
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ExecutionError(f"Unsupported stream filter operator: {self.operator}")
+
+    def matches(self, reading: Mapping[str, Any]) -> bool:
+        """Return True when the reading satisfies the filter."""
+        value = reading.get(self.column)
+        if value is None:
+            return False
+        return _OPERATORS[self.operator](value, self.constant)
+
+
+class SensorStream:
+    """A bounded buffer of sensor readings with sensor-level query support."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Optional[Schema] = None,
+        capacity: int = 10_000,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._buffer: Deque[Reading] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def push(self, reading: Mapping[str, Any]) -> None:
+        """Append one reading (oldest readings fall out when full)."""
+        self._buffer.append(dict(reading))
+
+    def push_many(self, readings: Iterable[Mapping[str, Any]]) -> int:
+        """Append many readings; returns the number pushed."""
+        count = 0
+        for reading in readings:
+            self.push(reading)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def readings(self) -> List[Reading]:
+        """A copy of the buffered readings (oldest first)."""
+        return [dict(reading) for reading in self._buffer]
+
+    # ------------------------------------------------------------------
+    # sensor-level query surface (Table 1, level E4)
+    # ------------------------------------------------------------------
+    def filtered(self, filters: Sequence[StreamFilter]) -> List[Reading]:
+        """Apply constant filters; corresponds to ``SELECT * FROM stream WHERE ...``."""
+        result = []
+        for reading in self._buffer:
+            if all(stream_filter.matches(reading) for stream_filter in filters):
+                result.append(dict(reading))
+        return result
+
+    def window_aggregate(
+        self,
+        size_seconds: float,
+        aggregates: Sequence[WindowAggregate],
+        time_column: str = "t",
+        filters: Sequence[StreamFilter] = (),
+    ) -> Reading:
+        """Aggregate the most recent window (e.g. average of the last minute)."""
+        window = SlidingWindow(
+            size_seconds=size_seconds, time_column=time_column, aggregates=list(aggregates)
+        )
+        return window.latest(self.filtered(filters) if filters else self.readings)
+
+    def to_relation(self, filters: Sequence[StreamFilter] = ()) -> Relation:
+        """Materialise the (optionally filtered) buffer as a relation."""
+        rows = self.filtered(filters) if filters else self.readings
+        schema = self.schema or Schema.infer(rows)
+        return Relation(schema=schema, rows=rows, name=self.name)

@@ -1,0 +1,106 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.table import Relation
+from repro.engine.types import DataType
+from repro.policy.presets import figure4_policy, restrictive_policy
+from repro.sensors.scenario import INTEGRATED_SCHEMA, SmartMeetingRoom, quantize_positions
+
+#: The SQL query embedded in the R code of Section 4.2.
+PAPER_SQL = """
+SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t)
+FROM (SELECT x, y, z, t FROM d)
+"""
+
+#: The R analysis call of Section 4.2.
+PAPER_R_CODE = """
+filterByClass(sqldf(
+  SELECT regr_intercept(y, x)
+  OVER (PARTITION BY z ORDER BY t)
+  FROM (SELECT x, y, z, t
+        FROM d)
+), action='walk', do.plot=F)
+"""
+
+
+@pytest.fixture
+def paper_sql() -> str:
+    return PAPER_SQL
+
+
+@pytest.fixture
+def paper_r_code() -> str:
+    return PAPER_R_CODE
+
+
+@pytest.fixture
+def paper_policy():
+    return figure4_policy()
+
+
+@pytest.fixture
+def strict_policy():
+    return restrictive_policy()
+
+
+@pytest.fixture
+def sensor_schema() -> Schema:
+    return INTEGRATED_SCHEMA
+
+
+def make_sensor_relation(rows: int = 200, seed: int = 0, grid: float = 0.5) -> Relation:
+    """Deterministic synthetic sensor relation matching the integrated schema."""
+    rng = random.Random(seed)
+    data = []
+    for index in range(rows):
+        x = round(round(rng.uniform(0, 8) / grid) * grid, 3)
+        y = round(round(rng.uniform(0, 6) / grid) * grid, 3)
+        data.append(
+            {
+                "person_id": rng.randint(1, 4),
+                "x": x,
+                "y": y,
+                "z": round(rng.uniform(0.1, 1.9), 3),
+                "t": round(index * 0.1, 3),
+                "valid": rng.random() > 0.05,
+                "activity": rng.choice(["walk", "sit", "stand"]),
+            }
+        )
+    return Relation(schema=INTEGRATED_SCHEMA, rows=data, name="d")
+
+
+@pytest.fixture
+def sensor_relation() -> Relation:
+    return make_sensor_relation()
+
+
+@pytest.fixture
+def small_relation() -> Relation:
+    schema = Schema(
+        [
+            ColumnDef(name="a", data_type=DataType.INTEGER),
+            ColumnDef(name="b", data_type=DataType.FLOAT),
+            ColumnDef(name="c", data_type=DataType.TEXT),
+        ]
+    )
+    rows = [
+        {"a": 1, "b": 1.5, "c": "red"},
+        {"a": 2, "b": 2.5, "c": "green"},
+        {"a": 3, "b": 3.5, "c": "blue"},
+        {"a": 4, "b": 4.5, "c": "red"},
+    ]
+    return Relation(schema=schema, rows=rows, name="small")
+
+
+@pytest.fixture(scope="session")
+def meeting_data():
+    """A small but complete Smart Meeting Room simulation (session scoped)."""
+    data = SmartMeetingRoom(person_count=3, seed=42).generate(duration_seconds=30.0)
+    data.integrated = quantize_positions(data.integrated, cell_size=0.5)
+    return data

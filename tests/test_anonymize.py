@@ -1,0 +1,280 @@
+"""Tests for quasi-identifier detection and the anonymization algorithms."""
+
+import pytest
+
+from repro.anonymize import (
+    Anonymizer,
+    CategoricalHierarchy,
+    KAnonymizer,
+    LaplaceMechanism,
+    NumericHierarchy,
+    Slicer,
+    detect_quasi_identifiers,
+    generalize_value,
+    is_k_anonymous,
+    private_aggregate,
+)
+from repro.anonymize.dp import perturb_numeric_columns
+from repro.anonymize.slicing import default_column_groups
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.table import Relation
+from repro.engine.types import DataType
+from tests.conftest import make_sensor_relation
+
+
+# ---------------------------------------------------------------------------
+# quasi-identifier detection
+# ---------------------------------------------------------------------------
+
+
+def test_schema_annotations_are_respected(sensor_relation):
+    report = detect_quasi_identifiers(sensor_relation)
+    assert "person_id" in report.identifying
+    assert "x" in report.quasi_identifiers and "y" in report.quasi_identifiers
+    assert "z" in report.sensitive
+    assert "person_id" in report.protected_columns
+
+
+def test_uniqueness_detection_flags_unique_columns():
+    relation = Relation.from_rows(
+        [{"idlike": i, "constant": 1} for i in range(50)]
+    )
+    report = detect_quasi_identifiers(relation, uniqueness_threshold=0.5)
+    assert "idlike" in report.quasi_identifiers
+    assert "constant" not in report.quasi_identifiers
+    assert report.uniqueness["idlike"] == 1.0
+
+
+def test_risky_combinations_detected():
+    relation = Relation.from_rows(
+        [{"a": i % 10, "b": i // 10, "c": 0} for i in range(100)]
+    )
+    report = detect_quasi_identifiers(relation, combination_threshold=0.9)
+    assert ("a", "b") in report.risky_combinations
+    assert "a" in report.quasi_identifiers and "b" in report.quasi_identifiers
+
+
+def test_exclude_columns():
+    relation = Relation.from_rows([{"t": i} for i in range(20)])
+    report = detect_quasi_identifiers(relation, exclude=["t"])
+    assert report.quasi_identifiers == []
+
+
+# ---------------------------------------------------------------------------
+# hierarchies
+# ---------------------------------------------------------------------------
+
+
+def test_numeric_hierarchy_levels():
+    hierarchy = NumericHierarchy(minimum=0, maximum=10, base_width=1.0, levels=3)
+    assert hierarchy.generalize(3.4, 0) == 3.4
+    assert hierarchy.generalize(3.4, 1) == "[3,4)"
+    assert hierarchy.generalize(3.4, 2) == "[2,4)"
+    assert hierarchy.generalize(3.4, 3) == "*"
+    assert hierarchy.generalize(None, 1) is None
+    built = NumericHierarchy.from_values([0.0, 8.0], base_bins=8)
+    assert built.base_width == pytest.approx(1.0)
+
+
+def test_categorical_hierarchy():
+    hierarchy = CategoricalHierarchy(
+        taxonomy={"walk": ["moving", "any"], "sit": ["resting", "any"]}
+    )
+    assert hierarchy.generalize("walk", 0) == "walk"
+    assert hierarchy.generalize("walk", 1) == "moving"
+    assert hierarchy.generalize("walk", 2) == "any"
+    assert hierarchy.generalize("walk", 3) == "*"
+    assert hierarchy.generalize("unknown", 1) == "*"
+    assert hierarchy.max_level == 3
+
+
+def test_generalize_value_without_hierarchy():
+    assert generalize_value(1.23456, 0) == 1.23456
+    assert generalize_value(1.23456, 1) == 1.23
+    assert generalize_value(1.23456, 3) == 1.0
+    assert generalize_value("text", 1) == "*"
+    assert generalize_value(None, 2) is None
+
+
+# ---------------------------------------------------------------------------
+# k-anonymity
+# ---------------------------------------------------------------------------
+
+
+def test_k_anonymizer_produces_k_anonymous_output():
+    relation = make_sensor_relation(rows=300, seed=1)
+    result = KAnonymizer(k=5).anonymize(relation, ["x", "y"])
+    assert result.satisfied
+    assert is_k_anonymous(result.relation, ["x", "y"], 5)
+    assert len(result.relation) + result.suppressed_rows == len(relation)
+    assert result.partitions >= 1
+
+
+def test_k_anonymizer_preserves_non_qi_columns():
+    relation = make_sensor_relation(rows=100, seed=2)
+    result = KAnonymizer(k=4).anonymize(relation, ["x", "y"])
+    for original, anonymized in zip(relation.rows, result.relation.rows):
+        assert anonymized["t"] == original["t"]
+        assert anonymized["z"] == original["z"]
+
+
+def test_k_anonymizer_trivial_cases():
+    relation = make_sensor_relation(rows=6, seed=3)
+    # Without quasi-identifiers nothing changes.
+    unchanged = KAnonymizer(k=3).anonymize(relation, [])
+    assert unchanged.relation.to_dicts() == relation.to_dicts()
+    # k larger than the relation: the single undersized partition is suppressed
+    # (6 identical rows can never satisfy k=10).
+    result = KAnonymizer(k=10).anonymize(relation, ["x"])
+    assert len(result.relation) == 0
+    assert result.suppressed_rows == 6
+    # Without suppression the rows survive fully generalized instead.
+    kept = KAnonymizer(k=10, suppress_small_groups=False).anonymize(relation, ["x"])
+    assert len(kept.relation) == 6
+    assert len({row["x"] for row in kept.relation}) == 1
+
+
+def test_k_anonymizer_rejects_invalid_k():
+    with pytest.raises(ValueError):
+        KAnonymizer(k=0)
+
+
+def test_is_k_anonymous_detects_violations():
+    relation = Relation.from_rows([{"q": 1}, {"q": 1}, {"q": 2}])
+    assert is_k_anonymous(relation, ["q"], 1)
+    assert not is_k_anonymous(relation, ["q"], 2)
+    assert is_k_anonymous(Relation.from_rows([]), ["q"], 5)
+
+
+# ---------------------------------------------------------------------------
+# slicing
+# ---------------------------------------------------------------------------
+
+
+def test_slicing_preserves_marginals_but_breaks_association():
+    relation = make_sensor_relation(rows=200, seed=4)
+    groups = [["x", "y"], ["z"]]
+    result = Slicer(bucket_size=10, seed=0).anonymize(relation, groups, sort_by="t")
+    assert len(result.relation) == len(relation)
+    # Marginal multisets of each column are preserved.
+    for column in ("x", "y", "z"):
+        assert sorted(
+            v for v in result.relation.column_values(column) if v is not None
+        ) == sorted(v for v in relation.column_values(column) if v is not None)
+    # But the per-row association with z changed for a noticeable share of rows.
+    changed = sum(
+        1
+        for before, after in zip(
+            sorted(relation.to_dicts(), key=lambda r: r["t"]),
+            result.relation.to_dicts(),
+        )
+        if before["z"] != after["z"]
+    )
+    assert changed > len(relation) * 0.3
+
+
+def test_slicing_keeps_column_group_intact():
+    relation = make_sensor_relation(rows=60, seed=5)
+    pairs_before = {(row["x"], row["y"]) for row in relation.rows}
+    result = Slicer(bucket_size=6, seed=1).anonymize(relation, [["x", "y"]])
+    pairs_after = {(row["x"], row["y"]) for row in result.relation.rows}
+    assert pairs_after == pairs_before
+
+
+def test_slicer_validation_and_default_groups(sensor_relation):
+    with pytest.raises(ValueError):
+        Slicer(bucket_size=1)
+    groups = default_column_groups(sensor_relation, ["x", "y"], ["z", "x"])
+    assert groups == [["x", "y"], ["z"]]
+
+
+# ---------------------------------------------------------------------------
+# differential privacy
+# ---------------------------------------------------------------------------
+
+
+def test_laplace_mechanism_parameters():
+    mechanism = LaplaceMechanism(epsilon=2.0, sensitivity=4.0, seed=0)
+    assert mechanism.scale == 2.0
+    values = [mechanism.noise() for _ in range(200)]
+    assert abs(sum(values) / len(values)) < 1.0
+    with pytest.raises(ValueError):
+        LaplaceMechanism(epsilon=0)
+    with pytest.raises(ValueError):
+        LaplaceMechanism(sensitivity=0)
+
+
+def test_private_aggregates_are_close_for_large_epsilon():
+    values = [1.0] * 100
+    assert private_aggregate(values, "count", epsilon=100, seed=1) == pytest.approx(100, abs=2)
+    assert private_aggregate(values, "sum", epsilon=100, seed=1) == pytest.approx(100, abs=2)
+    assert private_aggregate(values, "avg", epsilon=100, seed=1) == pytest.approx(1.0, abs=0.2)
+    assert private_aggregate([], "avg") == 0.0
+    with pytest.raises(ValueError):
+        private_aggregate(values, "median")
+
+
+def test_perturb_numeric_columns_changes_values_but_not_shape(sensor_relation):
+    perturbed = perturb_numeric_columns(sensor_relation, ["z"], epsilon=1.0, seed=7)
+    assert len(perturbed) == len(sensor_relation)
+    before = sensor_relation.column_values("z")
+    after = perturbed.column_values("z")
+    assert any(a != b for a, b in zip(before, after))
+    # Non-selected columns untouched.
+    assert perturbed.column_values("x") == sensor_relation.column_values("x")
+
+
+# ---------------------------------------------------------------------------
+# postprocessor façade
+# ---------------------------------------------------------------------------
+
+
+def test_anonymizer_kanonymity_outcome(sensor_relation):
+    outcome = Anonymizer(algorithm="k_anonymity", k=5).anonymize(sensor_relation)
+    assert outcome.applied
+    assert outcome.information_loss is not None
+    assert outcome.information_loss.direct_distance > 0
+    assert is_k_anonymous(
+        outcome.relation,
+        [c for c in ("x", "y") if c in outcome.relation.schema],
+        5,
+    )
+    assert "k_anonymity" in outcome.summary()
+
+
+def test_anonymizer_defers_on_weak_nodes(sensor_relation):
+    outcome = Anonymizer(algorithm="k_anonymity", minimum_cpu_power=1.0).anonymize(
+        sensor_relation, node_cpu_power=0.1
+    )
+    assert not outcome.applied
+    assert outcome.relation is sensor_relation
+
+
+def test_anonymizer_algorithm_choice(sensor_relation):
+    anonymizer = Anonymizer(k=5)
+    assert anonymizer.choose_algorithm(sensor_relation, aggregated=False) == "slicing"
+    small = Relation(schema=sensor_relation.schema, rows=sensor_relation.to_dicts()[:3])
+    assert anonymizer.choose_algorithm(small, aggregated=True) == "differential_privacy"
+    assert anonymizer.choose_algorithm(sensor_relation, aggregated=True) == "k_anonymity"
+
+
+def test_anonymizer_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        Anonymizer(algorithm="rot13")
+
+
+def test_anonymizer_none_and_empty_input(sensor_relation):
+    assert not Anonymizer(algorithm="none").anonymize(sensor_relation).applied
+    empty = Relation(schema=sensor_relation.schema, rows=[])
+    assert not Anonymizer().anonymize(empty).applied
+
+
+def test_anonymizer_differential_privacy_and_slicing_paths(sensor_relation):
+    dp = Anonymizer(algorithm="differential_privacy", epsilon=2.0, seed=0).anonymize(
+        sensor_relation
+    )
+    assert dp.applied
+    assert dp.information_loss.kl_divergence_mean >= 0
+    sliced = Anonymizer(algorithm="slicing", k=5, seed=0).anonymize(sensor_relation)
+    assert sliced.applied
+    assert len(sliced.relation) == len(sensor_relation)

@@ -1,0 +1,92 @@
+"""Tests for aggregate functions, including the SQL:2003 regression family."""
+
+import math
+
+import pytest
+
+from repro.engine.aggregates import compute_aggregate, is_known_aggregate
+from repro.engine.errors import ExecutionError
+
+
+def test_count_sum_avg_min_max():
+    values = [[1, 2, 3, None]]
+    assert compute_aggregate("COUNT", values) == 3
+    assert compute_aggregate("SUM", values) == 6
+    assert compute_aggregate("AVG", values) == 2
+    assert compute_aggregate("MIN", values) == 1
+    assert compute_aggregate("MAX", values) == 3
+
+
+def test_count_star_counts_nulls_too():
+    assert compute_aggregate("COUNT", [[1, None, None]], is_star=True) == 3
+
+
+def test_sum_preserves_int_when_all_int():
+    assert compute_aggregate("SUM", [[1, 2]]) == 3
+    assert isinstance(compute_aggregate("SUM", [[1, 2]]), int)
+    assert isinstance(compute_aggregate("SUM", [[1.0, 2.0]]), float)
+
+
+def test_empty_aggregates_return_none_or_zero():
+    assert compute_aggregate("SUM", [[]]) is None
+    assert compute_aggregate("AVG", [[None, None]]) is None
+    assert compute_aggregate("COUNT", [[]]) == 0
+
+
+def test_distinct_aggregation():
+    assert compute_aggregate("COUNT", [[1, 1, 2]], distinct=True) == 2
+    assert compute_aggregate("SUM", [[1, 1, 2]], distinct=True) == 3
+
+
+def test_statistics_aggregates():
+    values = [[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]]
+    assert compute_aggregate("STDDEV_POP", values) == pytest.approx(2.0)
+    assert compute_aggregate("VAR_POP", values) == pytest.approx(4.0)
+    assert compute_aggregate("MEDIAN", values) == pytest.approx(4.5)
+    assert compute_aggregate("STDDEV", [[1.0]]) is None
+
+
+def test_regr_slope_and_intercept_on_perfect_line():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    ys = [2 * x + 1 for x in xs]  # y = 2x + 1
+    assert compute_aggregate("REGR_SLOPE", [ys, xs]) == pytest.approx(2.0)
+    assert compute_aggregate("REGR_INTERCEPT", [ys, xs]) == pytest.approx(1.0)
+    assert compute_aggregate("REGR_COUNT", [ys, xs]) == 4
+    assert compute_aggregate("REGR_R2", [ys, xs]) == pytest.approx(1.0)
+    assert compute_aggregate("CORR", [ys, xs]) == pytest.approx(1.0)
+
+
+def test_regression_ignores_null_pairs():
+    xs = [1.0, None, 3.0]
+    ys = [1.0, 5.0, 3.0]
+    assert compute_aggregate("REGR_COUNT", [ys, xs]) == 2
+    assert compute_aggregate("REGR_SLOPE", [ys, xs]) == pytest.approx(1.0)
+
+
+def test_regression_degenerate_cases():
+    # Fewer than two points or zero variance in x -> NULL.
+    assert compute_aggregate("REGR_SLOPE", [[1.0], [1.0]]) is None
+    assert compute_aggregate("REGR_SLOPE", [[1.0, 2.0], [3.0, 3.0]]) is None
+    assert compute_aggregate("CORR", [[1.0, 1.0], [1.0, 2.0]]) is None
+
+
+def test_covariance():
+    xs = [1.0, 2.0, 3.0]
+    ys = [2.0, 4.0, 6.0]
+    assert compute_aggregate("COVAR_POP", [ys, xs]) == pytest.approx(4.0 / 3.0)
+    assert compute_aggregate("COVAR_SAMP", [ys, xs]) == pytest.approx(2.0)
+
+
+def test_wrong_arity_raises():
+    with pytest.raises(ExecutionError):
+        compute_aggregate("REGR_SLOPE", [[1.0, 2.0]])
+    with pytest.raises(ExecutionError):
+        compute_aggregate("SUM", [])
+    with pytest.raises(ExecutionError):
+        compute_aggregate("NOT_AN_AGG", [[1]])
+
+
+def test_is_known_aggregate():
+    assert is_known_aggregate("avg")
+    assert is_known_aggregate("REGR_INTERCEPT")
+    assert not is_known_aggregate("UPPER")

@@ -1,0 +1,112 @@
+"""Tests for row-level expression evaluation."""
+
+import pytest
+
+from repro.engine.errors import ExecutionError
+from repro.engine.evaluator import EvaluationContext, evaluate, evaluate_predicate
+from repro.sql.parser import parse_expression
+from repro.sql.render import render_expression
+
+
+def ev(text, scope=None, aggregates=None):
+    context = EvaluationContext(scope=scope or {}, aggregates=aggregates or {})
+    return evaluate(parse_expression(text), context)
+
+
+def test_literals_and_columns():
+    assert ev("42") == 42
+    assert ev("'walk'") == "walk"
+    assert ev("TRUE") is True
+    assert ev("NULL") is None
+    assert ev("x", {"x": 7}) == 7
+
+
+def test_qualified_column_lookup():
+    scope = {"x": 1, "d.x": 2}
+    assert ev("d.x", scope) == 2
+    assert ev("x", scope) == 1
+
+
+def test_unknown_column_raises():
+    with pytest.raises(ExecutionError):
+        ev("missing", {"x": 1})
+
+
+def test_parent_scope_resolution():
+    parent = EvaluationContext(scope={"above": 10})
+    child = EvaluationContext(scope={"below": 1}, parent=parent)
+    assert evaluate(parse_expression("above + below"), child) == 11
+
+
+def test_arithmetic_and_null_propagation():
+    assert ev("1 + 2 * 3") == 7
+    assert ev("x + 1", {"x": None}) is None
+    assert ev("10 / 4") == 2.5
+    assert ev("10 / 0") is None
+    assert ev("7 % 3") == 1
+    assert ev("-x", {"x": 3}) == -3
+    assert ev("'a' || 'b'") == "ab"
+
+
+def test_comparisons():
+    assert ev("x > y", {"x": 2, "y": 1}) is True
+    assert ev("x > y", {"x": 1, "y": 2}) is False
+    assert ev("x = y", {"x": 1, "y": None}) is None
+    assert ev("x <> y", {"x": 1, "y": 2}) is True
+
+
+def test_three_valued_logic():
+    assert ev("TRUE AND NULL") is None
+    assert ev("FALSE AND NULL") is False
+    assert ev("TRUE OR NULL") is True
+    assert ev("FALSE OR NULL") is None
+    assert ev("NOT NULL") is None
+
+
+def test_predicate_treats_null_as_false():
+    context = EvaluationContext(scope={"z": None})
+    assert evaluate_predicate(parse_expression("z < 2"), context) is False
+    assert evaluate_predicate(None, context) is True
+
+
+def test_between_in_like_isnull():
+    assert ev("z BETWEEN 0 AND 2", {"z": 1}) is True
+    assert ev("z NOT BETWEEN 0 AND 2", {"z": 1}) is False
+    assert ev("c IN ('a', 'b')", {"c": "b"}) is True
+    assert ev("c NOT IN ('a', 'b')", {"c": "x"}) is True
+    assert ev("c LIKE 'wa%'", {"c": "walk"}) is True
+    assert ev("c LIKE 'w_lk'", {"c": "walk"}) is True
+    assert ev("x IS NULL", {"x": None}) is True
+    assert ev("x IS NOT NULL", {"x": None}) is False
+
+
+def test_case_expression():
+    assert ev("CASE WHEN z < 1 THEN 'low' ELSE 'high' END", {"z": 0.5}) == "low"
+    assert ev("CASE WHEN z < 1 THEN 'low' END", {"z": 2}) is None
+
+
+def test_cast():
+    assert ev("CAST('3' AS INTEGER)") == 3
+    assert ev("CAST(x AS TEXT)", {"x": 2}) == "2"
+
+
+def test_scalar_function_calls():
+    assert ev("ROUND(x, 1)", {"x": 2.34}) == 2.3
+    assert ev("COALESCE(x, 0)", {"x": None}) == 0
+
+
+def test_aggregate_outside_group_context_raises():
+    with pytest.raises(ExecutionError):
+        ev("SUM(x)", {"x": 1})
+
+
+def test_precomputed_aggregate_lookup():
+    expression = parse_expression("SUM(z) > 100")
+    key = render_expression(parse_expression("SUM(z)"))
+    context = EvaluationContext(scope={}, aggregates={key: 150})
+    assert evaluate(expression, context) is True
+
+
+def test_subquery_requires_executor():
+    with pytest.raises(ExecutionError):
+        ev("EXISTS (SELECT 1 FROM d)")

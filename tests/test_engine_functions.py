@@ -1,0 +1,60 @@
+"""Tests for scalar functions."""
+
+import pytest
+
+from repro.engine.errors import ExecutionError
+from repro.engine.functions import call_scalar_function, is_scalar_function
+
+
+def test_math_functions():
+    assert call_scalar_function("ABS", [-2]) == 2
+    assert call_scalar_function("CEIL", [1.2]) == 2
+    assert call_scalar_function("FLOOR", [1.8]) == 1
+    assert call_scalar_function("SQRT", [9]) == 3
+    assert call_scalar_function("POWER", [2, 10]) == 1024
+    assert call_scalar_function("MOD", [7, 3]) == 1
+    assert call_scalar_function("SIGN", [-5]) == -1
+
+
+def test_round_with_and_without_digits():
+    assert call_scalar_function("ROUND", [1.2345, 2]) == 1.23
+    assert call_scalar_function("ROUND", [1.6]) == 2
+
+
+def test_string_functions():
+    assert call_scalar_function("UPPER", ["walk"]) == "WALK"
+    assert call_scalar_function("LOWER", ["WALK"]) == "walk"
+    assert call_scalar_function("LENGTH", ["abc"]) == 3
+    assert call_scalar_function("TRIM", ["  x "]) == "x"
+    assert call_scalar_function("SUBSTR", ["sensor", 1, 3]) == "sen"
+    assert call_scalar_function("CONCAT", ["a", None, "b"]) == "ab"
+
+
+def test_null_propagation():
+    assert call_scalar_function("ABS", [None]) is None
+    assert call_scalar_function("UPPER", [None]) is None
+
+
+def test_coalesce_and_nullif():
+    assert call_scalar_function("COALESCE", [None, None, 3]) == 3
+    assert call_scalar_function("COALESCE", [None]) is None
+    assert call_scalar_function("NULLIF", [1, 1]) is None
+    assert call_scalar_function("NULLIF", [1, 2]) == 1
+
+
+def test_greatest_least_ignore_nulls():
+    assert call_scalar_function("GREATEST", [1, None, 3]) == 3
+    assert call_scalar_function("LEAST", [1, None, 3]) == 1
+
+
+def test_width_bucket():
+    assert call_scalar_function("WIDTH_BUCKET", [0.5, 0, 1, 10]) == 6
+    assert call_scalar_function("WIDTH_BUCKET", [-1, 0, 1, 10]) == 0
+    assert call_scalar_function("WIDTH_BUCKET", [2, 0, 1, 10]) == 11
+
+
+def test_unknown_function_raises():
+    with pytest.raises(ExecutionError):
+        call_scalar_function("NO_SUCH_FUNCTION", [1])
+    assert not is_scalar_function("NO_SUCH_FUNCTION")
+    assert is_scalar_function("round")

@@ -1,0 +1,190 @@
+"""Tests for the topology model and the vertical fragmenter."""
+
+import pytest
+
+from repro.fragment import CapabilityLevel, Topology, VerticalFragmenter
+from repro.fragment.topology import Node
+from repro.policy.presets import figure4_policy
+from repro.rewrite import QueryRewriter
+from repro.sql import parse, render
+from repro.sql.analysis import analyze_query
+
+
+# ---------------------------------------------------------------------------
+# topology
+# ---------------------------------------------------------------------------
+
+
+def test_default_chain_shape():
+    topology = Topology.default_chain()
+    assert [node.level for node in topology.nodes] == [
+        CapabilityLevel.E4_SENSOR,
+        CapabilityLevel.E3_APPLIANCE,
+        CapabilityLevel.E2_PC,
+        CapabilityLevel.E1_CLOUD,
+    ]
+    assert topology.cloud.name == "cloud"
+    assert not topology.cloud.inside_apartment
+    assert topology.boundary_index == len(topology) - 1
+
+
+def test_topology_lookup_and_describe():
+    topology = Topology.default_chain(appliance_count=2)
+    assert len(topology.nodes_at(CapabilityLevel.E3_APPLIANCE)) == 2
+    assert topology.node("pc").level is CapabilityLevel.E2_PC
+    with pytest.raises(KeyError):
+        topology.node("nope")
+    description = topology.describe()
+    assert description[0]["level"] == "E4"
+    assert description[-1]["inside_apartment"] == "False"
+
+
+def test_first_node_at_or_above_skips_missing_levels():
+    topology = Topology.cloud_only()
+    node = topology.first_node_at_or_above(CapabilityLevel.E3_APPLIANCE)
+    assert node.level is CapabilityLevel.E1_CLOUD
+
+
+def test_topology_rejects_empty_and_duplicate_names():
+    with pytest.raises(ValueError):
+        Topology([])
+    with pytest.raises(ValueError):
+        Topology(
+            [
+                Node(name="a", level=CapabilityLevel.E4_SENSOR),
+                Node(name="a", level=CapabilityLevel.E1_CLOUD),
+            ]
+        )
+
+
+def test_node_capacity_check():
+    node = Node(name="sensor", level=CapabilityLevel.E4_SENSOR, free_memory_mb=1.0)
+    assert node.can_hold_rows(100)
+    assert not node.can_hold_rows(10_000_000)
+    assert node.cpu_power == pytest.approx(0.1)
+
+
+# ---------------------------------------------------------------------------
+# fragmenter
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def paper_plan(paper_sql):
+    rewritten = QueryRewriter(figure4_policy()).rewrite_sql(paper_sql, "ActionFilter")
+    return VerticalFragmenter(Topology.default_chain()).fragment(rewritten.query)
+
+
+def test_paper_plan_reproduces_the_four_staged_queries(paper_plan):
+    """The plan must match the four per-level queries printed in Section 4.2."""
+    sqls = [fragment.sql for fragment in paper_plan.fragments]
+    assert sqls[0] == "SELECT * FROM d WHERE z < 2"
+    assert sqls[1] == "SELECT x, y, z, t FROM d1 WHERE x > y"
+    assert sqls[2] == "SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100"
+    assert "REGR_INTERCEPT(y, x) OVER (PARTITION BY zAVG ORDER BY t)" in sqls[3]
+    assert sqls[3].endswith("FROM d3")
+
+
+def test_paper_plan_levels_and_nodes(paper_plan):
+    levels = [fragment.level for fragment in paper_plan.fragments]
+    assert levels == [
+        CapabilityLevel.E4_SENSOR,
+        CapabilityLevel.E3_APPLIANCE,
+        CapabilityLevel.E3_APPLIANCE,
+        CapabilityLevel.E2_PC,
+    ]
+    assert paper_plan.fragments[0].assigned_node == "sensor"
+    assert paper_plan.fragments[-1].assigned_node == "pc"
+    assert paper_plan.deepest_pushdown is CapabilityLevel.E4_SENSOR
+    assert paper_plan.result_name == paper_plan.fragments[-1].name
+
+
+def test_fragments_chain_via_intermediate_names(paper_plan):
+    names = [fragment.name for fragment in paper_plan.fragments]
+    assert names == ["d1", "d2", "d3", "d4"]
+    inputs = [fragment.input_name for fragment in paper_plan.fragments]
+    assert inputs == ["d", "d1", "d2", "d3"]
+
+
+def test_each_fragment_is_executable_by_its_level(paper_plan):
+    from repro.fragment.capabilities import capability_for
+
+    for fragment in paper_plan.fragments:
+        capability = capability_for(fragment.level)
+        assert capability.supports(analyze_query(fragment.query)), fragment.sql
+
+
+def test_plan_description_and_pretty(paper_plan):
+    rows = paper_plan.describe()
+    assert rows[-1]["fragment"] == "Q_delta"
+    assert rows[0]["level"] == "E4"
+    text = paper_plan.pretty()
+    assert "d1" in text and "Q_delta" in text
+    assert paper_plan.fragments_at(CapabilityLevel.E3_APPLIANCE)
+
+
+def test_flat_query_still_fragments():
+    plan = VerticalFragmenter().fragment(
+        parse("SELECT x, y FROM d WHERE z < 2 AND x > y")
+    )
+    assert len(plan.fragments) == 2
+    assert plan.fragments[0].level is CapabilityLevel.E4_SENSOR
+    assert "z < 2" in plan.fragments[0].sql
+    assert "x > y" in plan.fragments[1].sql
+
+
+def test_constant_only_query_yields_single_sensor_fragment():
+    plan = VerticalFragmenter().fragment(parse("SELECT * FROM stream WHERE z < 2"))
+    assert len(plan.fragments) == 1
+    assert plan.fragments[0].level is CapabilityLevel.E4_SENSOR
+
+
+def test_aggregate_query_places_grouping_on_appliance():
+    plan = VerticalFragmenter().fragment(
+        parse("SELECT x, AVG(z) AS m FROM d GROUP BY x HAVING COUNT(*) > 5")
+    )
+    levels = [fragment.level for fragment in plan.fragments]
+    assert levels[-1] is CapabilityLevel.E3_APPLIANCE
+
+
+def test_join_query_is_one_appliance_fragment():
+    plan = VerticalFragmenter().fragment(
+        parse("SELECT a.x FROM ubisense a JOIN sensfloor b ON a.t = b.t WHERE a.x > 1")
+    )
+    assert len(plan.fragments) == 1
+    assert plan.fragments[0].level is CapabilityLevel.E3_APPLIANCE
+
+
+def test_order_by_limit_needs_appliance():
+    plan = VerticalFragmenter().fragment(parse("SELECT * FROM d WHERE z < 2 ORDER BY t LIMIT 5"))
+    assert plan.fragments[0].level is CapabilityLevel.E4_SENSOR
+    assert plan.fragments[-1].level is CapabilityLevel.E3_APPLIANCE
+    assert plan.fragments[-1].query.limit == 5
+
+
+def test_missing_levels_fall_back_to_more_powerful_nodes(paper_sql):
+    rewritten = QueryRewriter(figure4_policy()).rewrite_sql(paper_sql, "ActionFilter")
+    plan = VerticalFragmenter(Topology.cloud_only()).fragment(rewritten.query)
+    # Appliance/PC fragments must run somewhere that exists in the topology.
+    for fragment in plan.fragments:
+        assert fragment.assigned_node in {"sensor", "cloud"}
+
+
+def test_cloud_only_plan_ships_raw_data(paper_sql):
+    fragmenter = VerticalFragmenter()
+    plan = fragmenter.cloud_only_plan(parse(paper_sql))
+    assert len(plan.fragments) == 1
+    assert plan.fragments[0].sql == "SELECT * FROM d"
+    assert plan.remainder_query is not None
+    assert render(plan.remainder_query) == render(parse(paper_sql))
+
+
+def test_three_level_nesting_produces_monotonic_levels():
+    sql = (
+        "SELECT SUM(v) OVER (ORDER BY t) FROM ("
+        "  SELECT t, AVG(z) AS v FROM (SELECT t, z FROM d WHERE z < 2) GROUP BY t"
+        ")"
+    )
+    plan = VerticalFragmenter().fragment(parse(sql))
+    numeric_levels = [int(fragment.level) for fragment in plan.fragments]
+    assert numeric_levels == sorted(numeric_levels, reverse=True)

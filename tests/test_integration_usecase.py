@@ -1,0 +1,124 @@
+"""Integration test: the complete Section 4.2 walk-through of the paper.
+
+This test reproduces the use case end to end over simulated Smart Meeting
+Room data and checks every intermediate artefact the paper prints:
+
+* the SQL extracted from the R analysis code,
+* the rewritten query (conditions, GROUP BY, HAVING, zAVG renaming),
+* the four staged queries and their placement on the node hierarchy,
+* the residual R call executed at the cloud,
+* the privacy effect: only the reduced, policy-compliant result d' leaves the
+  apartment, and it satisfies the policy's constraints.
+"""
+
+import pytest
+
+from repro import ParadiseProcessor, figure4_policy
+from repro.fragment import CapabilityLevel, Topology, VerticalFragmenter
+from repro.rewrite import QueryRewriter
+from repro.rlang import extract_sql_from_r
+from repro.sensors.scenario import INTEGRATED_SCHEMA
+from tests.conftest import PAPER_R_CODE, make_sensor_relation
+
+
+@pytest.fixture(scope="module")
+def environment():
+    relation = make_sensor_relation(rows=2000, seed=13, grid=1.0)
+    processor = ParadiseProcessor(figure4_policy(), schema=INTEGRATED_SCHEMA)
+    processor.load_data(relation)
+    return relation, processor
+
+
+def test_full_walkthrough(environment):
+    relation, processor = environment
+
+    # Step 1: SQLable-pattern extraction from the R code.
+    extraction = extract_sql_from_r(PAPER_R_CODE)
+    assert extraction.wrapper_function == "filterByClass"
+
+    # Step 2: rewriting against the Figure 4 policy.
+    rewriter = QueryRewriter(figure4_policy())
+    rewritten = rewriter.rewrite(extraction.query, "ActionFilter")
+    assert "WHERE x > y AND z < 2" in rewritten.sql
+    assert "HAVING SUM(z) > 100" in rewritten.sql
+    assert "PARTITION BY zAVG" in rewritten.sql
+
+    # Step 3: vertical fragmentation matches the paper's staged queries.
+    plan = VerticalFragmenter(Topology.default_chain()).fragment(rewritten.query)
+    assert [f.level for f in plan.fragments] == [
+        CapabilityLevel.E4_SENSOR,
+        CapabilityLevel.E3_APPLIANCE,
+        CapabilityLevel.E3_APPLIANCE,
+        CapabilityLevel.E2_PC,
+    ]
+    assert plan.fragments[0].sql == "SELECT * FROM d WHERE z < 2"
+
+    # Step 4: end-to-end execution over the simulated environment.
+    result = processor.process_r(PAPER_R_CODE, module_id="ActionFilter")
+    assert result.admitted
+    assert result.remainder_call == "filterByClass(d_prime, action='walk', do.plot=F)"
+
+    # Privacy effect: the data leaving the apartment is a small subset of d.
+    assert result.raw_input_rows == len(relation)
+    assert result.rows_leaving_apartment < result.raw_input_rows
+
+    # The per-node execution shrinks the data monotonically towards the top
+    # (after the appliance stage, which prunes columns and rows).
+    outputs = [execution.output_rows for execution in result.executions]
+    assert outputs[0] <= result.raw_input_rows
+    assert outputs[-1] <= outputs[0]
+
+
+def test_policy_constraints_hold_on_every_shipped_tuple(environment):
+    relation, processor = environment
+    result = processor.process(
+        "SELECT x, y, z, t FROM d", module_id="ActionFilter", anonymize=False
+    )
+    assert result.admitted
+    # Figure 4: x > y at any time; z only as AVG grouped by x, y with SUM(z) > 100.
+    for row in result.result.rows:
+        assert row["x"] > row["y"]
+        assert "z" not in row
+        assert "zAVG" in row
+
+    # Verify the HAVING guard against the raw data: every surviving (x, y)
+    # group really has SUM(z) > 100 among the policy-compliant readings.
+    sums = {}
+    for raw in relation.rows:
+        if raw["x"] is None or raw["y"] is None or raw["z"] is None:
+            continue
+        if raw["x"] > raw["y"] and raw["z"] < 2:
+            key = (raw["x"], raw["y"])
+            sums[key] = sums.get(key, 0.0) + raw["z"]
+    for row in result.result.rows:
+        assert sums[(row["x"], row["y"])] > 100
+
+
+def test_rewriting_disabled_baseline_reveals_more(environment):
+    relation, processor = environment
+    protected = processor.process("SELECT x, y, z, t FROM d", "ActionFilter", anonymize=False)
+    unprotected = processor.process(
+        "SELECT x, y, z, t FROM d",
+        "ActionFilter",
+        apply_rewriting=False,
+        pushdown=True,
+        anonymize=False,
+    )
+    assert unprotected.rows_leaving_apartment >= protected.rows_leaving_apartment
+    assert "z" in unprotected.result.schema
+    assert "z" not in protected.result.schema
+
+
+def test_cloud_only_vs_pushdown_transfer_volume(environment):
+    relation, processor = environment
+    pushdown = processor.process("SELECT x, y, z, t FROM d", "ActionFilter", anonymize=False)
+    cloud_only = processor.process(
+        "SELECT x, y, z, t FROM d",
+        "ActionFilter",
+        pushdown=False,
+        apply_rewriting=False,
+        anonymize=False,
+    )
+    assert cloud_only.rows_leaving_apartment == len(relation)
+    assert pushdown.bytes_leaving_apartment < cloud_only.bytes_leaving_apartment
+    assert pushdown.data_reduction_ratio > cloud_only.data_reduction_ratio

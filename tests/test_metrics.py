@@ -1,0 +1,147 @@
+"""Tests for the information-loss metrics (Direct Distance, KL divergence)."""
+
+import pytest
+
+from repro.engine.table import Relation
+from repro.metrics import (
+    average_equivalence_class_size,
+    direct_distance,
+    discernibility_metric,
+    information_loss_summary,
+    kl_divergence,
+    kl_divergence_relation,
+    quality_ratio,
+    suppression_ratio,
+    value_distribution,
+)
+
+
+@pytest.fixture
+def original():
+    return Relation.from_rows(
+        [
+            {"x": 1.0, "y": 2.0, "c": "a"},
+            {"x": 2.0, "y": 3.0, "c": "b"},
+            {"x": 3.0, "y": 4.0, "c": "a"},
+            {"x": 4.0, "y": 5.0, "c": "b"},
+        ]
+    )
+
+
+def test_direct_distance_identical_relations(original):
+    result = direct_distance(original, original.copy())
+    assert result.changed_cells == 0
+    assert result.ratio == 0.0
+    assert result.quality == 1.0
+    assert quality_ratio(original, original.copy()) == 1.0
+
+
+def test_direct_distance_counts_changed_cells(original):
+    modified = original.copy()
+    modified.rows[0]["x"] = 99.0
+    modified.rows[1]["c"] = "z"
+    result = direct_distance(original, modified)
+    assert result.changed_cells == 2
+    assert result.total_cells == 12
+    assert result.ratio == pytest.approx(2 / 12)
+    assert result.per_column["x"] == 1
+    assert result.per_column["c"] == 1
+
+
+def test_direct_distance_missing_rows_count_fully(original):
+    truncated = Relation(schema=original.schema, rows=original.to_dicts()[:2])
+    result = direct_distance(original, truncated)
+    assert result.changed_cells == 2 * 3  # two missing rows, three columns each
+
+
+def test_direct_distance_numeric_tolerance(original):
+    modified = original.copy()
+    modified.rows[0]["x"] = 1.0001
+    assert direct_distance(original, modified).changed_cells == 1
+    assert direct_distance(original, modified, numeric_tolerance=0.01).changed_cells == 0
+
+
+def test_direct_distance_restricted_columns(original):
+    modified = original.copy()
+    modified.rows[0]["x"] = 99.0
+    result = direct_distance(original, modified, columns=["c"])
+    assert result.changed_cells == 0
+
+
+def test_direct_distance_formula_matches_paper_definition(original):
+    """DD(R,R') must equal the double sum of per-cell indicator distances."""
+    modified = original.copy()
+    for row in modified.rows:
+        row["y"] = 0.0
+    result = direct_distance(original, modified)
+    n, m = len(original), len(original.schema.names)
+    manual = sum(
+        1
+        for i in range(n)
+        for j, name in enumerate(original.schema.names)
+        if original.rows[i].get(name) != modified.rows[i].get(name)
+    )
+    assert result.changed_cells == manual
+    assert result.total_cells == n * m
+
+
+def test_value_distribution_numeric_and_categorical():
+    numeric = value_distribution([0.0, 0.5, 1.0, 1.0], bins=2)
+    assert sum(numeric.values()) == pytest.approx(1.0)
+    categorical = value_distribution(["a", "a", "b"])
+    assert categorical["a"] == pytest.approx(2 / 3)
+    assert value_distribution([]) == {}
+    assert value_distribution([None, None]) == {}
+    constant = value_distribution([3.0, 3.0])
+    assert list(constant.values()) == [1.0]
+
+
+def test_kl_divergence_properties():
+    p = {"a": 0.5, "b": 0.5}
+    assert kl_divergence(p, p) == pytest.approx(0.0)
+    q = {"a": 0.9, "b": 0.1}
+    assert kl_divergence(p, q) > 0
+    # Not symmetric in general.
+    assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+    assert kl_divergence({}, q) == 0.0
+
+
+def test_kl_divergence_relation_zero_for_identical(original):
+    per_column = kl_divergence_relation(original, original.copy())
+    assert per_column["__mean__"] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_kl_divergence_relation_detects_distribution_shift(original):
+    shifted = original.map_rows(lambda row: {**row, "x": row["x"] + 100})
+    per_column = kl_divergence_relation(original, shifted)
+    assert per_column["x"] > 0.5
+    assert per_column["c"] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_equivalence_class_metrics():
+    relation = Relation.from_rows(
+        [{"q": "a"}, {"q": "a"}, {"q": "a"}, {"q": "b"}, {"q": "b"}, {"q": "c"}]
+    )
+    assert average_equivalence_class_size(relation, ["q"]) == pytest.approx(2.0)
+    assert discernibility_metric(relation, ["q"]) == 9 + 4 + 1
+    empty = Relation.from_rows([{"q": 1}]).select(lambda r: False)
+    assert average_equivalence_class_size(empty, ["q"]) == 0.0
+
+
+def test_suppression_ratio(original):
+    kept = Relation(schema=original.schema, rows=original.to_dicts()[:3])
+    assert suppression_ratio(original, kept) == pytest.approx(0.25)
+    assert suppression_ratio(original, original) == 0.0
+
+
+def test_information_loss_summary_shape(original):
+    modified = original.copy()
+    modified.rows[0]["x"] = 50.0
+    summary = information_loss_summary(original, modified)
+    assert summary.direct_distance == 1
+    assert 0 <= summary.direct_distance_ratio <= 1
+    assert summary.quality == pytest.approx(1 - summary.direct_distance_ratio)
+    assert summary.kl_divergence_mean >= 0
+    assert summary.rows_original == 4
+    flat = summary.as_dict()
+    assert set(flat) >= {"direct_distance", "quality", "kl_mean", "suppression"}

@@ -1,0 +1,151 @@
+"""Tests for policy validation and automatic policy generation."""
+
+import pytest
+
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import DataType
+from repro.policy import PolicyBuilder, PrivacyPolicy
+from repro.policy.generator import GeneratorSettings, PolicyGenerator
+from repro.policy.model import AggregationRule, AttributeRule, ModulePolicy
+from repro.policy.validation import has_errors, validate_policy
+from repro.sql.parser import parse
+
+SCHEMA = Schema(
+    [
+        ColumnDef(name="person_id", data_type=DataType.INTEGER, identifying=True),
+        ColumnDef(name="x", data_type=DataType.FLOAT, quasi_identifier=True),
+        ColumnDef(name="y", data_type=DataType.FLOAT, quasi_identifier=True),
+        ColumnDef(name="z", data_type=DataType.FLOAT, sensitive=True),
+        ColumnDef(name="activity", data_type=DataType.TEXT, sensitive=True),
+        ColumnDef(name="t", data_type=DataType.FLOAT),
+    ]
+)
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+def test_valid_figure4_policy_has_no_errors(paper_policy):
+    issues = validate_policy(paper_policy)
+    assert not has_errors(issues)
+
+
+def test_empty_policy_is_an_error():
+    issues = validate_policy(PrivacyPolicy())
+    assert has_errors(issues)
+
+
+def test_unparseable_condition_is_an_error():
+    policy = PolicyBuilder().module("M").allow("x", condition="x >>> 1").build()
+    issues = validate_policy(policy)
+    assert has_errors(issues)
+    assert any("does not parse" in issue.message for issue in issues)
+
+
+def test_condition_referencing_denied_attribute_is_an_error():
+    policy = (
+        PolicyBuilder().module("M").deny("y").allow("x", condition="x > y").build()
+    )
+    issues = validate_policy(policy)
+    assert has_errors(issues)
+
+
+def test_aggregation_grouped_by_denied_attribute_is_an_error():
+    policy = (
+        PolicyBuilder()
+        .module("M")
+        .deny("y")
+        .allow("z", aggregation="AVG", group_by=["y"])
+        .build()
+    )
+    issues = validate_policy(policy)
+    assert has_errors(issues)
+
+
+def test_unknown_referenced_attribute_is_a_warning_only():
+    policy = PolicyBuilder().module("M").allow("x", condition="x > unknown_attr").build()
+    issues = validate_policy(policy)
+    assert issues
+    assert not has_errors(issues)
+
+
+def test_negative_interval_is_an_error():
+    policy = PolicyBuilder().module("M").allow("x").query_interval(-1).build()
+    assert has_errors(validate_policy(policy))
+
+
+def test_module_without_attributes_warns():
+    policy = PrivacyPolicy(modules={"m": ModulePolicy(module_id="m")})
+    issues = validate_policy(policy)
+    assert any(issue.severity == "warning" for issue in issues)
+
+
+def test_aggregation_on_denied_attribute_warns():
+    module = ModulePolicy(module_id="m")
+    module.add_rule(
+        AttributeRule(name="z", allow=False, aggregation=AggregationRule("AVG"))
+    )
+    policy = PrivacyPolicy(modules={"m": module})
+    issues = validate_policy(policy)
+    assert any("ignored" in issue.message for issue in issues)
+
+
+# ---------------------------------------------------------------------------
+# automatic generation
+# ---------------------------------------------------------------------------
+
+
+def test_generator_denies_identifying_and_textual_sensitive_columns():
+    policy = PolicyGenerator().generate(SCHEMA, module_id="Gen")
+    module = policy.module("Gen")
+    assert module.rule_for("person_id").allow is False
+    assert module.rule_for("activity").allow is False
+
+
+def test_generator_forces_aggregation_on_numeric_sensitive_columns():
+    policy = PolicyGenerator(GeneratorSettings(minimum_group_size=7)).generate(SCHEMA, "Gen")
+    z_rule = policy.module("Gen").rule_for("z")
+    assert z_rule.allow
+    assert z_rule.aggregation.aggregation_type == "AVG"
+    assert set(z_rule.aggregation.group_by) == {"x", "y"}
+    assert "7" in z_rule.aggregation.having
+
+
+def test_generator_reduces_precision_of_quasi_identifiers():
+    policy = PolicyGenerator().generate(SCHEMA, "Gen")
+    assert policy.module("Gen").rule_for("x").max_precision == 1
+    assert policy.module("Gen").rule_for("t").max_precision is None
+
+
+def test_generated_policy_passes_validation():
+    policy = PolicyGenerator().generate(SCHEMA, "Gen")
+    assert not has_errors(validate_policy(policy))
+
+
+def test_adapt_to_query_adds_rules_only_for_new_attributes():
+    generator = PolicyGenerator()
+    policy = generator.generate(SCHEMA.project(["x", "y"]), "Gen")
+    query = parse("SELECT x, z, extra FROM d WHERE t > 0")
+    added = generator.adapt_to_query(policy, "Gen", query, schema=SCHEMA)
+    assert set(added) == {"z", "t", "extra"}
+    module = policy.module("Gen")
+    assert module.rule_for("z").aggregation is not None  # classified via the schema
+    assert module.rule_for("extra").allow  # unknown column defaults to allowed
+    # Running the adaptation again adds nothing.
+    assert generator.adapt_to_query(policy, "Gen", query, schema=SCHEMA) == []
+
+
+def test_adapt_to_device_extends_policy():
+    generator = PolicyGenerator()
+    policy = generator.generate(SCHEMA.project(["x"]), "Gen")
+    device_schema = Schema(
+        [
+            ColumnDef(name="pressure", data_type=DataType.FLOAT, sensitive=True),
+            ColumnDef(name="cell_x", data_type=DataType.INTEGER, quasi_identifier=True),
+        ]
+    )
+    added = generator.adapt_to_device(policy, "Gen", device_schema)
+    assert set(added) == {"pressure", "cell_x"}
+    assert policy.module("Gen").rule_for("pressure").aggregation is not None

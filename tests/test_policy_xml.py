@@ -1,0 +1,109 @@
+"""Tests for policy XML parsing/serialisation (Figure 4 format)."""
+
+import pytest
+
+from repro.policy import PolicyError, parse_policy_xml, policy_to_xml
+from repro.policy.presets import FIGURE4_POLICY_XML, figure4_policy, open_policy, restrictive_policy
+
+
+def test_parse_figure4_module_fragment():
+    policy = parse_policy_xml(FIGURE4_POLICY_XML)
+    module = policy.module("ActionFilter")
+    assert set(module.attributes) == {"x", "y", "z", "t"}
+
+    x_rule = module.rule_for("x")
+    assert x_rule.allow
+    assert x_rule.conditions == ["x>y"]
+
+    z_rule = module.rule_for("z")
+    assert z_rule.conditions == ["z<2"]
+    assert z_rule.aggregation.aggregation_type == "AVG"
+    assert z_rule.aggregation.group_by == ["x", "y"]
+    assert z_rule.aggregation.having == "SUM(z)>100"
+
+    assert module.rule_for("y").allow
+    assert module.rule_for("t").allow
+
+
+def test_figure4_policy_preset_matches_fragment():
+    assert figure4_policy().module("ActionFilter").rule_for("z").aggregation is not None
+
+
+def test_roundtrip_through_xml(strict_policy):
+    xml = policy_to_xml(strict_policy)
+    parsed = parse_policy_xml(xml)
+    original_module = strict_policy.module("ActionFilter")
+    parsed_module = parsed.module("ActionFilter")
+    assert set(parsed_module.attributes) == set(original_module.attributes)
+    assert parsed_module.relation_substitutions == original_module.relation_substitutions
+    assert (
+        parsed_module.stream_settings.query_interval_seconds
+        == original_module.stream_settings.query_interval_seconds
+    )
+    z_rule = parsed_module.rule_for("z")
+    assert z_rule.aggregation.having == "SUM(z) > 100"
+    assert parsed_module.rule_for("person_id").allow is False
+
+
+def test_full_policy_document_with_multiple_modules():
+    xml = """
+    <policy owner="resident">
+      <module module_ID="A">
+        <queryInterval>30</queryInterval>
+        <attributeList>
+          <attribute name="x"><allow>true</allow></attribute>
+        </attributeList>
+      </module>
+      <module module_ID="B">
+        <defaultAllow>true</defaultAllow>
+        <attributeList/>
+      </module>
+    </policy>
+    """
+    policy = parse_policy_xml(xml)
+    assert policy.owner == "resident"
+    assert set(policy.module_ids) == {"A", "B"}
+    assert policy.module("A").stream_settings.query_interval_seconds == 30
+    assert policy.module("B").default_allow is True
+
+
+def test_relation_substitution_and_precision_roundtrip():
+    xml = """
+    <module module_ID="M">
+      <relationSubstitution from="ubisense" to="sensfloor"/>
+      <attributeList>
+        <attribute name="x"><allow>true</allow><maxPrecision>1</maxPrecision></attribute>
+      </attributeList>
+    </module>
+    """
+    policy = parse_policy_xml(xml)
+    module = policy.module("M")
+    assert module.relation_substitutions == {"ubisense": "sensfloor"}
+    assert module.rule_for("x").max_precision == 1
+    reparsed = parse_policy_xml(policy_to_xml(policy))
+    assert reparsed.module("M").rule_for("x").max_precision == 1
+
+
+def test_malformed_xml_raises():
+    with pytest.raises(PolicyError):
+        parse_policy_xml("<module module_ID='x'>")
+    with pytest.raises(PolicyError):
+        parse_policy_xml("<wrong/>")
+    with pytest.raises(PolicyError):
+        parse_policy_xml("<module><attributeList/></module>")  # missing module_ID
+    with pytest.raises(PolicyError):
+        parse_policy_xml(
+            "<module module_ID='m'><attributeList><attribute><allow>true</allow>"
+            "</attribute></attributeList></module>"
+        )  # attribute without name
+    with pytest.raises(PolicyError):
+        parse_policy_xml(
+            "<module module_ID='m'><attributeList><attribute name='z'>"
+            "<aggregation></aggregation></attribute></attributeList></module>"
+        )  # aggregation without type
+
+
+def test_open_and_restrictive_presets():
+    assert open_policy().module("ActionFilter").default_allow is True
+    strict = restrictive_policy()
+    assert strict.module("ActionFilter").rule_for("person_id").allow is False

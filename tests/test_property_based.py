@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The strategies build random expressions/queries/relations and check the
+invariants the rest of the system relies on:
+
+* parse(render(q)) is a fixed point of the SQL frontend,
+* conjunction/conjunction_terms are inverses,
+* the executor's WHERE is equivalent to Python-side filtering,
+* DD and KL metrics respect their mathematical bounds,
+* the k-anonymizer always produces k-anonymous output,
+* the rewriter never leaks denied attributes and is idempotent.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymize.kanonymity import KAnonymizer, is_k_anonymous
+from repro.engine.database import Database
+from repro.engine.table import Relation
+from repro.metrics.distance import direct_distance
+from repro.metrics.divergence import kl_divergence, value_distribution
+from repro.policy import PolicyBuilder
+from repro.rewrite import QueryRewriter
+from repro.sql import ast, parse, render
+from repro.sql.render import render_expression
+from repro.sql.visitor import collect_column_names
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+column_names = st.sampled_from(["x", "y", "z", "t", "v", "person_id"])
+table_names = st.sampled_from(["d", "stream", "ubisense", "sensfloor"])
+comparison_operators = st.sampled_from(["=", "<", "<=", ">", ">=", "<>"])
+numbers = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False).map(
+        lambda value: round(value, 3)
+    ),
+)
+
+
+@st.composite
+def simple_comparisons(draw):
+    left = ast.Column(name=draw(column_names))
+    if draw(st.booleans()):
+        right: ast.Expression = ast.Column(name=draw(column_names))
+    else:
+        right = ast.Literal(draw(numbers))
+    return ast.BinaryOp(draw(comparison_operators), left, right)
+
+
+@st.composite
+def boolean_expressions(draw, max_depth=3):
+    if max_depth <= 0 or draw(st.integers(min_value=0, max_value=2)) == 0:
+        return draw(simple_comparisons())
+    operator = draw(st.sampled_from(["AND", "OR"]))
+    left = draw(boolean_expressions(max_depth=max_depth - 1))
+    right = draw(boolean_expressions(max_depth=max_depth - 1))
+    return ast.BinaryOp(operator, left, right)
+
+
+@st.composite
+def select_queries(draw):
+    item_columns = draw(st.lists(column_names, min_size=1, max_size=4, unique=True))
+    items = [ast.SelectItem(expression=ast.Column(name=name)) for name in item_columns]
+    where = draw(st.none() | boolean_expressions())
+    order = draw(st.none() | column_names)
+    query = ast.SelectQuery(
+        items=items,
+        from_clause=ast.TableRef(name=draw(table_names)),
+        where=where,
+        order_by=[ast.OrderItem(expression=ast.Column(name=order))] if order else [],
+        limit=draw(st.none() | st.integers(min_value=0, max_value=50)),
+        distinct=draw(st.booleans()),
+    )
+    return query
+
+
+@st.composite
+def sensor_rows(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    rows = []
+    for index in range(count):
+        rows.append(
+            {
+                "x": draw(st.integers(min_value=0, max_value=5)) * 1.0,
+                "y": draw(st.integers(min_value=0, max_value=5)) * 1.0,
+                "z": round(draw(st.floats(min_value=0, max_value=2, allow_nan=False)), 2),
+                "t": float(index),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# SQL frontend invariants
+# ---------------------------------------------------------------------------
+
+
+@given(select_queries())
+@settings(max_examples=60, deadline=None)
+def test_render_parse_fixed_point(query):
+    text = render(query)
+    reparsed = parse(text)
+    assert render(reparsed) == text
+
+
+@given(boolean_expressions())
+@settings(max_examples=60, deadline=None)
+def test_expression_render_parse_fixed_point(expression):
+    from repro.sql.parser import parse_expression
+
+    text = render_expression(expression)
+    assert render_expression(parse_expression(text)) == text
+
+
+@given(st.lists(simple_comparisons(), min_size=0, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_conjunction_roundtrip(terms):
+    combined = ast.conjunction(*terms)
+    split = ast.conjunction_terms(combined)
+    assert [render_expression(t) for t in split] == [render_expression(t) for t in terms]
+    if not terms:
+        assert combined is None
+
+
+# ---------------------------------------------------------------------------
+# executor invariants
+# ---------------------------------------------------------------------------
+
+
+@given(sensor_rows(), st.floats(min_value=0, max_value=2, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_where_matches_python_filter(rows, threshold):
+    database = Database()
+    database.load_rows("d", rows)
+    threshold = round(threshold, 2)
+    result = database.query(f"SELECT t FROM d WHERE z < {threshold}")
+    expected = [row["t"] for row in rows if row["z"] < threshold]
+    assert sorted(result.column_values("t")) == sorted(expected)
+
+
+@given(sensor_rows())
+@settings(max_examples=40, deadline=None)
+def test_group_by_partitions_rows(rows):
+    database = Database()
+    database.load_rows("d", rows)
+    result = database.query("SELECT x, COUNT(*) AS n FROM d GROUP BY x")
+    assert sum(row["n"] for row in result.rows) == len(rows)
+    assert len(result) == len({row["x"] for row in rows})
+
+
+# ---------------------------------------------------------------------------
+# metric invariants
+# ---------------------------------------------------------------------------
+
+
+@given(sensor_rows(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_direct_distance_bounds(rows, perturb_every):
+    original = Relation.from_rows(rows)
+    modified_rows = []
+    for index, row in enumerate(rows):
+        new_row = dict(row)
+        if perturb_every and index % (perturb_every + 1) == 0:
+            new_row["z"] = (new_row["z"] or 0) + 10
+        modified_rows.append(new_row)
+    modified = Relation.from_rows(modified_rows)
+    result = direct_distance(original, modified, columns=original.schema.names)
+    assert 0 <= result.changed_cells <= result.total_cells
+    assert 0.0 <= result.ratio <= 1.0
+    assert result.quality == 1.0 - result.ratio
+    assert direct_distance(original, original).changed_cells == 0
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), min_size=1, max_size=50),
+    st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), min_size=1, max_size=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_kl_divergence_non_negative_and_zero_on_self(first, second):
+    p = value_distribution(first, value_range=(0, 10))
+    q = value_distribution(second, value_range=(0, 10))
+    assert kl_divergence(p, p) <= 1e-9
+    divergence = kl_divergence(p, q)
+    assert divergence >= 0
+    assert not math.isnan(divergence)
+
+
+# ---------------------------------------------------------------------------
+# anonymization invariants
+# ---------------------------------------------------------------------------
+
+
+@given(sensor_rows(), st.integers(min_value=2, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_k_anonymizer_always_satisfies_k(rows, k):
+    relation = Relation.from_rows(rows)
+    result = KAnonymizer(k=k).anonymize(relation, ["x", "y"])
+    assert is_k_anonymous(result.relation, ["x", "y"], k)
+    assert len(result.relation) + result.suppressed_rows == len(relation)
+
+
+# ---------------------------------------------------------------------------
+# rewriter invariants
+# ---------------------------------------------------------------------------
+
+_POLICY = (
+    PolicyBuilder()
+    .module("M")
+    .deny("person_id")
+    .allow("x", condition="x > y")
+    .allow("y")
+    .allow("z", condition="z < 2", aggregation="AVG", group_by=["x", "y"], having="SUM(z) > 100")
+    .allow("t")
+    .allow("v")
+    .build()
+)
+
+
+@given(select_queries())
+@settings(max_examples=60, deadline=None)
+def test_rewriter_never_leaks_denied_attributes_and_is_idempotent(query):
+    rewriter = QueryRewriter(_POLICY)
+    result = rewriter.rewrite(query, "M")
+    if not result.compliant:
+        return
+    assert "person_id" not in collect_column_names(result.query)
+    again = rewriter.rewrite(result.query, "M")
+    assert again.sql == result.sql

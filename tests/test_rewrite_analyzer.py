@@ -1,0 +1,112 @@
+"""Tests for the admission analysis of the preprocessor."""
+
+import pytest
+
+from repro.policy import PolicyBuilder
+from repro.rewrite.analyzer import NodeCapacity, PolicyAnalyzer
+from repro.sql.parser import parse
+
+
+def test_attribute_analysis_against_figure4(paper_policy, paper_sql):
+    analyzer = PolicyAnalyzer(paper_policy)
+    analysis = analyzer.analyze(parse(paper_sql), "ActionFilter")
+    assert set(analysis.requested_attributes) == {"x", "y", "z", "t"}
+    assert set(analysis.allowed_attributes) == {"x", "y", "t"}
+    assert analysis.aggregated_attributes == ["z"]
+    assert analysis.denied_attributes == []
+    assert analysis.coverage == 1.0
+    assert not analysis.fully_denied
+
+
+def test_denied_attributes_lower_coverage(paper_policy):
+    analyzer = PolicyAnalyzer(paper_policy)
+    analysis = analyzer.analyze(parse("SELECT person_id, z FROM d"), "ActionFilter")
+    assert analysis.unknown_attributes == ["person_id"]
+    assert analysis.coverage == pytest.approx(0.5)
+
+
+def test_admit_accepts_the_paper_query(paper_policy, paper_sql):
+    analyzer = PolicyAnalyzer(paper_policy)
+    decision = analyzer.admit(parse(paper_sql), "ActionFilter")
+    assert decision.admitted
+    assert decision.estimated_information_gain > 0.5
+    assert "admitted" in decision.explain()
+
+
+def test_admit_refuses_unknown_module(paper_policy, paper_sql):
+    analyzer = PolicyAnalyzer(paper_policy)
+    decision = analyzer.admit(parse(paper_sql), "UnknownModule")
+    assert not decision.admitted
+    assert "no policy" in decision.reasons[0]
+
+
+def test_admit_refuses_fully_denied_query():
+    policy = PolicyBuilder().module("M").deny("secret").build()
+    analyzer = PolicyAnalyzer(policy)
+    decision = analyzer.admit(parse("SELECT secret FROM d"), "M")
+    assert not decision.admitted
+    assert any("denies every requested attribute" in reason for reason in decision.reasons)
+
+
+def test_admit_refuses_low_information_gain():
+    policy = PolicyBuilder().module("M").allow("x").deny("a").deny("b").deny("c").build()
+    analyzer = PolicyAnalyzer(policy, minimum_information_gain=0.5)
+    decision = analyzer.admit(parse("SELECT x, a, b, c FROM d"), "M")
+    assert not decision.admitted
+    assert any("information gain" in reason for reason in decision.reasons)
+
+
+def test_admit_checks_node_capacity(paper_policy, paper_sql):
+    analyzer = PolicyAnalyzer(paper_policy)
+    tiny = NodeCapacity(free_memory_mb=0.001)
+    decision = analyzer.admit(
+        parse(paper_sql), "ActionFilter", estimated_rows=10_000_000, capacity=tiny
+    )
+    assert not decision.admitted
+    assert any("capacity" in reason for reason in decision.reasons)
+
+
+def test_node_capacity_can_process():
+    assert NodeCapacity(free_memory_mb=1.0).can_process(1000)
+    assert not NodeCapacity(free_memory_mb=0.0001).can_process(1_000_000)
+
+
+def test_query_interval_enforcement(paper_policy, paper_sql):
+    clock_value = [0.0]
+
+    def clock():
+        return clock_value[0]
+
+    policy = (
+        PolicyBuilder()
+        .module("ActionFilter")
+        .allow("x")
+        .allow("y")
+        .allow("z")
+        .allow("t")
+        .query_interval(60)
+        .build()
+    )
+    analyzer = PolicyAnalyzer(policy, clock=clock)
+    first = analyzer.admit(parse(paper_sql), "ActionFilter", enforce_interval=True)
+    assert first.admitted
+    # Second query 10 seconds later violates the 60 second interval.
+    clock_value[0] = 10.0
+    second = analyzer.admit(parse(paper_sql), "ActionFilter", enforce_interval=True)
+    assert not second.admitted
+    # After the interval has elapsed the query is admitted again.
+    clock_value[0] = 120.0
+    third = analyzer.admit(parse(paper_sql), "ActionFilter", enforce_interval=True)
+    assert third.admitted
+    # reset_interval clears the bookkeeping.
+    analyzer.reset_interval("ActionFilter")
+    clock_value[0] = 121.0
+    assert analyzer.admit(parse(paper_sql), "ActionFilter", enforce_interval=True).admitted
+
+
+def test_default_allow_module_treats_unknown_attributes_as_allowed():
+    policy = PolicyBuilder().module("M", default_allow=True).build()
+    analyzer = PolicyAnalyzer(policy)
+    analysis = analyzer.analyze(parse("SELECT anything FROM d"), "M")
+    assert analysis.allowed_attributes == ["anything"]
+    assert analysis.coverage == 1.0

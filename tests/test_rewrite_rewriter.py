@@ -1,0 +1,184 @@
+"""Tests for the policy-driven query rewriter (the paper's core transformation)."""
+
+import pytest
+
+from repro.policy import PolicyBuilder
+from repro.rewrite import QueryRewriter, RewriteError
+from repro.sensors.scenario import INTEGRATED_SCHEMA
+from repro.sql import ast, parse, render
+from repro.sql.visitor import collect_column_names, collect_tables
+
+
+def test_paper_use_case_rewrite(paper_policy, paper_sql):
+    """The nested query of Section 4.2 must rewrite exactly as printed."""
+    result = QueryRewriter(paper_policy).rewrite_sql(paper_sql, "ActionFilter")
+    sql = result.sql
+    assert "WHERE x > y AND z < 2" in sql
+    assert "GROUP BY x, y" in sql
+    assert "HAVING SUM(z) > 100" in sql
+    assert "AVG(z) AS zAVG" in sql
+    assert "PARTITION BY zAVG" in sql
+    assert result.compliant
+    assert result.renamed_attributes == {"z": "zAVG"}
+
+
+def test_rewrite_report_actions(paper_policy, paper_sql):
+    result = QueryRewriter(paper_policy).rewrite_sql(paper_sql, "ActionFilter")
+    kinds = {action.kind for action in result.report.actions}
+    assert {"inject_condition", "inject_having", "enforce_aggregation", "rename_reference"} <= kinds
+    assert "x > y" in result.report.injected_conditions
+    assert "z < 2" in result.report.injected_conditions
+    assert result.report.original_sql != result.report.rewritten_sql
+    assert "Rewrite report" in result.report.summary()
+
+
+def test_rewrite_is_idempotent(paper_policy, paper_sql):
+    """Rewriting an already rewritten query must not change it further."""
+    rewriter = QueryRewriter(paper_policy)
+    once = rewriter.rewrite_sql(paper_sql, "ActionFilter")
+    twice = rewriter.rewrite(once.query, "ActionFilter")
+    assert twice.sql == once.sql
+
+
+def test_denied_attribute_is_removed_from_projection():
+    policy = PolicyBuilder().module("M").deny("person_id").allow("x").allow("t").build()
+    result = QueryRewriter(policy).rewrite_sql("SELECT person_id, x, t FROM d", "M")
+    names = collect_column_names(result.query)
+    assert "person_id" not in names
+    assert result.report.removed_attributes
+    assert result.compliant
+
+
+def test_predicate_over_denied_attribute_is_dropped():
+    policy = PolicyBuilder().module("M").deny("person_id").allow("x").build()
+    result = QueryRewriter(policy).rewrite_sql(
+        "SELECT x FROM d WHERE person_id = 3 AND x > 0", "M"
+    )
+    assert "person_id" not in render(result.query)
+    assert "x > 0" in render(result.query)
+    assert result.report.actions_of("remove_predicate")
+
+
+def test_query_with_only_denied_attributes_is_rejected():
+    policy = PolicyBuilder().module("M").deny("secret").build()
+    result = QueryRewriter(policy).rewrite_sql("SELECT secret FROM d", "M")
+    assert not result.compliant
+    assert result.report.rejection_reason
+
+
+def test_relation_substitution():
+    policy = (
+        PolicyBuilder()
+        .module("M")
+        .allow("cell_x")
+        .substitute_relation("ubisense", "sensfloor")
+        .build()
+    )
+    result = QueryRewriter(policy).rewrite_sql("SELECT cell_x FROM ubisense", "M")
+    tables = {t.name for t in collect_tables(result.query)}
+    assert tables == {"sensfloor"}
+    assert result.report.actions_of("substitute_relation")
+
+
+def test_conditions_only_injected_for_referenced_attributes():
+    policy = (
+        PolicyBuilder()
+        .module("M")
+        .allow("x", condition="x > 0")
+        .allow("y", condition="y > 0")
+        .build()
+    )
+    result = QueryRewriter(policy).rewrite_sql("SELECT x FROM d", "M")
+    sql = render(result.query)
+    assert "x > 0" in sql
+    assert "y > 0" not in sql
+
+
+def test_condition_not_duplicated_when_already_present():
+    policy = PolicyBuilder().module("M").allow("z", condition="z < 2").build()
+    result = QueryRewriter(policy).rewrite_sql("SELECT z FROM d WHERE z < 2", "M")
+    assert render(result.query).count("z < 2") == 1
+
+
+def test_existing_where_is_kept_and_combined_conjunctively(paper_policy):
+    result = QueryRewriter(paper_policy).rewrite_sql(
+        "SELECT x, y, t FROM d WHERE t > 10", "ActionFilter"
+    )
+    sql = render(result.query)
+    assert "t > 10" in sql
+    assert "x > y" in sql
+    assert " AND " in sql
+
+
+def test_aggregation_enforcement_on_flat_query(paper_policy):
+    result = QueryRewriter(paper_policy).rewrite_sql("SELECT x, y, z, t FROM d", "ActionFilter")
+    sql = render(result.query)
+    assert "AVG(z) AS zAVG" in sql
+    assert "GROUP BY x, y" in sql
+    assert "HAVING SUM(z) > 100" in sql
+
+
+def test_aggregation_not_applied_when_attribute_not_projected(paper_policy):
+    result = QueryRewriter(paper_policy).rewrite_sql("SELECT x, y, t FROM d", "ActionFilter")
+    sql = render(result.query)
+    assert "AVG" not in sql
+    assert "GROUP BY" not in sql
+
+
+def test_star_expansion_with_schema(strict_policy):
+    rewriter = QueryRewriter(strict_policy, schema=INTEGRATED_SCHEMA)
+    result = rewriter.rewrite_sql("SELECT * FROM d", "ActionFilter")
+    sql = render(result.query)
+    assert "person_id" not in sql
+    assert "activity" not in sql
+    assert "AVG(z) AS zAVG" in sql
+    assert result.compliant
+
+
+def test_star_without_schema_is_left_to_postprocessing(paper_policy):
+    result = QueryRewriter(paper_policy).rewrite_sql("SELECT * FROM stream", "ActionFilter")
+    assert result.query.is_select_star
+    assert result.compliant
+
+
+def test_attributes_without_rule_are_stripped_when_schema_known(strict_policy):
+    rewriter = QueryRewriter(strict_policy, schema=INTEGRATED_SCHEMA)
+    result = rewriter.rewrite_sql("SELECT person_id, x, y, t FROM d", "ActionFilter")
+    names = collect_column_names(result.query)
+    assert "person_id" not in names
+
+
+def test_unknown_module_raises(paper_policy):
+    with pytest.raises(RewriteError):
+        QueryRewriter(paper_policy).rewrite_sql("SELECT x FROM d", "NoSuchModule")
+
+
+def test_outer_references_to_removed_attribute_are_pruned():
+    policy = PolicyBuilder().module("M").deny("z").allow("x").allow("t").build()
+    result = QueryRewriter(policy).rewrite_sql(
+        "SELECT AVG(z), x FROM (SELECT x, z, t FROM d) GROUP BY x", "M"
+    )
+    sql = render(result.query)
+    assert "z" not in collect_column_names(result.query)
+    assert "AVG" not in sql
+
+
+def test_rewrite_preserves_original_query(paper_policy, paper_sql):
+    original = parse(paper_sql)
+    before = render(original)
+    QueryRewriter(paper_policy).rewrite(original, "ActionFilter")
+    assert render(original) == before
+
+
+def test_rewritten_query_never_references_denied_attributes(strict_policy):
+    rewriter = QueryRewriter(strict_policy, schema=INTEGRATED_SCHEMA)
+    queries = [
+        "SELECT person_id, activity, x, y, z, t FROM d",
+        "SELECT * FROM d WHERE person_id = 1",
+        "SELECT activity FROM (SELECT activity, x FROM d) WHERE x > 1",
+    ]
+    denied = {"person_id", "activity"}
+    for sql in queries:
+        result = rewriter.rewrite_sql(sql, "ActionFilter")
+        if result.compliant:
+            assert not (set(collect_column_names(result.query)) & denied)

@@ -1,0 +1,101 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def types_and_values(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+def test_keywords_are_uppercased():
+    tokens = types_and_values("select From whERE")
+    assert tokens == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.KEYWORD, "FROM"),
+        (TokenType.KEYWORD, "WHERE"),
+    ]
+
+
+def test_identifiers_preserve_case():
+    tokens = types_and_values("zAVG")
+    assert tokens == [(TokenType.IDENTIFIER, "zAVG")]
+
+
+def test_numbers_integer_and_float():
+    tokens = types_and_values("42 3.14 1e6 2.5E-3")
+    assert [value for _, value in tokens] == ["42", "3.14", "1e6", "2.5E-3"]
+    assert all(kind is TokenType.NUMBER for kind, _ in tokens)
+
+
+def test_string_literal_with_escaped_quote():
+    tokens = types_and_values("'it''s'")
+    assert tokens == [(TokenType.STRING, "it's")]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokenize("SELECT 'oops")
+
+
+def test_quoted_identifier():
+    tokens = types_and_values('"weird name"')
+    assert tokens == [(TokenType.IDENTIFIER, "weird name")]
+
+
+def test_multi_char_operators():
+    tokens = types_and_values("a <> b >= c <= d != e || f")
+    operators = [value for kind, value in tokens if kind is TokenType.OPERATOR]
+    assert operators == ["<>", ">=", "<=", "!=", "||"]
+
+
+def test_single_char_operators_and_punctuation():
+    tokens = types_and_values("(a + b) * 2, c;")
+    kinds = [kind for kind, _ in tokens]
+    assert TokenType.PUNCTUATION in kinds
+    assert TokenType.OPERATOR in kinds
+
+
+def test_line_comment_is_skipped():
+    tokens = types_and_values("SELECT x -- comment here\nFROM d")
+    values = [value for _, value in tokens]
+    assert values == ["SELECT", "x", "FROM", "d"]
+
+
+def test_block_comment_is_skipped():
+    tokens = types_and_values("SELECT /* multi\nline */ x")
+    values = [value for _, value in tokens]
+    assert values == ["SELECT", "x"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("SELECT /* oops")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexerError):
+        tokenize("SELECT #")
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("SELECT\n  x")
+    x_token = [t for t in tokens if t.value == "x"][0]
+    assert x_token.line == 2
+    assert x_token.column == 3
+
+
+def test_eof_token_is_appended():
+    tokens = tokenize("SELECT 1")
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_keyword_matching_helpers():
+    token = tokenize("SELECT")[0]
+    assert token.is_keyword("select")
+    assert token.is_keyword("FROM", "SELECT")
+    assert not token.is_keyword("FROM")
+    assert token.matches(TokenType.KEYWORD, "select")

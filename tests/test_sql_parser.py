@@ -1,0 +1,226 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.errors import ParseError
+from repro.sql.parser import parse, parse_expression
+
+
+def test_simple_select():
+    query = parse("SELECT x, y FROM d")
+    assert isinstance(query, ast.SelectQuery)
+    assert [item.expression.name for item in query.items] == ["x", "y"]
+    assert isinstance(query.from_clause, ast.TableRef)
+    assert query.from_clause.name == "d"
+
+
+def test_select_star():
+    query = parse("SELECT * FROM stream")
+    assert query.is_select_star
+    assert query.from_clause.name == "stream"
+
+
+def test_select_with_alias():
+    query = parse("SELECT AVG(z) AS zavg FROM d")
+    item = query.items[0]
+    assert item.alias == "zavg"
+    assert isinstance(item.expression, ast.FunctionCall)
+    assert item.expression.name == "AVG"
+
+
+def test_implicit_alias_without_as():
+    query = parse("SELECT x foo FROM d")
+    assert query.items[0].alias == "foo"
+
+
+def test_where_comparison_precedence():
+    query = parse("SELECT x FROM d WHERE x > y AND z < 2 OR t = 1")
+    where = query.where
+    assert isinstance(where, ast.BinaryOp)
+    assert where.operator == "OR"
+    assert where.left.operator == "AND"
+
+
+def test_group_by_having():
+    query = parse("SELECT x, SUM(z) FROM d GROUP BY x HAVING SUM(z) > 100")
+    assert len(query.group_by) == 1
+    assert isinstance(query.having, ast.BinaryOp)
+
+
+def test_order_by_desc_and_limit_offset():
+    query = parse("SELECT x FROM d ORDER BY x DESC, y LIMIT 10 OFFSET 5")
+    assert query.order_by[0].ascending is False
+    assert query.order_by[1].ascending is True
+    assert query.limit == 10
+    assert query.offset == 5
+
+
+def test_distinct():
+    query = parse("SELECT DISTINCT x FROM d")
+    assert query.distinct
+
+
+def test_nested_subquery_in_from():
+    query = parse("SELECT a FROM (SELECT x AS a FROM d) sub")
+    assert isinstance(query.from_clause, ast.SubqueryRef)
+    assert query.from_clause.alias == "sub"
+    assert isinstance(query.from_clause.query, ast.SelectQuery)
+
+
+def test_window_function_with_partition_and_order():
+    query = parse(
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM d"
+    )
+    call = query.items[0].expression
+    assert isinstance(call, ast.FunctionCall)
+    assert call.name == "REGR_INTERCEPT"
+    assert call.window is not None
+    assert len(call.window.partition_by) == 1
+    assert len(call.window.order_by) == 1
+
+
+def test_window_frame():
+    query = parse(
+        "SELECT SUM(z) OVER (ORDER BY t ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) FROM d"
+    )
+    frame = query.items[0].expression.window.frame
+    assert frame is not None
+    assert frame.mode == "ROWS"
+    assert frame.start.kind == "PRECEDING"
+    assert frame.end.kind == "CURRENT ROW"
+
+
+def test_count_star():
+    query = parse("SELECT COUNT(*) FROM d")
+    call = query.items[0].expression
+    assert call.name == "COUNT"
+    assert isinstance(call.arguments[0], ast.Star)
+
+
+def test_count_distinct():
+    query = parse("SELECT COUNT(DISTINCT x) FROM d")
+    assert query.items[0].expression.distinct
+
+
+def test_joins():
+    query = parse("SELECT a.x FROM d a JOIN e b ON a.t = b.t LEFT JOIN f ON f.t = a.t")
+    outer = query.from_clause
+    assert isinstance(outer, ast.Join)
+    assert outer.join_type == "LEFT"
+    inner = outer.left
+    assert isinstance(inner, ast.Join)
+    assert inner.join_type == "INNER"
+
+
+def test_cross_join_with_comma():
+    query = parse("SELECT 1 FROM a, b")
+    assert isinstance(query.from_clause, ast.Join)
+    assert query.from_clause.join_type == "CROSS"
+
+
+def test_join_using():
+    query = parse("SELECT x FROM a JOIN b USING (t, x)")
+    assert query.from_clause.using == ["t", "x"]
+
+
+def test_in_list_and_in_subquery():
+    query = parse("SELECT x FROM d WHERE x IN (1, 2, 3) AND y NOT IN (SELECT y FROM e)")
+    terms = ast.conjunction_terms(query.where)
+    assert isinstance(terms[0], ast.InList)
+    assert isinstance(terms[1], ast.InSubquery)
+    assert terms[1].negated
+
+
+def test_between_like_is_null():
+    query = parse(
+        "SELECT x FROM d WHERE x BETWEEN 1 AND 2 AND c LIKE 'a%' AND y IS NOT NULL"
+    )
+    terms = ast.conjunction_terms(query.where)
+    assert isinstance(terms[0], ast.Between)
+    assert isinstance(terms[1], ast.Like)
+    assert isinstance(terms[2], ast.IsNull)
+    assert terms[2].negated
+
+
+def test_exists():
+    query = parse("SELECT x FROM d WHERE EXISTS (SELECT 1 FROM e)")
+    assert isinstance(query.where, ast.Exists)
+
+
+def test_case_expression():
+    query = parse("SELECT CASE WHEN z < 1 THEN 'low' ELSE 'high' END FROM d")
+    case = query.items[0].expression
+    assert isinstance(case, ast.CaseExpression)
+    assert len(case.branches) == 1
+    assert case.default is not None
+
+
+def test_cast():
+    expression = parse_expression("CAST(x AS INTEGER)")
+    assert isinstance(expression, ast.Cast)
+    assert expression.target_type == "INTEGER"
+
+
+def test_arithmetic_precedence():
+    expression = parse_expression("1 + 2 * 3")
+    assert expression.operator == "+"
+    assert expression.right.operator == "*"
+
+
+def test_unary_minus_and_not():
+    expression = parse_expression("NOT -x > 1")
+    assert isinstance(expression, ast.UnaryOp)
+    assert expression.operator == "NOT"
+
+
+def test_set_operations():
+    query = parse("SELECT x FROM a UNION ALL SELECT x FROM b EXCEPT SELECT x FROM c")
+    assert isinstance(query, ast.SetOperation)
+    assert query.operator == "EXCEPT"
+    assert isinstance(query.left, ast.SetOperation)
+    assert query.left.all is True
+
+
+def test_qualified_star():
+    query = parse("SELECT d.* FROM d")
+    assert isinstance(query.items[0].expression, ast.Star)
+    assert query.items[0].expression.table == "d"
+
+
+def test_scalar_subquery():
+    query = parse("SELECT (SELECT MAX(t) FROM d) FROM d")
+    assert isinstance(query.items[0].expression, ast.ScalarSubquery)
+
+
+def test_paper_nested_query_roundtrip(paper_sql):
+    query = parse(paper_sql)
+    assert isinstance(query, ast.SelectQuery)
+    inner = query.from_clause.query
+    assert isinstance(inner, ast.SelectQuery)
+    assert [item.expression.name for item in inner.items] == ["x", "y", "z", "t"]
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT x FROM d garbage garbage garbage ,")
+
+
+def test_missing_from_is_allowed():
+    query = parse("SELECT 1 + 1")
+    assert query.from_clause is None
+
+
+def test_unexpected_token_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT FROM d")
+
+
+def test_empty_case_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT CASE END FROM d")
+
+
+def test_semicolon_is_accepted():
+    query = parse("SELECT x FROM d;")
+    assert isinstance(query, ast.SelectQuery)

@@ -1,0 +1,90 @@
+"""Tests for SQL rendering (and parse→render→parse stability)."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+from repro.sql.render import render, render_expression
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT x, y FROM d",
+        "SELECT * FROM stream WHERE z < 2",
+        "SELECT x, y, AVG(z) AS zAVG, t FROM d GROUP BY x, y HAVING SUM(z) > 100",
+        "SELECT REGR_INTERCEPT(y, x) OVER (PARTITION BY zAVG ORDER BY t) FROM d3",
+        "SELECT DISTINCT x FROM d ORDER BY x DESC LIMIT 5 OFFSET 2",
+        "SELECT a.x FROM d AS a INNER JOIN e AS b ON a.t = b.t",
+        "SELECT x FROM d WHERE x IN (1, 2) AND y BETWEEN 0 AND 1",
+        "SELECT CASE WHEN z < 1 THEN 'low' ELSE 'high' END FROM d",
+        "SELECT x FROM d WHERE EXISTS (SELECT 1 FROM e)",
+        "SELECT COUNT(*) FROM d",
+        "SELECT x FROM a UNION SELECT x FROM b",
+    ],
+)
+def test_render_is_reparseable_and_stable(sql):
+    """render(parse(sql)) must parse again and reach a fixed point."""
+    first = render(parse(sql))
+    second = render(parse(first))
+    assert first == second
+
+
+def test_render_matches_paper_inner_query(paper_sql):
+    rendered = render(parse(paper_sql))
+    assert "REGR_INTERCEPT(y, x) OVER (PARTITION BY z ORDER BY t)" in rendered
+    assert "FROM (SELECT x, y, z, t FROM d)" in rendered
+
+
+def test_pretty_rendering_has_clause_lines():
+    text = render(parse("SELECT x FROM d WHERE x > 1 ORDER BY x"), pretty=True)
+    lines = text.splitlines()
+    assert lines[0].startswith("SELECT")
+    assert any(line.strip().startswith("WHERE") for line in lines)
+    assert any(line.strip().startswith("ORDER BY") for line in lines)
+
+
+def test_literal_rendering():
+    assert render_expression(ast.Literal(None)) == "NULL"
+    assert render_expression(ast.Literal(True)) == "TRUE"
+    assert render_expression(ast.Literal("it's")) == "'it''s'"
+    assert render_expression(ast.Literal(3)) == "3"
+
+
+def test_operator_precedence_parentheses():
+    expression = parse_expression("(a + b) * c")
+    assert render_expression(expression) == "(a + b) * c"
+    expression = parse_expression("a + b * c")
+    assert render_expression(expression) == "a + b * c"
+
+
+def test_boolean_precedence_parentheses():
+    expression = parse_expression("(a OR b) AND c")
+    rendered = render_expression(expression)
+    assert rendered == "(a OR b) AND c"
+
+
+def test_not_rendering():
+    expression = parse_expression("NOT x > 1")
+    rendered = render_expression(expression)
+    assert rendered.startswith("NOT")
+    # Must reparse to an equivalent structure.
+    assert render_expression(parse_expression(rendered)) == rendered
+
+
+def test_join_rendering_with_using():
+    sql = "SELECT x FROM a INNER JOIN b USING (t)"
+    assert render(parse(sql)) == sql
+
+
+def test_window_frame_rendering():
+    sql = (
+        "SELECT SUM(z) OVER (ORDER BY t ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) FROM d"
+    )
+    rendered = render(parse(sql))
+    assert "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW" in rendered
+
+
+def test_set_operation_rendering_with_all():
+    rendered = render(parse("SELECT x FROM a UNION ALL SELECT x FROM b"))
+    assert "UNION ALL" in rendered
