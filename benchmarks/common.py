@@ -11,7 +11,9 @@ overhead and the privacy/utility trade-off of the postprocessor.
 from __future__ import annotations
 
 import random
-from typing import Dict
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine.schema import Schema
 from repro.engine.table import Relation
@@ -60,6 +62,62 @@ def build_processor(rows: int, policy=None, seed: int = 0, **kwargs) -> Paradise
     )
     processor.load_data(relation)
     return processor
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolated percentile of a sample list (q in [0, 1])."""
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def summarize_samples(samples: List[float], rows: Optional[int] = None) -> Dict[str, Any]:
+    """Median/p90/min/max (seconds) plus rows/sec when a row count is given."""
+    summary: Dict[str, Any] = {
+        "runs": len(samples),
+        "median_s": statistics.median(samples),
+        "p90_s": percentile(samples, 0.9),
+        "min_s": min(samples),
+        "max_s": max(samples),
+    }
+    if rows is not None:
+        summary["rows"] = rows
+        summary["rows_per_s"] = rows / summary["median_s"] if summary["median_s"] else None
+    return summary
+
+
+def timed_run(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+    rows: Optional[int] = None,
+    on_result: Optional[Callable[[Any], None]] = None,
+) -> Dict[str, Any]:
+    """Time ``fn`` with wall-clock repeats and return a sample summary.
+
+    Args:
+        fn: The workload; called ``warmup + repeats`` times.
+        repeats: Measured runs (median/p90 are computed over these).
+        warmup: Untimed runs to populate parse/compile caches first.
+        rows: Input row count, for rows/sec reporting.
+        on_result: Optional hook receiving each measured run's return value
+            (used to collect engine-only timings from processing results).
+    """
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - started)
+        if on_result is not None:
+            on_result(result)
+    return summarize_samples(samples, rows=rows)
 
 
 def print_table(title: str, rows, columns) -> None:

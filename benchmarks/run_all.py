@@ -1,0 +1,194 @@
+"""Run every benchmark in quick mode and record the engine perf baseline.
+
+Two jobs in one entry point:
+
+1. **Quick suite** — execute every ``bench_*.py`` under pytest with
+   pytest-benchmark's timing disabled, so the whole suite doubles as a smoke
+   test (seconds, not minutes).
+2. **Engine baseline** — time the two engine-bound paper workloads
+   (``bench_fig2_processor.py``'s pipeline query and
+   ``bench_usecase_rewrite.py``'s R use case) through both execution paths
+   (interpreted oracle vs. compiled default) in the same process, and write
+   ``BENCH_engine.json`` with median/p90 latencies, rows/sec and speedups.
+   Future PRs compare against this trajectory to prove wins or catch
+   regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--repeats N] [--skip-suite]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.common import (  # noqa: E402
+    PAPER_R_CODE,
+    PAPER_SQL,
+    build_processor,
+    summarize_samples,
+)
+from repro.engine.executor import execution_mode  # noqa: E402
+
+#: Engine-bound workloads; row counts mirror the corresponding bench files.
+WORKLOADS = [
+    {
+        "name": "fig2_processor",
+        "bench": "bench_fig2_processor.py",
+        "rows": 3000,
+        "description": "full privacy pipeline (admit + rewrite + fragment + "
+        "execute + anonymize) over the paper's SQL query",
+        "use_r": False,
+    },
+    {
+        "name": "usecase_rewrite",
+        "bench": "bench_usecase_rewrite.py",
+        "rows": 4000,
+        "description": "Section 4.2 R use case end to end (extraction, "
+        "rewriting, staged execution Q1..Q4 + Qdelta)",
+        "use_r": True,
+    },
+]
+
+
+def run_quick_suite() -> Dict[str, Any]:
+    """Run every bench_*.py once with benchmark timing disabled."""
+    bench_files = sorted(path.name for path in (REPO_ROOT / "benchmarks").glob("bench_*.py"))
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[f"benchmarks/{name}" for name in bench_files],
+        "-q",
+        "--benchmark-disable",
+        "-p",
+        "no:cacheprovider",
+    ]
+    completed = subprocess.run(
+        command,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    tail = completed.stdout.strip().splitlines()[-1] if completed.stdout.strip() else ""
+    print(f"quick suite [{', '.join(bench_files)}]: {tail}")
+    return {
+        "files": bench_files,
+        "exit_code": completed.returncode,
+        "summary": tail,
+    }
+
+
+def measure_workload(workload: Dict[str, Any], repeats: int) -> Dict[str, Dict[str, Any]]:
+    """Time both execution modes, interleaved so they share noise windows."""
+    modes = ("interpreted", "compiled")
+    processors = {
+        mode: build_processor(workload["rows"], engine_mode=mode) for mode in modes
+    }
+    wall: Dict[str, List[float]] = {mode: [] for mode in modes}
+    engine: Dict[str, List[float]] = {mode: [] for mode in modes}
+
+    def run(mode: str):
+        processor = processors[mode]
+        with execution_mode(mode):
+            if workload["use_r"]:
+                result = processor.process_r(PAPER_R_CODE, "ActionFilter")
+            else:
+                result = processor.process(PAPER_SQL, "ActionFilter")
+        assert result.admitted
+        return result
+
+    for mode in modes:  # warmup: populate parse/compile caches
+        run(mode)
+    for _ in range(repeats):
+        for mode in modes:
+            started = time.perf_counter()
+            result = run(mode)
+            wall[mode].append(time.perf_counter() - started)
+            engine[mode].append(sum(e.elapsed_seconds for e in result.executions))
+
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for mode in modes:
+        summary = summarize_samples(wall[mode], rows=workload["rows"])
+        summary["engine_median_s"] = statistics.median(engine[mode])
+        summary["engine_samples"] = summarize_samples(engine[mode])
+        summaries[mode] = summary
+    return summaries
+
+
+def run_engine_baseline(repeats: int) -> Dict[str, Any]:
+    results: Dict[str, Any] = {}
+    for workload in WORKLOADS:
+        entry: Dict[str, Any] = {
+            "bench": workload["bench"],
+            "rows": workload["rows"],
+            "description": workload["description"],
+        }
+        entry.update(measure_workload(workload, repeats))
+        entry["speedup_median"] = round(
+            entry["interpreted"]["median_s"] / entry["compiled"]["median_s"], 3
+        )
+        entry["engine_speedup_median"] = round(
+            entry["interpreted"]["engine_median_s"] / entry["compiled"]["engine_median_s"],
+            3,
+        )
+        print(
+            f"{workload['name']}: {entry['interpreted']['median_s'] * 1e3:.1f}ms -> "
+            f"{entry['compiled']['median_s'] * 1e3:.1f}ms "
+            f"({entry['speedup_median']:.2f}x pipeline, "
+            f"{entry['engine_speedup_median']:.2f}x engine)"
+        )
+        results[workload["name"]] = entry
+    return results
+
+
+def main(argv: List[str] | None = None) -> int:
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError("must be at least 1")
+        return parsed
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repeats", type=positive_int, default=7, help="measured runs per mode (>= 1)"
+    )
+    parser.add_argument("--skip-suite", action="store_true", help="skip the pytest quick pass")
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output path"
+    )
+    args = parser.parse_args(argv)
+
+    report: Dict[str, Any] = {
+        "generated_by": "benchmarks/run_all.py",
+        "python": sys.version.split()[0],
+        "repeats": args.repeats,
+        "metric_note": "median/p90 wall seconds; engine_* sums the per-fragment "
+        "execution times, excluding rewriting/anonymization/network overheads "
+        "shared by both modes",
+    }
+    if not args.skip_suite:
+        report["quick_suite"] = run_quick_suite()
+    report["workloads"] = run_engine_baseline(args.repeats)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not args.skip_suite and report["quick_suite"]["exit_code"] != 0:
+        return report["quick_suite"]["exit_code"]
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

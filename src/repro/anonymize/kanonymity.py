@@ -111,13 +111,19 @@ class KAnonymizer:
         self,
         rows: List[Tuple[int, Dict[str, Any]]],
         quasi_identifiers: Sequence[str],
+        sorted_by: Optional[str] = None,
     ) -> List[List[Tuple[int, Dict[str, Any]]]]:
         if len(rows) < 2 * self.k:
             return [rows]
         dimension = self._widest_dimension(rows, quasi_identifiers)
         if dimension is None:
             return [rows]
-        ordered = sorted(rows, key=lambda pair: _sort_key(pair[1].get(dimension)))
+        # Slices of a sorted list stay sorted, so when the recursion keeps
+        # splitting on the same dimension the parent's sort is reused.
+        if dimension == sorted_by:
+            ordered = rows
+        else:
+            ordered = sorted(rows, key=lambda pair: _sort_key(pair[1].get(dimension)))
         middle = len(ordered) // 2
         # Move the split point so that equal values stay in one partition.
         split_value = _sort_key(ordered[middle][1].get(dimension))
@@ -132,25 +138,48 @@ class KAnonymizer:
         right = ordered[left_end:]
         if not left or not right:
             return [rows]
-        return self._partition(left, quasi_identifiers) + self._partition(
-            right, quasi_identifiers
+        return self._partition(left, quasi_identifiers, sorted_by=dimension) + self._partition(
+            right, quasi_identifiers, sorted_by=dimension
         )
 
+    @staticmethod
     def _widest_dimension(
-        self,
         rows: List[Tuple[int, Dict[str, Any]]],
         quasi_identifiers: Sequence[str],
     ) -> Optional[str]:
+        # One pass over the rows accumulates every QID's span simultaneously
+        # instead of re-scanning the whole partition per candidate dimension.
+        # Numeric spans track min/max incrementally; a dimension that turns
+        # out categorical falls back to counting distinct strings over the
+        # values collected in the same pass.
+        minima: Dict[str, float] = {}
+        maxima: Dict[str, float] = {}
+        numeric: Dict[str, bool] = {name: True for name in quasi_identifiers}
+        values: Dict[str, List[Any]] = {name: [] for name in quasi_identifiers}
+        for _, row in rows:
+            for name in quasi_identifiers:
+                value = row.get(name)
+                if value is None:
+                    continue
+                values[name].append(value)
+                if numeric[name]:
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        number = float(value)
+                        if name not in minima or number < minima[name]:
+                            minima[name] = number
+                        if name not in maxima or number > maxima[name]:
+                            maxima[name] = number
+                    else:
+                        numeric[name] = False
         best: Optional[str] = None
         best_spread = -1.0
         for name in quasi_identifiers:
-            values = [row.get(name) for _, row in rows if row.get(name) is not None]
-            if not values:
+            if not values[name]:
                 continue
-            if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
-                spread = float(max(values)) - float(min(values))
+            if numeric[name]:
+                spread = maxima[name] - minima[name]
             else:
-                spread = float(len({str(v) for v in values}))
+                spread = float(len({str(value) for value in values[name]}))
             if spread > best_spread:
                 best_spread = spread
                 best = name

@@ -23,7 +23,12 @@ from repro.engine.types import DataType, infer_type
 from repro.engine.schema import ColumnDef, Schema
 from repro.engine.table import Relation
 from repro.engine.database import Database
-from repro.engine.executor import QueryExecutor
+from repro.engine.executor import (
+    QueryExecutor,
+    default_execution_mode,
+    execution_mode,
+    set_default_execution_mode,
+)
 
 __all__ = [
     "EngineError",
@@ -36,4 +41,7 @@ __all__ = [
     "Relation",
     "Database",
     "QueryExecutor",
+    "default_execution_mode",
+    "execution_mode",
+    "set_default_execution_mode",
 ]

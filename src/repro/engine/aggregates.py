@@ -232,3 +232,196 @@ def is_known_aggregate(name: str) -> bool:
     """Return True when ``name`` is a supported aggregate."""
     upper = name.upper()
     return upper in SIMPLE_AGGREGATES or upper in BINARY_AGGREGATES or upper == "COUNT"
+
+
+# ---------------------------------------------------------------------------
+# incremental accumulators
+# ---------------------------------------------------------------------------
+#
+# The compiled execution path feeds rows through accumulators one at a time
+# (single-pass GROUP BY, running window frames) instead of materialising the
+# per-group value lists first.  Incremental implementations exist for the
+# aggregates whose streaming update reproduces the batch result bit for bit;
+# everything else (DISTINCT, MEDIAN, the regression family, ...) buffers its
+# inputs and delegates to :func:`compute_aggregate` at emit time, so both
+# accumulator kinds return exactly what the batch functions return.
+
+
+class CountStarAccumulator:
+    """``COUNT(*)``: counts every row."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class CountAccumulator:
+    """``COUNT(expr)``: counts non-NULL values."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        if values[0] is not None:
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class SumAccumulator:
+    """``SUM(expr)`` with the batch function's int-preserving behaviour."""
+
+    __slots__ = ("total", "present", "all_int")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.present = False
+        self.all_int = True
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        value = values[0]
+        if value is None:
+            return
+        self.present = True
+        self.total += float(value)
+        if self.all_int and not (isinstance(value, int) and not isinstance(value, bool)):
+            self.all_int = False
+
+    def result(self) -> Any:
+        if not self.present:
+            return None
+        return int(self.total) if self.all_int else self.total
+
+
+class AvgAccumulator:
+    """``AVG(expr)``: running float sum and count."""
+
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        value = values[0]
+        if value is None:
+            return
+        self.total += float(value)
+        self.count += 1
+
+    def result(self) -> Any:
+        if not self.count:
+            return None
+        return self.total / self.count
+
+
+class MinAccumulator:
+    """``MIN(expr)``: keeps the first minimal non-NULL value."""
+
+    __slots__ = ("best", "present")
+
+    def __init__(self) -> None:
+        self.best: Any = None
+        self.present = False
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        value = values[0]
+        if value is None:
+            return
+        if not self.present:
+            self.best = value
+            self.present = True
+        elif value < self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best if self.present else None
+
+
+class MaxAccumulator:
+    """``MAX(expr)``: keeps the first maximal non-NULL value."""
+
+    __slots__ = ("best", "present")
+
+    def __init__(self) -> None:
+        self.best: Any = None
+        self.present = False
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        value = values[0]
+        if value is None:
+            return
+        if not self.present:
+            self.best = value
+            self.present = True
+        elif value > self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best if self.present else None
+
+
+class BufferAccumulator:
+    """Fallback accumulator: buffer rows, compute via the batch function.
+
+    Produces results identical to the interpreted path for every aggregate,
+    including ``DISTINCT`` handling and the two-argument regression family.
+    """
+
+    __slots__ = ("name", "is_star", "distinct", "width", "rows")
+
+    def __init__(self, name: str, *, is_star: bool, distinct: bool, width: int) -> None:
+        self.name = name
+        self.is_star = is_star
+        self.distinct = distinct
+        self.width = max(width, 1)
+        self.rows: List[Tuple[Any, ...]] = []
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        self.rows.append(values)
+
+    def result(self) -> Any:
+        if self.rows:
+            columns = [list(column) for column in zip(*self.rows)]
+        else:
+            columns = [[] for _ in range(self.width)]
+        return compute_aggregate(
+            self.name, columns, is_star=self.is_star, distinct=self.distinct
+        )
+
+
+_INCREMENTAL_ACCUMULATORS: Dict[str, Callable[[], Any]] = {
+    "COUNT": CountAccumulator,
+    "SUM": SumAccumulator,
+    "AVG": AvgAccumulator,
+    "MIN": MinAccumulator,
+    "MAX": MaxAccumulator,
+}
+
+
+def make_accumulator(name: str, *, is_star: bool, distinct: bool, arg_count: int) -> Any:
+    """Return an accumulator replicating ``compute_aggregate`` incrementally.
+
+    Args:
+        name: Aggregate function name (case-insensitive).
+        is_star: True for ``COUNT(*)`` (callers feed ``(1,)`` per row).
+        distinct: True for ``agg(DISTINCT expr)``.
+        arg_count: Number of value columns fed per row (1 for star/no-arg).
+    """
+    upper = name.upper()
+    if upper == "COUNT" and is_star:
+        # compute_aggregate short-circuits COUNT(*) before DISTINCT handling.
+        return CountStarAccumulator()
+    if not distinct and arg_count == 1 and not is_star and upper in _INCREMENTAL_ACCUMULATORS:
+        return _INCREMENTAL_ACCUMULATORS[upper]()
+    return BufferAccumulator(upper, is_star=is_star, distinct=distinct, width=arg_count)

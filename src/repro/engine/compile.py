@@ -1,0 +1,568 @@
+"""Expression compilation: lower AST expressions to Python closures.
+
+The interpreted evaluator (:mod:`repro.engine.evaluator`) walks the AST for
+every row: each evaluation pays for isinstance dispatch, operator-string
+comparison, per-access ``str.lower`` on column names and per-call
+``render_expression`` keying.  This module performs all of that work *once*
+per query: :class:`ExpressionCompiler` lowers an expression tree to a closure
+``fn(context) -> value`` with
+
+* column keys pre-lowered (scope dicts are keyed lower-case already, so the
+  closure is a plain dict probe plus parent-chain walk),
+* operators dispatched at compile time to dedicated closures that replicate
+  the interpreter's three-valued NULL logic exactly,
+* scalar functions and CAST target types resolved at compile time,
+* aggregate/window lookups keyed by a pre-rendered SQL string,
+* LIKE patterns compiled to regexes ahead of time when literal, and
+* provably uncorrelated subqueries executed once per query execution and
+  cached (the hash semi-join fast path for ``IN (SELECT ...)``).
+
+The closures evaluate against the same :class:`EvaluationContext` scope dicts
+the interpreter uses, so both paths are interchangeable row for row — the
+differential test harness relies on that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.aggregates import is_known_aggregate
+from repro.engine.errors import ExecutionError
+from repro.engine.evaluator import EvaluationContext, _like_to_regex
+from repro.engine.functions import SCALAR_FUNCTIONS, is_scalar_function
+from repro.sql import ast
+from repro.sql.render import render_expression
+
+#: A compiled expression: evaluates one row given its evaluation context.
+CompiledExpr = Callable[[EvaluationContext], Any]
+
+
+class ExpressionCompiler:
+    """Compile :mod:`repro.sql.ast` expressions into evaluation closures.
+
+    Compiled closures are cached per AST node (identity-keyed, holding the
+    node alive), so correlated subqueries re-executed for every outer row
+    compile their expressions only once.
+
+    Args:
+        subquery_is_constant: Optional predicate deciding whether a subquery
+            provably does not depend on the enclosing row.  Constant
+            subqueries are executed once per :meth:`new_execution` epoch and
+            their result reused for every row.
+    """
+
+    def __init__(
+        self, subquery_is_constant: Optional[Callable[[ast.Query], bool]] = None
+    ) -> None:
+        self._subquery_is_constant = subquery_is_constant or (lambda query: False)
+        self._cache: Dict[int, Tuple[ast.Expression, CompiledExpr]] = {}
+        #: Epoch counter; cached subquery results are valid within one epoch.
+        self.generation = 0
+
+    def new_execution(self) -> None:
+        """Start a new execution epoch, invalidating cached subquery results."""
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    #: The closure cache is flushed wholesale past this size so a compiler
+    #: serving many distinct ASTs cannot pin unbounded memory.
+    _MAX_CACHE_ENTRIES = 4096
+
+    def compile(self, expression: ast.Expression) -> CompiledExpr:
+        """Return the compiled closure for ``expression`` (cached)."""
+        key = id(expression)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] is expression:
+            return cached[1]
+        compiled = self._lower(expression)
+        if len(self._cache) >= self._MAX_CACHE_ENTRIES:
+            self._cache.clear()
+        self._cache[key] = (expression, compiled)
+        return compiled
+
+    def compile_predicate(self, expression: Optional[ast.Expression]) -> Callable[[EvaluationContext], bool]:
+        """Compile a boolean condition; NULL counts as not satisfied."""
+        if expression is None:
+            return lambda context: True
+        compiled = self.compile(expression)
+        return lambda context: bool(compiled(context))
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def _lower(self, expression: ast.Expression) -> CompiledExpr:
+        if isinstance(expression, ast.Literal):
+            value = expression.value
+            return lambda context: value
+        if isinstance(expression, ast.Column):
+            return _lower_column(expression)
+        if isinstance(expression, ast.Star):
+            def star(context: EvaluationContext) -> Any:
+                raise ExecutionError(
+                    "'*' is only valid inside COUNT(*) or as a projection item"
+                )
+
+            return star
+        if isinstance(expression, ast.UnaryOp):
+            return self._lower_unary(expression)
+        if isinstance(expression, ast.BinaryOp):
+            return self._lower_binary(expression)
+        if isinstance(expression, ast.FunctionCall):
+            return self._lower_function(expression)
+        if isinstance(expression, ast.CaseExpression):
+            return self._lower_case(expression)
+        if isinstance(expression, ast.InList):
+            return self._lower_in_list(expression)
+        if isinstance(expression, ast.Between):
+            return self._lower_between(expression)
+        if isinstance(expression, ast.Like):
+            return self._lower_like(expression)
+        if isinstance(expression, ast.IsNull):
+            operand = self.compile(expression.expression)
+            if expression.negated:
+                return lambda context: operand(context) is not None
+            return lambda context: operand(context) is None
+        if isinstance(expression, ast.Cast):
+            return self._lower_cast(expression)
+        if isinstance(expression, ast.ScalarSubquery):
+            return self._lower_scalar_subquery(expression)
+        if isinstance(expression, ast.InSubquery):
+            return self._lower_in_subquery(expression)
+        if isinstance(expression, ast.Exists):
+            return self._lower_exists(expression)
+
+        def unsupported(context: EvaluationContext) -> Any:
+            raise ExecutionError(
+                f"Cannot evaluate expression of type {type(expression).__name__}"
+            )
+
+        return unsupported
+
+    def _lower_unary(self, expression: ast.UnaryOp) -> CompiledExpr:
+        operand = self.compile(expression.operand)
+        operator = expression.operator.upper()
+        if operator == "NOT":
+            def negate(context: EvaluationContext) -> Any:
+                value = operand(context)
+                if value is None:
+                    return None
+                return not bool(value)
+
+            return negate
+        if operator == "-":
+            def minus(context: EvaluationContext) -> Any:
+                value = operand(context)
+                return None if value is None else -value
+
+            return minus
+
+        def unknown(context: EvaluationContext) -> Any:
+            raise ExecutionError(f"Unknown unary operator: {expression.operator}")
+
+        return unknown
+
+    def _lower_binary(self, expression: ast.BinaryOp) -> CompiledExpr:
+        left = self.compile(expression.left)
+        right = self.compile(expression.right)
+        operator = expression.operator.upper()
+
+        if operator == "AND":
+            def logical_and(context: EvaluationContext) -> Any:
+                lhs = left(context)
+                if lhs is not None and not lhs:
+                    return False
+                rhs = right(context)
+                if rhs is not None and not rhs:
+                    return False
+                if lhs is None or rhs is None:
+                    return None
+                return True
+
+            return logical_and
+        if operator == "OR":
+            def logical_or(context: EvaluationContext) -> Any:
+                lhs = left(context)
+                if lhs:
+                    return True
+                rhs = right(context)
+                if rhs:
+                    return True
+                if lhs is None or rhs is None:
+                    return None
+                return False
+
+            return logical_or
+
+        factory = _BINARY_OPERATORS.get(operator)
+        if factory is not None:
+            return factory(left, right)
+
+        def unknown(context: EvaluationContext) -> Any:
+            raise ExecutionError(f"Unknown operator: {expression.operator}")
+
+        return unknown
+
+    def _lower_function(self, call: ast.FunctionCall) -> CompiledExpr:
+        name = call.name.upper()
+        if call.window is not None:
+            key = render_expression(call)
+
+            def window_value(context: EvaluationContext) -> Any:
+                aggregates = context.aggregates
+                if key in aggregates:
+                    return aggregates[key]
+                raise ExecutionError(
+                    f"Window function {name} was not pre-computed by the executor"
+                )
+
+            return window_value
+        if is_known_aggregate(name) and not is_scalar_function(name):
+            key = render_expression(call)
+
+            def aggregate_value(context: EvaluationContext) -> Any:
+                aggregates = context.aggregates
+                if key in aggregates:
+                    return aggregates[key]
+                raise ExecutionError(
+                    f"Aggregate function {name} used outside of an aggregation context"
+                )
+
+            return aggregate_value
+
+        function = SCALAR_FUNCTIONS.get(name)
+        if function is None:
+            def unknown(context: EvaluationContext) -> Any:
+                raise ExecutionError(f"Unknown scalar function: {name}")
+
+            return unknown
+        arguments = [self.compile(argument) for argument in call.arguments]
+        if len(arguments) == 1:
+            only = arguments[0]
+            return lambda context: function(only(context))
+        if len(arguments) == 2:
+            first, second = arguments
+            return lambda context: function(first(context), second(context))
+        return lambda context: function(*[argument(context) for argument in arguments])
+
+    def _lower_case(self, expression: ast.CaseExpression) -> CompiledExpr:
+        branches = [
+            (self.compile(branch.condition), self.compile(branch.result))
+            for branch in expression.branches
+        ]
+        default = self.compile(expression.default) if expression.default is not None else None
+
+        def case(context: EvaluationContext) -> Any:
+            for condition, result in branches:
+                if condition(context):
+                    return result(context)
+            if default is not None:
+                return default(context)
+            return None
+
+        return case
+
+    def _lower_in_list(self, expression: ast.InList) -> CompiledExpr:
+        probe = self.compile(expression.expression)
+        negated = expression.negated
+        if all(isinstance(value, ast.Literal) for value in expression.values):
+            constants = [
+                value.value
+                for value in expression.values
+                if value.value is not None  # type: ignore[union-attr]
+            ]
+
+            def member_const(context: EvaluationContext) -> Any:
+                value = probe(context)
+                if value is None:
+                    return None
+                result = value in constants
+                return (not result) if negated else result
+
+            return member_const
+        values = [self.compile(value) for value in expression.values]
+
+        def member(context: EvaluationContext) -> Any:
+            value = probe(context)
+            if value is None:
+                return None
+            candidates = [fn(context) for fn in values]
+            result = value in [candidate for candidate in candidates if candidate is not None]
+            return (not result) if negated else result
+
+        return member
+
+    def _lower_between(self, expression: ast.Between) -> CompiledExpr:
+        probe = self.compile(expression.expression)
+        low = self.compile(expression.low)
+        high = self.compile(expression.high)
+        negated = expression.negated
+
+        def between(context: EvaluationContext) -> Any:
+            value = probe(context)
+            low_value = low(context)
+            high_value = high(context)
+            if value is None or low_value is None or high_value is None:
+                return None
+            result = low_value <= value <= high_value
+            return (not result) if negated else result
+
+        return between
+
+    def _lower_like(self, expression: ast.Like) -> CompiledExpr:
+        probe = self.compile(expression.expression)
+        negated = expression.negated
+        pattern_node = expression.pattern
+        if isinstance(pattern_node, ast.Literal) and pattern_node.value is not None:
+            regex = _like_to_regex(str(pattern_node.value))
+
+            def like_const(context: EvaluationContext) -> Any:
+                value = probe(context)
+                if value is None:
+                    return None
+                result = bool(regex.match(str(value)))
+                return (not result) if negated else result
+
+            return like_const
+        pattern = self.compile(pattern_node)
+
+        def like(context: EvaluationContext) -> Any:
+            value = probe(context)
+            pattern_value = pattern(context)
+            if value is None or pattern_value is None:
+                return None
+            result = bool(_like_to_regex(str(pattern_value)).match(str(value)))
+            return (not result) if negated else result
+
+        return like
+
+    def _lower_cast(self, expression: ast.Cast) -> CompiledExpr:
+        from repro.engine.types import coerce, parse_type_name
+
+        operand = self.compile(expression.expression)
+        target = parse_type_name(expression.target_type)
+        return lambda context: coerce(operand(context), target)
+
+    # ------------------------------------------------------------------
+    # subqueries
+    # ------------------------------------------------------------------
+    def _lower_scalar_subquery(self, expression: ast.ScalarSubquery) -> CompiledExpr:
+        query = expression.query
+        constant = self._subquery_is_constant(query)
+        compiler = self
+        cache: List[Any] = [None, None]  # [generation, value]
+
+        def scalar(context: EvaluationContext) -> Any:
+            if constant and cache[0] == compiler.generation:
+                return cache[1]
+            relation = _run_subquery(context, query)
+            if len(relation) == 0:
+                value = None
+            else:
+                if len(relation) > 1:
+                    raise ExecutionError("Scalar subquery returned more than one row")
+                if len(relation.schema) != 1:
+                    raise ExecutionError("Scalar subquery must return exactly one column")
+                value = relation[0][relation.schema.names[0]]
+            if constant:
+                cache[0] = compiler.generation
+                cache[1] = value
+            return value
+
+        return scalar
+
+    def _lower_in_subquery(self, expression: ast.InSubquery) -> CompiledExpr:
+        probe = self.compile(expression.expression)
+        negated = expression.negated
+        query = expression.query
+        constant = self._subquery_is_constant(query)
+        compiler = self
+        cache: List[Any] = [None, None]  # [generation, value set]
+
+        def member(context: EvaluationContext) -> Any:
+            value = probe(context)
+            if value is None:
+                return None
+            if constant and cache[0] == compiler.generation:
+                values = cache[1]
+            else:
+                relation = _run_subquery(context, query)
+                if len(relation.schema) != 1:
+                    raise ExecutionError("IN subquery must return exactly one column")
+                name = relation.schema.names[0]
+                values = {row[name] for row in relation if row[name] is not None}
+                if constant:
+                    cache[0] = compiler.generation
+                    cache[1] = values
+            result = value in values
+            return (not result) if negated else result
+
+        return member
+
+    def _lower_exists(self, expression: ast.Exists) -> CompiledExpr:
+        query = expression.query
+        negated = expression.negated
+        constant = self._subquery_is_constant(query)
+        compiler = self
+        cache: List[Any] = [None, None]  # [generation, bool]
+
+        def exists(context: EvaluationContext) -> Any:
+            if constant and cache[0] == compiler.generation:
+                result = cache[1]
+            else:
+                result = len(_run_subquery(context, query)) > 0
+                if constant:
+                    cache[0] = compiler.generation
+                    cache[1] = result
+            return (not result) if negated else result
+
+        return exists
+
+
+# ---------------------------------------------------------------------------
+# module-level helpers
+# ---------------------------------------------------------------------------
+
+
+def _run_subquery(context: EvaluationContext, query: ast.Query) -> Any:
+    if context.subquery_executor is None:
+        raise ExecutionError("Subqueries require a query executor")
+    return context.subquery_executor(query, context)
+
+
+def _lower_column(column: ast.Column) -> CompiledExpr:
+    name_key = column.name.lower()
+    if column.table:
+        qualified_key = f"{column.table.lower()}.{name_key}"
+        error = f"Unknown column: {column.qualified_name}"
+
+        def qualified_lookup(context: EvaluationContext) -> Any:
+            current: Optional[EvaluationContext] = context
+            while current is not None:
+                scope = current.scope
+                if qualified_key in scope:
+                    return scope[qualified_key]
+                current = current.parent
+            current = context
+            while current is not None:
+                scope = current.scope
+                if name_key in scope:
+                    return scope[name_key]
+                current = current.parent
+            raise ExecutionError(error)
+
+        return qualified_lookup
+    error = f"Unknown column: {column.name}"
+
+    def lookup(context: EvaluationContext) -> Any:
+        current: Optional[EvaluationContext] = context
+        while current is not None:
+            scope = current.scope
+            if name_key in scope:
+                return scope[name_key]
+            current = current.parent
+        raise ExecutionError(error)
+
+    return lookup
+
+
+def _arith(op: Callable[[Any, Any], Any]) -> Callable[[CompiledExpr, CompiledExpr], CompiledExpr]:
+    def factory(left: CompiledExpr, right: CompiledExpr) -> CompiledExpr:
+        def run(context: EvaluationContext) -> Any:
+            lhs = left(context)
+            rhs = right(context)
+            if lhs is None or rhs is None:
+                return None
+            return op(lhs, rhs)
+
+        return run
+
+    return factory
+
+
+def _division(left: CompiledExpr, right: CompiledExpr) -> CompiledExpr:
+    def run(context: EvaluationContext) -> Any:
+        lhs = left(context)
+        rhs = right(context)
+        if lhs is None or rhs is None:
+            return None
+        if rhs == 0:
+            return None
+        return lhs / rhs
+
+    return run
+
+
+def _modulo(left: CompiledExpr, right: CompiledExpr) -> CompiledExpr:
+    def run(context: EvaluationContext) -> Any:
+        lhs = left(context)
+        rhs = right(context)
+        if lhs is None or rhs is None:
+            return None
+        if rhs == 0:
+            return None
+        return lhs % rhs
+
+    return run
+
+
+def _concat(left: CompiledExpr, right: CompiledExpr) -> CompiledExpr:
+    def run(context: EvaluationContext) -> Any:
+        lhs = left(context)
+        rhs = right(context)
+        if lhs is None or rhs is None:
+            return None
+        return str(lhs) + str(rhs)
+
+    return run
+
+
+def _equality(invert: bool) -> Callable[[CompiledExpr, CompiledExpr], CompiledExpr]:
+    def factory(left: CompiledExpr, right: CompiledExpr) -> CompiledExpr:
+        def run(context: EvaluationContext) -> Any:
+            lhs = left(context)
+            rhs = right(context)
+            if lhs is None or rhs is None:
+                return None
+            return (lhs != rhs) if invert else (lhs == rhs)
+
+        return run
+
+    return factory
+
+
+def _comparison(op: Callable[[Any, Any], bool]) -> Callable[[CompiledExpr, CompiledExpr], CompiledExpr]:
+    def factory(left: CompiledExpr, right: CompiledExpr) -> CompiledExpr:
+        def run(context: EvaluationContext) -> Any:
+            lhs = left(context)
+            rhs = right(context)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return op(lhs, rhs)
+            except TypeError as exc:
+                raise ExecutionError(
+                    f"Cannot compare {type(lhs).__name__} and {type(rhs).__name__}"
+                ) from exc
+
+        return run
+
+    return factory
+
+
+_BINARY_OPERATORS: Dict[str, Callable[[CompiledExpr, CompiledExpr], CompiledExpr]] = {
+    "+": _arith(lambda a, b: a + b),
+    "-": _arith(lambda a, b: a - b),
+    "*": _arith(lambda a, b: a * b),
+    "/": _division,
+    "%": _modulo,
+    "||": _concat,
+    "=": _equality(invert=False),
+    "<>": _equality(invert=True),
+    "!=": _equality(invert=True),
+    "<": _comparison(lambda a, b: a < b),
+    "<=": _comparison(lambda a, b: a <= b),
+    ">": _comparison(lambda a, b: a > b),
+    ">=": _comparison(lambda a, b: a >= b),
+}

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.engine.errors import ExecutionError, SchemaError
-from repro.engine.executor import QueryExecutor
+from repro.engine.executor import QueryExecutor, default_execution_mode
 from repro.engine.schema import Schema
 from repro.engine.table import Relation
 from repro.sql import ast
@@ -28,6 +28,9 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._tables: Dict[str, Relation] = {}
+        # Reused across queries so compiled plans survive repeated executions;
+        # invalidated whenever the set of registered tables changes.
+        self._executor: Optional[QueryExecutor] = None
 
     # ------------------------------------------------------------------
     # catalog management
@@ -47,6 +50,7 @@ class Database:
             raise SchemaError(f"Table already exists: {name}")
         relation = Relation.empty(schema, name=name)
         self._tables[key] = relation
+        self._executor = None
         return relation
 
     def register(self, name: str, relation: Relation, replace: bool = True) -> None:
@@ -58,7 +62,22 @@ class Database:
         key = name.lower()
         if not replace and key in self._tables:
             raise SchemaError(f"Table already exists: {name}")
-        self._tables[key] = Relation(schema=relation.schema, rows=relation.to_dicts(), name=name)
+        existing = self._tables.get(key)
+        replacement = Relation(schema=relation.schema, rows=relation.to_dicts(), name=name)
+        self._tables[key] = replacement
+        # Re-registering a same-shaped relation (the pipeline's per-run
+        # d1..d4 fragments) keeps the executor and its compiled plans warm;
+        # anything that changes the column-name shape invalidates.
+        executor = self._executor
+        if (
+            executor is not None
+            and existing is not None
+            and [n.lower() for n in existing.schema.names]
+            == [n.lower() for n in replacement.schema.names]
+        ):
+            executor.replace_relation(key, replacement)
+        else:
+            self._executor = None
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
@@ -66,6 +85,7 @@ class Database:
         if key not in self._tables:
             raise SchemaError(f"Unknown table: {name}")
         del self._tables[key]
+        self._executor = None
 
     def table(self, name: str) -> Relation:
         """Return the relation registered under ``name``."""
@@ -92,7 +112,10 @@ class Database:
     def query(self, sql_or_ast: Union[str, ast.Query]) -> Relation:
         """Parse (if needed) and execute a query against this database."""
         query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
-        executor = QueryExecutor(self._tables)
+        executor = self._executor
+        if executor is None or executor.use_compiled != (default_execution_mode() == "compiled"):
+            executor = QueryExecutor(self._tables)
+            self._executor = executor
         return executor.execute(query)
 
     def explain(self, sql_or_ast: Union[str, ast.Query]) -> dict:
@@ -114,6 +137,7 @@ class Database:
         """Create (or replace) a table directly from dict rows."""
         relation = Relation.from_rows(rows, name=name, schema=schema)
         self._tables[name.lower()] = relation
+        self._executor = None
         return relation
 
     def total_rows(self) -> int:

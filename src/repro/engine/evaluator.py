@@ -241,13 +241,23 @@ def _evaluate_between(expression: ast.Between, context: EvaluationContext) -> An
     return (not result) if expression.negated else result
 
 
+#: Compiled LIKE patterns, keyed by the raw pattern string.  Patterns come
+#: from a small, query-authored vocabulary, so the memo is unbounded.
+_LIKE_REGEX_CACHE: Dict[str, re.Pattern] = {}
+
+
 def _like_to_regex(pattern: str) -> re.Pattern:
+    cached = _LIKE_REGEX_CACHE.get(pattern)
+    if cached is not None:
+        return cached
     escaped = re.escape(pattern)
     # ``re.escape`` leaves % and _ untouched on recent Python versions but
     # escaped them historically; handle both spellings.
     escaped = escaped.replace(r"\%", ".*").replace("%", ".*")
     escaped = escaped.replace(r"\_", ".").replace("_", ".")
-    return re.compile(f"^{escaped}$", re.IGNORECASE)
+    compiled = re.compile(f"^{escaped}$", re.IGNORECASE)
+    _LIKE_REGEX_CACHE[pattern] = compiled
+    return compiled
 
 
 def _evaluate_like(expression: ast.Like, context: EvaluationContext) -> Any:

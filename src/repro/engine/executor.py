@@ -1,29 +1,83 @@
 """Query executor: evaluates a parsed query against a catalog of relations.
 
-The executor intentionally favours clarity over speed — relations are small
-in-memory sensor tables, joins are nested loops, grouping is a dict of lists.
-That is sufficient for the workloads of the paper (thousands to a few hundred
-thousand sensor rows per experiment) while keeping the semantics auditable,
-which matters because the privacy claims of the rewriter are verified by
-executing original and rewritten queries and comparing results.
+The executor has two execution paths over the same AST and the same scope
+dicts:
+
+* **Compiled (default).** Expressions are lowered once per query to Python
+  closures (:mod:`repro.engine.compile`): column keys are pre-lowered,
+  operators and scalar functions are resolved at compile time, and provably
+  uncorrelated subqueries execute once per query.  Equi-joins run as hash
+  joins and uncorrelated ``IN (SELECT ...)`` conjuncts as hash semi-joins
+  (:mod:`repro.engine.join`); GROUP BY is a single pass over the input that
+  feeds incremental aggregate accumulators
+  (:func:`repro.engine.aggregates.make_accumulator`).
+* **Interpreted (reference oracle).** The original per-row ``evaluate()``
+  tree walk with nested-loop joins and per-group aggregate recomputation.
+  It intentionally favours clarity over speed and is kept as the auditable
+  reference — the privacy claims of the rewriter are verified by executing
+  original and rewritten queries and comparing results, and the differential
+  test harness asserts that the compiled path returns relations identical to
+  this oracle over the whole query corpus.
+
+Select the path per executor (``QueryExecutor(catalog, use_compiled=...)``)
+or process-wide via :func:`set_default_execution_mode` /
+:func:`execution_mode`; benchmarks use the latter to time both paths in the
+same run.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.engine.aggregates import compute_aggregate
+from repro.engine.aggregates import compute_aggregate, make_accumulator
+from repro.engine.compile import CompiledExpr, ExpressionCompiler
 from repro.engine.errors import ExecutionError
 from repro.engine.evaluator import EvaluationContext, evaluate, evaluate_predicate
+from repro.engine.join import (
+    UnhashableJoinKey,
+    extract_equi_keys,
+    hash_join,
+    hash_semi_join,
+)
 from repro.engine.schema import ColumnDef, Schema
 from repro.engine.table import Relation
 from repro.engine.types import infer_type
 from repro.engine.window import compute_window_values
 from repro.sql import ast
 from repro.sql.render import render_expression
-from repro.sql.visitor import collect_function_calls
 
 Scope = Dict[str, Any]
+
+_EMPTY_AGGREGATES: Dict[str, Any] = {}
+_STAR_ROW = (1,)
+
+_MODES = ("compiled", "interpreted")
+_default_mode = "compiled"
+
+
+def set_default_execution_mode(mode: str) -> None:
+    """Set the process-wide default path for new :class:`QueryExecutor`\\ s."""
+    global _default_mode
+    if mode not in _MODES:
+        raise ValueError(f"Unknown execution mode: {mode!r} (expected one of {_MODES})")
+    _default_mode = mode
+
+
+def default_execution_mode() -> str:
+    """Return the current process-wide default execution mode."""
+    return _default_mode
+
+
+@contextmanager
+def execution_mode(mode: str) -> Iterator[None]:
+    """Temporarily switch the default execution mode (benchmark harness)."""
+    previous = _default_mode
+    set_default_execution_mode(mode)
+    try:
+        yield
+    finally:
+        set_default_execution_mode(previous)
 
 
 def _shallow_function_calls(node: ast.Node) -> List[ast.FunctionCall]:
@@ -44,17 +98,145 @@ def _shallow_function_calls(node: ast.Node) -> List[ast.FunctionCall]:
     return calls
 
 
+class _AggregateSpec:
+    """One distinct aggregate call of a grouped query (compiled path)."""
+
+    __slots__ = ("key", "name", "is_star", "distinct", "arg_fns", "arg_count")
+
+    def __init__(
+        self,
+        key: str,
+        name: str,
+        is_star: bool,
+        distinct: bool,
+        arg_fns: Optional[List[CompiledExpr]],
+    ) -> None:
+        self.key = key
+        self.name = name
+        self.is_star = is_star
+        self.distinct = distinct
+        self.arg_fns = arg_fns
+        self.arg_count = len(arg_fns) if arg_fns else 1
+
+    def make(self) -> Any:
+        return make_accumulator(
+            self.name,
+            is_star=self.is_star,
+            distinct=self.distinct,
+            arg_count=self.arg_count,
+        )
+
+
+class _FlatPlan:
+    """Compile-once artefacts for a flat (non-grouped) SELECT."""
+
+    __slots__ = ("query", "items", "output_names", "window_calls", "item_fns", "columns_only")
+
+    def __init__(self, query, items, output_names, window_calls, item_fns, columns_only) -> None:
+        self.query = query
+        self.items = items
+        self.output_names = output_names
+        self.window_calls = window_calls
+        self.item_fns = item_fns
+        #: ``[(output_name, Column)]`` when every item is a plain column
+        #: reference and no window is involved — enables direct key copies.
+        self.columns_only = columns_only
+
+
+class _GroupPlan:
+    """Compile-once artefacts for a grouped SELECT."""
+
+    __slots__ = (
+        "query",
+        "output_names",
+        "key_fns",
+        "key_columns",
+        "specs",
+        "having_fn",
+        "item_fns",
+    )
+
+    def __init__(
+        self, query, output_names, key_fns, key_columns, specs, having_fn, item_fns
+    ) -> None:
+        self.query = query
+        self.output_names = output_names
+        self.key_fns = key_fns
+        #: GROUP BY expressions as plain Columns (None when any is complex).
+        self.key_columns = key_columns
+        self.specs = specs
+        self.having_fn = having_fn
+        self.item_fns = item_fns
+
+
+class _WherePlan:
+    """WHERE conjuncts split into ordered semi-join and predicate segments.
+
+    Segment order follows the original conjunct order so the compiled path
+    evaluates (and raises from) predicates exactly where the oracle's
+    short-circuiting AND would.
+    """
+
+    __slots__ = ("where", "segments")
+
+    def __init__(self, where, segments) -> None:
+        self.where = where
+        #: ``("semi", InSubquery)`` or ``("pred", Expression)`` entries.
+        self.segments = segments
+
+
 class QueryExecutor:
     """Execute :class:`~repro.sql.ast.Query` nodes against named relations."""
 
-    def __init__(self, catalog: Mapping[str, Relation]) -> None:
+    def __init__(
+        self, catalog: Mapping[str, Relation], use_compiled: Optional[bool] = None
+    ) -> None:
         self._catalog = {name.lower(): relation for name, relation in catalog.items()}
+        if use_compiled is None:
+            use_compiled = _default_mode == "compiled"
+        self._use_compiled = bool(use_compiled)
+        self._compiler: Optional[ExpressionCompiler] = (
+            ExpressionCompiler(self._subquery_is_constant) if self._use_compiled else None
+        )
+        # Plan memos keyed by id(node); each entry keeps the node alive so the
+        # id stays valid.  Queries re-executed per outer row (correlated
+        # subqueries) hit these instead of re-deriving plans.
+        self._flat_plans: Dict[int, _FlatPlan] = {}
+        self._group_plans: Dict[int, _GroupPlan] = {}
+        self._where_plans: Dict[int, _WherePlan] = {}
+        self._qualified_memo: Dict[int, Tuple[ast.Node, bool]] = {}
+
+    #: Plan memos are flushed wholesale past this size so a long-lived
+    #: executor serving many distinct queries cannot grow without bound.
+    _MAX_PLAN_ENTRIES = 512
+
+    def _store_plan(self, memo: Dict[int, Any], key: int, plan: Any) -> None:
+        if len(memo) >= self._MAX_PLAN_ENTRIES:
+            memo.clear()
+        memo[key] = plan
+
+    def replace_relation(self, name: str, relation: Relation) -> None:
+        """Swap a catalog entry whose column names are unchanged.
+
+        Compiled plans only capture column *names* (star expansion, fast
+        scope keys, subquery-constancy decisions), so a same-shape swap keeps
+        every cached plan valid — the pipeline registers each fragment result
+        under a stable name and schema on every run.
+        """
+        self._catalog[name.lower()] = relation
+
+    @property
+    def use_compiled(self) -> bool:
+        """True when this executor runs the compiled path."""
+        return self._use_compiled
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def execute(self, query: ast.Query) -> Relation:
         """Execute ``query`` and return the result relation."""
+        if self._compiler is not None:
+            self._compiler.new_execution()
         return self._execute_query(query, parent=None)
 
     def lookup_table(self, name: str) -> Relation:
@@ -110,23 +292,39 @@ class QueryExecutor:
     def _execute_select(
         self, query: ast.SelectQuery, parent: Optional[EvaluationContext]
     ) -> Relation:
-        scopes, source_columns = self._evaluate_from(query.from_clause, parent)
+        # Scopes only need alias-qualified keys when something in the query
+        # subtree (including correlated subqueries) uses the qualified form.
+        needs_qualified = not self._use_compiled or self._needs_qualified_scopes(query)
+        scopes, source_columns = self._evaluate_from(
+            query.from_clause, parent, needs_qualified
+        )
 
         # WHERE
         if query.where is not None:
-            scopes = [
-                scope
-                for scope in scopes
-                if evaluate_predicate(query.where, self._context(scope, parent))
-            ]
+            if self._use_compiled:
+                scopes = self._filter_where_compiled(query, scopes, parent)
+            else:
+                scopes = [
+                    scope
+                    for scope in scopes
+                    if evaluate_predicate(query.where, self._context(scope, parent))
+                ]
 
         has_group_by = bool(query.group_by)
         has_aggregates = self._select_has_aggregates(query)
 
         if has_group_by or has_aggregates:
-            output_rows, output_names = self._execute_grouped(query, scopes, parent)
+            if self._use_compiled:
+                output_rows, output_names = self._execute_grouped_compiled(query, scopes, parent)
+            else:
+                output_rows, output_names = self._execute_grouped(query, scopes, parent)
         else:
-            output_rows, output_names = self._execute_flat(query, scopes, source_columns, parent)
+            if self._use_compiled:
+                output_rows, output_names = self._execute_flat_compiled(
+                    query, scopes, source_columns, parent
+                )
+            else:
+                output_rows, output_names = self._execute_flat(query, scopes, source_columns, parent)
 
         # DISTINCT
         if query.distinct:
@@ -146,67 +344,327 @@ class QueryExecutor:
         return Relation(schema=schema, rows=output_rows, name="")
 
     # ------------------------------------------------------------------
+    # WHERE (compiled)
+    # ------------------------------------------------------------------
+    def _where_plan(self, query: ast.SelectQuery) -> _WherePlan:
+        where = query.where
+        plan = self._where_plans.get(id(where))
+        if plan is not None and plan.where is where:
+            return plan
+        segments: List[Tuple[str, ast.Expression]] = []
+        run: List[ast.Expression] = []
+        any_semi = False
+        for term in ast.conjunction_terms(where):
+            if isinstance(term, ast.InSubquery) and self._subquery_is_constant(term.query):
+                if run:
+                    segments.append(("pred", ast.conjunction(*run)))
+                    run = []
+                segments.append(("semi", term))
+                any_semi = True
+            else:
+                run.append(term)
+        if not any_semi:
+            segments = [("pred", where)]  # keep the original node so compile caching hits
+        elif run:
+            segments.append(("pred", ast.conjunction(*run)))
+        plan = _WherePlan(where, segments)
+        self._store_plan(self._where_plans, id(where), plan)
+        return plan
+
+    def _filter_where_compiled(
+        self,
+        query: ast.SelectQuery,
+        scopes: List[Scope],
+        parent: Optional[EvaluationContext],
+    ) -> List[Scope]:
+        if not scopes:
+            return scopes
+        plan = self._where_plan(query)
+        compiler = self._compiler
+        assert compiler is not None
+        context = self._fresh_context(parent)
+
+        for kind, term in plan.segments:
+            if kind == "semi":
+                probe_fn = compiler.compile(term.expression)
+
+                def probe(scope: Scope, _fn: CompiledExpr = probe_fn) -> Any:
+                    context.scope = scope
+                    return _fn(context)
+
+                def key_source(_query: ast.Query = term.query) -> set:
+                    relation = self._execute_query(_query, parent=context)
+                    if len(relation.schema) != 1:
+                        raise ExecutionError("IN subquery must return exactly one column")
+                    name = relation.schema.names[0]
+                    return {row[name] for row in relation if row[name] is not None}
+
+                scopes = hash_semi_join(scopes, probe, key_source, negated=term.negated)
+            else:
+                predicate = compiler.compile_predicate(term)
+                kept: List[Scope] = []
+                for scope in scopes:
+                    context.scope = scope
+                    if predicate(context):
+                        kept.append(scope)
+                scopes = kept
+            if not scopes:
+                return scopes
+        return scopes
+
+    # ------------------------------------------------------------------
     # FROM clause
     # ------------------------------------------------------------------
+    def _needs_qualified_scopes(self, query: ast.SelectQuery) -> bool:
+        """True when the query subtree references any ``alias.column`` form."""
+        memo = self._qualified_memo.get(id(query))
+        if memo is not None and memo[0] is query:
+            return memo[1]
+        needed = False
+        stack: List[ast.Node] = [query]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if isinstance(node, (ast.Column, ast.Star)) and node.table:
+                needed = True
+                break
+            stack.extend(child for child in node.children() if child is not None)
+        self._store_plan(self._qualified_memo, id(query), (query, needed))
+        return needed
+
     def _evaluate_from(
-        self, relation: Optional[ast.Relation], parent: Optional[EvaluationContext]
+        self,
+        relation: Optional[ast.Relation],
+        parent: Optional[EvaluationContext],
+        needs_qualified: bool = True,
     ) -> Tuple[List[Scope], List[str]]:
         """Return per-row scopes and the ordered unqualified column names."""
         if relation is None:
             return [{}], []
         if isinstance(relation, ast.TableRef):
             table = self.lookup_table(relation.name)
-            qualifier = relation.effective_name
-            scopes = [_scoped_row(row, table.schema.names, qualifier) for row in table]
+            scopes = _scoped_rows(
+                table.rows,
+                table.schema.names,
+                relation.effective_name if needs_qualified else "",
+                allow_reuse=self._use_compiled,
+            )
             return scopes, list(table.schema.names)
         if isinstance(relation, ast.SubqueryRef):
             result = self._execute_query(relation.query, parent)
-            qualifier = relation.alias or ""
-            scopes = [_scoped_row(row, result.schema.names, qualifier) for row in result]
+            scopes = _scoped_rows(
+                result.rows,
+                result.schema.names,
+                (relation.alias or "") if needs_qualified else "",
+                allow_reuse=self._use_compiled,
+            )
             return scopes, list(result.schema.names)
         if isinstance(relation, ast.Join):
-            return self._evaluate_join(relation, parent)
+            return self._evaluate_join(relation, parent, needs_qualified)
         raise ExecutionError(f"Cannot evaluate FROM item of type {type(relation).__name__}")
 
     def _evaluate_join(
-        self, join: ast.Join, parent: Optional[EvaluationContext]
+        self, join: ast.Join, parent: Optional[EvaluationContext], needs_qualified: bool = True
     ) -> Tuple[List[Scope], List[str]]:
-        left_scopes, left_columns = self._evaluate_from(join.left, parent)
-        right_scopes, right_columns = self._evaluate_from(join.right, parent)
+        left_scopes, left_columns = self._evaluate_from(join.left, parent, needs_qualified)
+        right_scopes, right_columns = self._evaluate_from(join.right, parent, needs_qualified)
         join_type = join.join_type.upper()
         columns = left_columns + [c for c in right_columns if c not in left_columns]
+
+        if self._use_compiled:
+            combined = self._join_compiled(
+                join, join_type, left_scopes, right_scopes, left_columns, right_columns, parent
+            )
+            return combined, columns
 
         condition = join.condition
         if join.using:
             condition = None  # handled explicitly below
 
-        def matches(left: Scope, right: Scope) -> bool:
+        def combine(left: Scope, right: Scope) -> Optional[Scope]:
             if join.using:
-                return all(
+                if not all(
                     left.get(name.lower()) == right.get(name.lower()) for name in join.using
-                )
+                ):
+                    return None
+                return {**left, **right}
             if condition is None:
-                return True
+                return {**left, **right}
             merged = {**left, **right}
-            return evaluate_predicate(condition, self._context(merged, parent))
+            if evaluate_predicate(condition, self._context(merged, parent)):
+                return merged
+            return None
 
+        combined = self._nested_loop_join(
+            join_type, left_scopes, right_scopes, left_columns, right_columns, combine
+        )
+        return combined, columns
+
+    @staticmethod
+    def _nested_loop_join(
+        join_type: str,
+        left_scopes: List[Scope],
+        right_scopes: List[Scope],
+        left_columns: List[str],
+        right_columns: List[str],
+        combine: Callable[[Scope, Scope], Optional[Scope]],
+    ) -> List[Scope]:
+        """Shared nested-loop scaffold; ``combine`` merges matching pairs.
+
+        Both execution paths and all outer-join padding flow through this one
+        loop, so LEFT/RIGHT/FULL bookkeeping exists exactly once (hash joins
+        replicate the same output order in :func:`repro.engine.join.hash_join`).
+        """
         combined: List[Scope] = []
         matched_right: set[int] = set()
         for left_scope in left_scopes:
             matched = False
             for right_index, right_scope in enumerate(right_scopes):
-                if matches(left_scope, right_scope):
-                    combined.append({**left_scope, **right_scope})
-                    matched = True
-                    matched_right.add(right_index)
+                merged = combine(left_scope, right_scope)
+                if merged is None:
+                    continue
+                combined.append(merged)
+                matched = True
+                matched_right.add(right_index)
             if not matched and join_type in {"LEFT", "FULL"}:
-                null_right = {key: None for key in (right_scopes[0] if right_scopes else {})}
                 combined.append({**left_scope, **_null_scope(right_columns, right_scopes)})
         if join_type in {"RIGHT", "FULL"}:
             for right_index, right_scope in enumerate(right_scopes):
                 if right_index not in matched_right:
                     combined.append({**_null_scope(left_columns, left_scopes), **right_scope})
-        return combined, columns
+        return combined
+
+    # ------------------------------------------------------------------
+    # joins (compiled)
+    # ------------------------------------------------------------------
+    def _join_compiled(
+        self,
+        join: ast.Join,
+        join_type: str,
+        left_scopes: List[Scope],
+        right_scopes: List[Scope],
+        left_columns: List[str],
+        right_columns: List[str],
+        parent: Optional[EvaluationContext],
+    ) -> List[Scope]:
+        if left_scopes and right_scopes and join_type in {"INNER", "LEFT", "RIGHT", "FULL"}:
+            try:
+                combined = self._try_hash_join(
+                    join, join_type, left_scopes, right_scopes, left_columns, right_columns, parent
+                )
+                if combined is not None:
+                    return combined
+            except UnhashableJoinKey:
+                pass
+        return self._nested_loop_join_compiled(
+            join, join_type, left_scopes, right_scopes, left_columns, right_columns, parent
+        )
+
+    def _try_hash_join(
+        self,
+        join: ast.Join,
+        join_type: str,
+        left_scopes: List[Scope],
+        right_scopes: List[Scope],
+        left_columns: List[str],
+        right_columns: List[str],
+        parent: Optional[EvaluationContext],
+    ) -> Optional[List[Scope]]:
+        compiler = self._compiler
+        assert compiler is not None
+        residual_fn: Optional[Callable[[Scope], bool]] = None
+
+        if join.using:
+            using = [name.lower() for name in join.using]
+
+            # USING compares with ``==`` where None matches None, so keys keep
+            # their None values instead of signalling "no match".
+            def left_key(scope: Scope) -> Tuple[Any, ...]:
+                return tuple(scope.get(key) for key in using)
+
+            right_key = left_key
+        else:
+            if join.condition is None:
+                return None
+            plan = extract_equi_keys(
+                join.condition, set(left_scopes[0]), set(right_scopes[0])
+            )
+            if plan is None:
+                return None
+            left_fns = [compiler.compile(expression) for expression in plan.left_exprs]
+            right_fns = [compiler.compile(expression) for expression in plan.right_exprs]
+            left_context = self._fresh_context(parent)
+            right_context = self._fresh_context(parent)
+
+            def make_key(
+                fns: List[CompiledExpr], context: EvaluationContext
+            ) -> Callable[[Scope], Optional[Tuple[Any, ...]]]:
+                def key(scope: Scope) -> Optional[Tuple[Any, ...]]:
+                    context.scope = scope
+                    values = []
+                    for fn in fns:
+                        value = fn(context)
+                        if value is None:
+                            return None  # NULL keys never equi-match under ON
+                        values.append(value)
+                    return tuple(values)
+
+                return key
+
+            left_key = make_key(left_fns, left_context)
+            right_key = make_key(right_fns, right_context)
+            if plan.residual is not None:
+                residual_pred = compiler.compile_predicate(plan.residual)
+                residual_context = self._fresh_context(parent)
+
+                def residual_fn(merged: Scope) -> bool:
+                    residual_context.scope = merged
+                    return residual_pred(residual_context)
+
+        return hash_join(
+            left_scopes,
+            right_scopes,
+            left_key,
+            right_key,
+            join_type=join_type,
+            residual=residual_fn,
+            left_null=_null_scope(left_columns, left_scopes),
+            right_null=_null_scope(right_columns, right_scopes),
+        )
+
+    def _nested_loop_join_compiled(
+        self,
+        join: ast.Join,
+        join_type: str,
+        left_scopes: List[Scope],
+        right_scopes: List[Scope],
+        left_columns: List[str],
+        right_columns: List[str],
+        parent: Optional[EvaluationContext],
+    ) -> List[Scope]:
+        compiler = self._compiler
+        assert compiler is not None
+        using = [name.lower() for name in join.using] if join.using else None
+        condition = None if using else join.condition
+        predicate = compiler.compile_predicate(condition) if condition is not None else None
+        context = self._fresh_context(parent)
+
+        def combine(left: Scope, right: Scope) -> Optional[Scope]:
+            if using is not None:
+                if not all(left.get(key) == right.get(key) for key in using):
+                    return None
+                return {**left, **right}
+            merged = {**left, **right}
+            if predicate is not None:
+                context.scope = merged
+                if not predicate(context):
+                    return None
+            return merged
+
+        return self._nested_loop_join(
+            join_type, left_scopes, right_scopes, left_columns, right_columns, combine
+        )
 
     # ------------------------------------------------------------------
     # projection without grouping
@@ -238,6 +696,103 @@ class QueryExecutor:
             for item, name in zip(items, output_names):
                 row[name] = evaluate(item.expression, context)
             output_rows.append(row)
+        return output_rows, output_names
+
+    def _flat_plan(self, query: ast.SelectQuery, source_columns: List[str]) -> _FlatPlan:
+        plan = self._flat_plans.get(id(query))
+        if plan is not None and plan.query is query:
+            return plan
+        compiler = self._compiler
+        assert compiler is not None
+        items = self._expand_star_items(query.items, source_columns)
+        window_calls = [
+            call
+            for item in items
+            for call in _shallow_function_calls(item.expression)
+            if call.window is not None
+        ]
+        output_names = self._output_names(items)
+        item_fns = [compiler.compile(item.expression) for item in items]
+        columns_only = None
+        if not window_calls and all(
+            isinstance(item.expression, ast.Column) for item in items
+        ):
+            columns_only = [
+                (name, item.expression) for name, item in zip(output_names, items)
+            ]
+        plan = _FlatPlan(query, items, output_names, window_calls, item_fns, columns_only)
+        self._store_plan(self._flat_plans, id(query), plan)
+        return plan
+
+    @staticmethod
+    def _resolve_fast_keys(
+        columns_only: List[Tuple[str, ast.Column]],
+        scope: Scope,
+        parent: Optional[EvaluationContext],
+    ) -> Optional[List[Tuple[str, str]]]:
+        """Map column-only projections to direct scope keys, if unambiguous.
+
+        All scopes of one FROM evaluation share a key set, so probing the
+        first scope decides for all rows.  Columns that would resolve through
+        a parent context (or not at all) return None — the closure path owns
+        those.
+        """
+        keys: List[Tuple[str, str]] = []
+        for name, column in columns_only:
+            low = column.name.lower()
+            if column.table:
+                qualified = f"{column.table.lower()}.{low}"
+                if qualified in scope:
+                    keys.append((name, qualified))
+                    continue
+                if parent is not None:
+                    return None  # the parent chain may own the qualified key
+            if low in scope:
+                keys.append((name, low))
+            else:
+                return None
+        return keys
+
+    def _execute_flat_compiled(
+        self,
+        query: ast.SelectQuery,
+        scopes: List[Scope],
+        source_columns: List[str],
+        parent: Optional[EvaluationContext],
+    ) -> Tuple[List[Dict[str, Any]], List[str]]:
+        plan = self._flat_plan(query, source_columns)
+        window_values: Dict[str, List[Any]] = {}
+        if plan.window_calls:
+            window_values = compute_window_values(
+                plan.window_calls, scopes, parent, compiler=self._compiler
+            )
+
+        output_names = plan.output_names
+        if plan.columns_only is not None and scopes:
+            keys = self._resolve_fast_keys(plan.columns_only, scopes[0], parent)
+            if keys is not None:
+                return [
+                    {name: scope[key] for name, key in keys} for scope in scopes
+                ], output_names
+
+        item_fns = plan.item_fns
+        context = self._fresh_context(parent)
+        output_rows: List[Dict[str, Any]] = []
+        if window_values:
+            for index, scope in enumerate(scopes):
+                context.scope = scope
+                context.aggregates = {
+                    key: values[index] for key, values in window_values.items()
+                }
+                output_rows.append(
+                    {name: fn(context) for name, fn in zip(output_names, item_fns)}
+                )
+        else:
+            for scope in scopes:
+                context.scope = scope
+                output_rows.append(
+                    {name: fn(context) for name, fn in zip(output_names, item_fns)}
+                )
         return output_rows, output_names
 
     # ------------------------------------------------------------------
@@ -288,6 +843,115 @@ class QueryExecutor:
             for item, name in zip(items, output_names):
                 row[name] = evaluate(item.expression, context)
             output_rows.append(row)
+        return output_rows, output_names
+
+    def _group_plan(self, query: ast.SelectQuery) -> _GroupPlan:
+        plan = self._group_plans.get(id(query))
+        if plan is not None and plan.query is query:
+            return plan
+        compiler = self._compiler
+        assert compiler is not None
+        items = query.items
+        if any(isinstance(item.expression, ast.Star) for item in items):
+            raise ExecutionError("SELECT * cannot be combined with GROUP BY / aggregates")
+        key_fns = [compiler.compile(expression) for expression in query.group_by]
+        specs: List[_AggregateSpec] = []
+        seen: set[str] = set()
+        for call in self._collect_aggregate_calls(query):
+            key = render_expression(call)
+            if key in seen:
+                continue
+            seen.add(key)
+            is_star = len(call.arguments) == 1 and isinstance(call.arguments[0], ast.Star)
+            if is_star or not call.arguments:
+                arg_fns = None
+            else:
+                arg_fns = [compiler.compile(argument) for argument in call.arguments]
+            specs.append(_AggregateSpec(key, call.name, is_star, call.distinct, arg_fns))
+        having_fn = (
+            compiler.compile_predicate(query.having) if query.having is not None else None
+        )
+        item_fns = [compiler.compile(item.expression) for item in items]
+        key_columns = None
+        if query.group_by and all(
+            isinstance(expression, ast.Column) for expression in query.group_by
+        ):
+            key_columns = [("", expression) for expression in query.group_by]
+        plan = _GroupPlan(
+            query, self._output_names(items), key_fns, key_columns, specs, having_fn, item_fns
+        )
+        self._store_plan(self._group_plans, id(query), plan)
+        return plan
+
+    def _execute_grouped_compiled(
+        self,
+        query: ast.SelectQuery,
+        scopes: List[Scope],
+        parent: Optional[EvaluationContext],
+    ) -> Tuple[List[Dict[str, Any]], List[str]]:
+        plan = self._group_plan(query)
+        specs = plan.specs
+        key_fns = plan.key_fns
+        context = self._fresh_context(parent)
+
+        # Plain-column GROUP BY keys can skip expression evaluation entirely.
+        fast_keys: Optional[List[str]] = None
+        if plan.key_columns is not None and scopes:
+            resolved = self._resolve_fast_keys(plan.key_columns, scopes[0], parent)
+            if resolved is not None:
+                fast_keys = [key for _, key in resolved]
+
+        # Single pass: group keys and aggregate accumulators in one scan.
+        groups: Dict[Tuple[Any, ...], Tuple[Scope, List[Any]]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for scope in scopes:
+            context.scope = scope
+            context.aggregates = _EMPTY_AGGREGATES
+            if fast_keys is not None:
+                key = tuple(scope[k] for k in fast_keys)
+                try:
+                    group = groups.get(key)
+                except TypeError:
+                    # Unhashable key values: fall back to the frozen form the
+                    # oracle always uses (identical on hashable values).
+                    key = tuple(_freeze(value) for value in key)
+                    group = groups.get(key)
+            else:
+                key = tuple(_freeze(fn(context)) for fn in key_fns)
+                group = groups.get(key)
+            if group is None:
+                group = (scope, [spec.make() for spec in specs])
+                groups[key] = group
+                order.append(key)
+            accumulators = group[1]
+            for spec, accumulator in zip(specs, accumulators):
+                arg_fns = spec.arg_fns
+                if arg_fns is None:
+                    accumulator.add(_STAR_ROW)
+                elif len(arg_fns) == 1:
+                    accumulator.add((arg_fns[0](context),))
+                else:
+                    accumulator.add(tuple(fn(context) for fn in arg_fns))
+
+        if not query.group_by and not groups:
+            groups[()] = ({}, [spec.make() for spec in specs])
+            order.append(())
+
+        output_names = plan.output_names
+        item_fns = plan.item_fns
+        output_rows: List[Dict[str, Any]] = []
+        for key in order:
+            representative, accumulators = groups[key]
+            context.scope = representative
+            context.aggregates = {
+                spec.key: accumulator.result()
+                for spec, accumulator in zip(specs, accumulators)
+            }
+            if plan.having_fn is not None and not plan.having_fn(context):
+                continue
+            output_rows.append(
+                {name: fn(context) for name, fn in zip(output_names, item_fns)}
+            )
         return output_rows, output_names
 
     def _collect_aggregate_calls(self, query: ast.SelectQuery) -> List[ast.FunctionCall]:
@@ -348,10 +1012,55 @@ class QueryExecutor:
             parent=parent,
         )
 
+    def _fresh_context(self, parent: Optional[EvaluationContext]) -> EvaluationContext:
+        """A reusable context for the compiled path (``scope`` is swapped per row)."""
+        return EvaluationContext(
+            scope={},
+            aggregates=_EMPTY_AGGREGATES,
+            subquery_executor=self._execute_subquery,
+            parent=parent,
+        )
+
     def _execute_subquery(
         self, query: ast.SelectQuery, context: EvaluationContext
     ) -> Relation:
         return self._execute_query(query, parent=context)
+
+    def _subquery_is_constant(self, query: ast.Query) -> bool:
+        """True when ``query`` provably does not reference enclosing rows.
+
+        Conservative: the FROM clause must be a single catalog table, there
+        must be no nested subqueries, and every column reference must resolve
+        against that table (qualified references must use its effective name).
+        Anything else — including columns the catalog does not know — is
+        treated as potentially correlated and evaluated per row.
+        """
+        if not isinstance(query, ast.SelectQuery):
+            return False
+        from_clause = query.from_clause
+        if not isinstance(from_clause, ast.TableRef):
+            return False
+        relation = self._catalog.get(from_clause.name.lower())
+        if relation is None:
+            return False
+        visible = {name.lower() for name in relation.schema.names}
+        qualifier = from_clause.effective_name.lower()
+        stack: List[ast.Node] = [
+            child for child in query.children() if child is not from_clause
+        ]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if isinstance(node, ast.Query):
+                return False
+            if isinstance(node, ast.Column):
+                if node.table is not None and node.table.lower() != qualifier:
+                    return False
+                if node.name.lower() not in visible:
+                    return False
+            stack.extend(child for child in node.children() if child is not None)
+        return True
 
     def _select_has_aggregates(self, query: ast.SelectQuery) -> bool:
         sources: List[ast.Node] = [item.expression for item in query.items]
@@ -417,6 +1126,27 @@ class QueryExecutor:
                 return merged
             return scope
 
+        if self._use_compiled:
+            compiler = self._compiler
+            assert compiler is not None
+            order_fns = [compiler.compile(item.expression) for item in query.order_by]
+            context = self._fresh_context(parent)
+
+            def sort_key_compiled(pair: Tuple[int, Dict[str, Any]]) -> Tuple:
+                index, row = pair
+                context.scope = row_scope(index, row)
+                keys = []
+                for fn, item in zip(order_fns, query.order_by):
+                    try:
+                        value = fn(context)
+                    except ExecutionError:
+                        value = None
+                    keys.append(_OrderKey(value, item.ascending))
+                return tuple(keys)
+
+            ordered = sorted(enumerate(output_rows), key=sort_key_compiled)
+            return [row for _, row in ordered]
+
         def sort_key(pair: Tuple[int, Dict[str, Any]]) -> Tuple:
             index, row = pair
             context = self._context(row_scope(index, row), parent)
@@ -464,14 +1194,43 @@ class _OrderKey:
         return isinstance(other, _OrderKey) and self.value == other.value
 
 
-def _scoped_row(row: Mapping[str, Any], column_names: Sequence[str], qualifier: str) -> Scope:
-    scope: Scope = {}
-    for name in column_names:
-        value = row.get(name)
-        scope[name.lower()] = value
-        if qualifier:
-            scope[f"{qualifier.lower()}.{name.lower()}"] = value
-    return scope
+def _scoped_rows(
+    rows: Sequence[Mapping[str, Any]],
+    column_names: Sequence[str],
+    qualifier: str,
+    allow_reuse: bool = False,
+) -> List[Scope]:
+    """Build per-row scope dicts with keys lowered once, not once per row.
+
+    With ``allow_reuse`` (compiled path) a row dict whose keys already are
+    exactly the lower-cased column names is used as its own scope — scopes are
+    read-only throughout the executor, so no copy is needed.  The interpreted
+    oracle always builds fresh dicts.
+    """
+    lowered = [name.lower() for name in column_names]
+    pairs = list(zip(column_names, lowered))
+    if qualifier:
+        prefix = qualifier.lower()
+        triples = [(name, low, f"{prefix}.{low}") for name, low in pairs]
+        scopes: List[Scope] = []
+        for row in rows:
+            scope: Scope = {}
+            for name, low, qualified in triples:
+                value = row.get(name)
+                scope[low] = value
+                scope[qualified] = value
+            scopes.append(scope)
+        return scopes
+    if allow_reuse and lowered == list(column_names):
+        expected = set(lowered)
+        scopes = []
+        for row in rows:
+            if row.keys() == expected:
+                scopes.append(row)  # type: ignore[arg-type]
+            else:
+                scopes.append({low: row.get(name) for name, low in pairs})
+        return scopes
+    return [{low: row.get(name) for name, low in pairs} for row in rows]
 
 
 def _null_scope(columns: Sequence[str], scopes: List[Scope]) -> Scope:

@@ -1,0 +1,262 @@
+"""Hash-based join operators for the compiled execution path.
+
+The interpreted executor joins with a nested loop: every (left, right) scope
+pair is merged into a fresh dict and the full ON condition is re-evaluated —
+O(n·m) dict merges and expression tree walks.  When the join condition (or a
+conjunct of it) is an equality between a left-only and a right-only
+expression, the executor instead builds a hash table over the right side and
+probes it with the left side, evaluating only a residual predicate (if any)
+per surviving pair.
+
+NULL semantics follow the interpreted oracle exactly:
+
+* ``ON a = b`` never matches NULL keys (``NULL = NULL`` is NULL, which the
+  predicate treats as false) — key callables signal this by returning None.
+* ``USING (c)`` compares with Python ``==`` where ``None == None`` holds, so
+  USING key callables return tuples that may contain None, and the hash table
+  matches them.
+
+Keys that are not hashable (lists, dicts) raise :class:`UnhashableJoinKey`;
+the executor catches it and falls back to the nested loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sql import ast
+
+Scope = Dict[str, Any]
+
+#: Evaluates the join key of one scope; None means "cannot match anything".
+KeyFunction = Callable[[Scope], Optional[Tuple[Any, ...]]]
+
+
+class UnhashableJoinKey(TypeError):
+    """Raised when a join key value cannot be hashed (fallback to nested loop)."""
+
+
+# ---------------------------------------------------------------------------
+# equi-key extraction
+# ---------------------------------------------------------------------------
+
+
+class EquiKeyPlan:
+    """Outcome of analysing a join condition for hash-joinability.
+
+    Attributes:
+        left_exprs: Key expressions evaluated against left-side scopes.
+        right_exprs: Key expressions evaluated against right-side scopes,
+            positionally aligned with ``left_exprs``.
+        residual: Conjunction of the condition terms that are not equi-keys
+            (None when every term became a key).
+    """
+
+    __slots__ = ("left_exprs", "right_exprs", "residual")
+
+    def __init__(
+        self,
+        left_exprs: List[ast.Expression],
+        right_exprs: List[ast.Expression],
+        residual: Optional[ast.Expression],
+    ) -> None:
+        self.left_exprs = left_exprs
+        self.right_exprs = right_exprs
+        self.residual = residual
+
+
+def extract_equi_keys(
+    condition: ast.Expression,
+    left_keys: Set[str],
+    right_keys: Set[str],
+) -> Optional[EquiKeyPlan]:
+    """Split ``condition`` into hash keys and a residual predicate.
+
+    Args:
+        condition: The join's ON condition.
+        left_keys: Scope-dict keys available on the left side (lower-cased
+            column and ``alias.column`` keys).
+        right_keys: Scope-dict keys available on the right side.
+
+    Returns:
+        An :class:`EquiKeyPlan` when at least one conjunct is an equality
+        between a strictly-left and a strictly-right expression, else None.
+    """
+    left_exprs: List[ast.Expression] = []
+    right_exprs: List[ast.Expression] = []
+    residual_terms: List[ast.Expression] = []
+    for term in ast.conjunction_terms(condition):
+        pair = _equi_pair(term, left_keys, right_keys)
+        if pair is None:
+            residual_terms.append(term)
+        else:
+            left_exprs.append(pair[0])
+            right_exprs.append(pair[1])
+    if not left_exprs:
+        return None
+    return EquiKeyPlan(left_exprs, right_exprs, ast.conjunction(*residual_terms))
+
+
+def _equi_pair(
+    term: ast.Expression, left_keys: Set[str], right_keys: Set[str]
+) -> Optional[Tuple[ast.Expression, ast.Expression]]:
+    if not isinstance(term, ast.BinaryOp) or term.operator != "=":
+        return None
+    left_side = _expression_side(term.left, left_keys, right_keys)
+    right_side = _expression_side(term.right, left_keys, right_keys)
+    if left_side == "left" and right_side == "right":
+        return (term.left, term.right)
+    if left_side == "right" and right_side == "left":
+        return (term.right, term.left)
+    return None
+
+
+def _expression_side(
+    expression: ast.Expression, left_keys: Set[str], right_keys: Set[str]
+) -> Optional[str]:
+    """Classify which join side ``expression`` reads from (None = unusable)."""
+    side: Optional[str] = None
+    saw_column = False
+    stack: List[ast.Node] = [expression]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, ast.Query):
+            return None  # subqueries are never hash keys
+        if isinstance(node, ast.FunctionCall) and node.window is not None:
+            return None
+        if isinstance(node, ast.Column):
+            saw_column = True
+            column_side = _column_side(node, left_keys, right_keys)
+            if column_side is None:
+                return None
+            if side is None:
+                side = column_side
+            elif side != column_side:
+                return None
+        stack.extend(child for child in node.children() if child is not None)
+    if not saw_column:
+        return None  # constant expressions are filters, not join keys
+    return side
+
+
+def _column_side(
+    column: ast.Column, left_keys: Set[str], right_keys: Set[str]
+) -> Optional[str]:
+    """Which side the evaluator would read this column from in a merged scope.
+
+    Mirrors ``_evaluate_column``: the qualified key wins over the bare name,
+    and in a ``{**left, **right}`` merge the right side wins key collisions.
+    """
+    name = column.name.lower()
+    if column.table:
+        qualified = f"{column.table.lower()}.{name}"
+        if qualified in right_keys:
+            return "right"
+        if qualified in left_keys:
+            return "left"
+    if name in right_keys:
+        return "right"
+    if name in left_keys:
+        return "left"
+    return None  # resolves from a parent scope (correlated) or not at all
+
+
+# ---------------------------------------------------------------------------
+# operators
+# ---------------------------------------------------------------------------
+
+
+def hash_join(
+    left_scopes: Sequence[Scope],
+    right_scopes: Sequence[Scope],
+    left_key: KeyFunction,
+    right_key: KeyFunction,
+    join_type: str = "INNER",
+    residual: Optional[Callable[[Scope], bool]] = None,
+    left_null: Optional[Scope] = None,
+    right_null: Optional[Scope] = None,
+) -> List[Scope]:
+    """Hash equi-join producing merged scopes in nested-loop order.
+
+    Args:
+        left_scopes: Probe-side scopes (outer loop of the oracle).
+        right_scopes: Build-side scopes.
+        left_key: Key extractor for left scopes (None = matches nothing).
+        right_key: Key extractor for right scopes.
+        join_type: INNER | LEFT | RIGHT | FULL.
+        residual: Optional predicate over the merged scope for non-equi
+            conjuncts of the ON condition.
+        left_null: All-None scope used to pad unmatched right rows.
+        right_null: All-None scope used to pad unmatched left rows.
+
+    Raises:
+        UnhashableJoinKey: When a key value is not hashable.
+    """
+    table: Dict[Tuple[Any, ...], List[int]] = {}
+    for index, scope in enumerate(right_scopes):
+        key = right_key(scope)
+        if key is None:
+            continue
+        try:
+            table.setdefault(key, []).append(index)
+        except TypeError as exc:
+            raise UnhashableJoinKey(str(exc)) from exc
+
+    combined: List[Scope] = []
+    matched_right: Set[int] = set()
+    preserve_left = join_type in {"LEFT", "FULL"}
+    right_null = right_null or {}
+    left_null = left_null or {}
+
+    for left_scope in left_scopes:
+        key = left_key(left_scope)
+        matched = False
+        if key is not None:
+            try:
+                bucket = table.get(key, ())
+            except TypeError as exc:
+                raise UnhashableJoinKey(str(exc)) from exc
+            for right_index in bucket:
+                merged = {**left_scope, **right_scopes[right_index]}
+                if residual is not None and not residual(merged):
+                    continue
+                combined.append(merged)
+                matched = True
+                matched_right.add(right_index)
+        if not matched and preserve_left:
+            combined.append({**left_scope, **right_null})
+
+    if join_type in {"RIGHT", "FULL"}:
+        for right_index, right_scope in enumerate(right_scopes):
+            if right_index not in matched_right:
+                combined.append({**left_null, **right_scope})
+    return combined
+
+
+def hash_semi_join(
+    scopes: Sequence[Scope],
+    probe: Callable[[Scope], Any],
+    key_source: Callable[[], Set[Any]],
+    negated: bool = False,
+) -> List[Scope]:
+    """Filter ``scopes`` by (anti-)membership of ``probe`` in a key set.
+
+    This is the executor's fast path for uncorrelated ``expr [NOT] IN
+    (SELECT ...)`` WHERE conjuncts: the subquery runs once (``key_source`` is
+    invoked lazily on the first non-NULL probe) and every row pays one hash
+    lookup.  NULL probes never qualify, matching the oracle where a NULL
+    membership test yields NULL.
+    """
+    keys: Optional[Set[Any]] = None
+    result: List[Scope] = []
+    for scope in scopes:
+        value = probe(scope)
+        if value is None:
+            continue
+        if keys is None:
+            keys = key_source()
+        if (value in keys) != negated:
+            result.append(scope)
+    return result

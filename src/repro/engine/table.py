@@ -146,17 +146,12 @@ class Relation:
         textual length.  The absolute values do not matter; the benchmarks
         compare ratios between configurations.
         """
+        sizes = {type(None): 1, bool: 1, int: 8, float: 8}
         total = 0
         for row in self.rows:
             for value in row.values():
-                if value is None:
-                    total += 1
-                elif isinstance(value, bool):
-                    total += 1
-                elif isinstance(value, (int, float)):
-                    total += 8
-                else:
-                    total += len(str(value))
+                size = sizes.get(type(value))
+                total += size if size is not None else len(str(value))
         return total
 
     def to_dicts(self) -> List[Row]:

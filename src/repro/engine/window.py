@@ -4,13 +4,21 @@ The paper's running example computes ``regr_intercept(y, x) OVER (PARTITION BY
 z ORDER BY t)`` — an aggregate used as a window function.  This module
 evaluates such calls (and the usual ranking functions) over the rows produced
 by the executor's FROM/WHERE stage.
+
+When the executor passes its :class:`~repro.engine.compile.ExpressionCompiler`
+the partition/order/argument expressions are compiled once instead of being
+tree-walked per row, and running frames (ORDER BY present) feed incremental
+accumulators where those reproduce the batch result exactly — turning the
+O(n²) prefix recomputation into a single pass for the common aggregates.
+Without a compiler the original interpreted evaluation runs unchanged, which
+keeps it usable as the differential oracle.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.aggregates import compute_aggregate, is_known_aggregate
+from repro.engine.aggregates import compute_aggregate, is_known_aggregate, make_accumulator
 from repro.engine.errors import ExecutionError
 from repro.engine.evaluator import EvaluationContext, evaluate
 from repro.sql import ast
@@ -26,6 +34,9 @@ _RANKING_FUNCTIONS = {
     "FIRST_VALUE",
     "LAST_VALUE",
 }
+
+#: Evaluates one expression against a row context.
+_EvalFn = Callable[[EvaluationContext], Any]
 
 
 def is_window_capable(name: str) -> bool:
@@ -55,10 +66,17 @@ class _SortKey:
         return isinstance(other, _SortKey) and self.value == other.value
 
 
+def _make_eval(expression: ast.Expression, compiler: Optional[Any]) -> _EvalFn:
+    if compiler is not None:
+        return compiler.compile(expression)
+    return lambda context, _expression=expression: evaluate(_expression, context)
+
+
 def compute_window_values(
     calls: Sequence[ast.FunctionCall],
     scopes: List[Dict[str, Any]],
     parent: EvaluationContext | None = None,
+    compiler: Optional[Any] = None,
 ) -> Dict[str, List[Any]]:
     """Compute the value of each windowed call for every row.
 
@@ -66,6 +84,9 @@ def compute_window_values(
         calls: Window function calls (each must have ``window`` set).
         scopes: One evaluation scope per input row, in input order.
         parent: Optional enclosing context for correlated references.
+        compiler: Optional :class:`~repro.engine.compile.ExpressionCompiler`;
+            when given, expressions run compiled and running aggregates use
+            incremental accumulators.
 
     Returns:
         Mapping from ``render_expression(call)`` to the list of per-row values
@@ -78,7 +99,7 @@ def compute_window_values(
         key = render_expression(call)
         if key in results:
             continue
-        results[key] = _compute_single_window(call, scopes, parent)
+        results[key] = _compute_single_window(call, scopes, parent, compiler)
     return results
 
 
@@ -86,23 +107,25 @@ def _compute_single_window(
     call: ast.FunctionCall,
     scopes: List[Dict[str, Any]],
     parent: EvaluationContext | None,
+    compiler: Optional[Any],
 ) -> List[Any]:
     window = call.window
     assert window is not None
     contexts = [EvaluationContext(scope=scope, parent=parent) for scope in scopes]
 
     # Partition the row indices.
+    partition_fns = [_make_eval(expression, compiler) for expression in window.partition_by]
     partitions: Dict[Tuple[Any, ...], List[int]] = {}
     for index, context in enumerate(contexts):
-        partition_key = tuple(
-            _freeze(evaluate(expression, context)) for expression in window.partition_by
-        )
+        partition_key = tuple(_freeze(fn(context)) for fn in partition_fns)
         partitions.setdefault(partition_key, []).append(index)
 
     values: List[Any] = [None] * len(scopes)
     for indices in partitions.values():
-        ordered = _order_partition(indices, contexts, window.order_by)
-        _fill_partition(call, ordered, contexts, values, has_order=bool(window.order_by))
+        ordered = _order_partition(indices, contexts, window.order_by, compiler)
+        _fill_partition(
+            call, ordered, contexts, values, has_order=bool(window.order_by), compiler=compiler
+        )
     return values
 
 
@@ -116,15 +139,17 @@ def _order_partition(
     indices: List[int],
     contexts: List[EvaluationContext],
     order_by: Sequence[ast.OrderItem],
+    compiler: Optional[Any],
 ) -> List[int]:
     if not order_by:
         return list(indices)
 
+    order_fns = [_make_eval(item.expression, compiler) for item in order_by]
+
     def sort_key(index: int) -> Tuple:
         keys = []
-        for item in order_by:
-            value = evaluate(item.expression, contexts[index])
-            key = _SortKey(value)
+        for fn, item in zip(order_fns, order_by):
+            key = _SortKey(fn(contexts[index]))
             keys.append(key if item.ascending else _Reversed(key))
         return tuple(keys)
 
@@ -152,11 +177,12 @@ def _fill_partition(
     contexts: List[EvaluationContext],
     values: List[Any],
     has_order: bool,
+    compiler: Optional[Any] = None,
 ) -> None:
     name = call.name.upper()
 
     if name in _RANKING_FUNCTIONS:
-        _fill_ranking(call, name, ordered_indices, contexts, values)
+        _fill_ranking(call, name, ordered_indices, contexts, values, compiler)
         return
 
     if not is_known_aggregate(name):
@@ -169,9 +195,9 @@ def _fill_partition(
     if is_star:
         argument_lists = [[1] for _ in ordered_indices]
     else:
+        argument_fns = [_make_eval(argument, compiler) for argument in call.arguments]
         argument_lists = [
-            [evaluate(argument, contexts[i]) for argument in call.arguments]
-            for i in ordered_indices
+            [fn(contexts[i]) for fn in argument_fns] for i in ordered_indices
         ]
 
     if not has_order:
@@ -179,6 +205,21 @@ def _fill_partition(
         total = compute_aggregate(name, columns, is_star=is_star, distinct=call.distinct)
         for index in ordered_indices:
             values[index] = total
+        return
+
+    if compiler is not None:
+        # Running frame via an accumulator: one pass instead of recomputing
+        # every prefix.  Buffered accumulators still delegate to the batch
+        # functions, so the emitted values match the oracle exactly.
+        accumulator = make_accumulator(
+            name,
+            is_star=is_star,
+            distinct=call.distinct,
+            arg_count=len(call.arguments) if not is_star and call.arguments else 1,
+        )
+        for position, index in enumerate(ordered_indices):
+            accumulator.add(tuple(argument_lists[position]))
+            values[index] = accumulator.result()
         return
 
     for position, index in enumerate(ordered_indices):
@@ -201,14 +242,15 @@ def _fill_ranking(
     ordered_indices: List[int],
     contexts: List[EvaluationContext],
     values: List[Any],
+    compiler: Optional[Any] = None,
 ) -> None:
     window = call.window
     assert window is not None
+    order_fns = [_make_eval(item.expression, compiler) for item in window.order_by]
+    argument_fns = [_make_eval(argument, compiler) for argument in call.arguments]
 
     def order_key(index: int) -> Tuple:
-        return tuple(
-            _freeze(evaluate(item.expression, contexts[index])) for item in window.order_by
-        )
+        return tuple(_freeze(fn(contexts[index])) for fn in order_fns)
 
     if name == "ROW_NUMBER":
         for position, index in enumerate(ordered_indices, start=1):
@@ -230,29 +272,29 @@ def _fill_ranking(
         offset = 1
         default = None
         if len(call.arguments) > 1:
-            offset_value = evaluate(call.arguments[1], contexts[ordered_indices[0]])
+            offset_value = argument_fns[1](contexts[ordered_indices[0]])
             offset = int(offset_value) if offset_value is not None else 1
         if len(call.arguments) > 2:
-            default = evaluate(call.arguments[2], contexts[ordered_indices[0]])
+            default = argument_fns[2](contexts[ordered_indices[0]])
         for position, index in enumerate(ordered_indices):
             source = position - offset if name == "LAG" else position + offset
             if 0 <= source < len(ordered_indices):
-                values[index] = evaluate(call.arguments[0], contexts[ordered_indices[source]])
+                values[index] = argument_fns[0](contexts[ordered_indices[source]])
             else:
                 values[index] = default
         return
     if name == "FIRST_VALUE":
-        first = evaluate(call.arguments[0], contexts[ordered_indices[0]])
+        first = argument_fns[0](contexts[ordered_indices[0]])
         for index in ordered_indices:
             values[index] = first
         return
     if name == "LAST_VALUE":
-        last = evaluate(call.arguments[0], contexts[ordered_indices[-1]])
+        last = argument_fns[0](contexts[ordered_indices[-1]])
         for index in ordered_indices:
             values[index] = last
         return
     if name == "NTILE":
-        buckets = int(evaluate(call.arguments[0], contexts[ordered_indices[0]]))
+        buckets = int(argument_fns[0](contexts[ordered_indices[0]]))
         count = len(ordered_indices)
         for position, index in enumerate(ordered_indices):
             values[index] = (position * buckets) // count + 1

@@ -23,6 +23,7 @@ import time
 from typing import Dict, Optional, Union
 
 from repro.anonymize.anonymizer import Anonymizer
+from repro.engine.executor import execution_mode
 from repro.engine.schema import Schema
 from repro.engine.table import Relation
 from repro.fragment.fragmenter import VerticalFragmenter
@@ -49,6 +50,7 @@ class ParadiseProcessor:
         anonymizer: Optional[Anonymizer] = None,
         minimum_information_gain: float = 0.25,
         enforce_query_interval: bool = False,
+        engine_mode: str = "compiled",
     ) -> None:
         self.policy = policy
         self.topology = topology or Topology.default_chain()
@@ -61,6 +63,9 @@ class ParadiseProcessor:
         self.fragmenter = VerticalFragmenter(self.topology)
         self.anonymizer = anonymizer or Anonymizer(algorithm="k_anonymity", k=5)
         self.enforce_query_interval = enforce_query_interval
+        #: Per-node database execution path: "compiled" (default) or the
+        #: interpreted reference oracle (benchmark baselines, audits).
+        self.engine_mode = engine_mode
 
     # ------------------------------------------------------------------
     # data placement
@@ -145,7 +150,8 @@ class ParadiseProcessor:
         result.plan = plan
 
         # 4. distributed execution + 5. anonymization + 6. remainder
-        final = self._execute_plan(plan, result, anonymize=anonymize)
+        with execution_mode(self.engine_mode):
+            final = self._execute_plan(plan, result, anonymize=anonymize)
         result.result = final
         result.transfers = self.network.log
         result.elapsed_seconds = time.perf_counter() - started

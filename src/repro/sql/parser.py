@@ -8,6 +8,7 @@ surprises.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.sql import ast
@@ -583,9 +584,26 @@ class Parser:
         return ast.FrameBound("FOLLOWING", offset=offset)
 
 
-def parse(text: str) -> ast.Query:
-    """Parse ``text`` into a query AST."""
+@lru_cache(maxsize=256)
+def _parse_cached(text: str) -> ast.Query:
     return Parser(text).parse_query()
+
+
+def parse(text: str) -> ast.Query:
+    """Parse ``text`` into a query AST (memoized on the exact SQL text).
+
+    Repeated pipeline runs (the processor re-parsing the same module query,
+    benchmark loops) get the cached AST back.  Cached trees are shared, which
+    is safe under the repo-wide convention that AST nodes are immutable —
+    every transformer (:func:`repro.sql.visitor.clone`, the rewriter, the
+    fragmenter) deep-copies before mutating.  Parse errors are not cached.
+    """
+    return _parse_cached(text)
+
+
+def clear_parse_cache() -> None:
+    """Drop all memoized parse results (tests and long-running processes)."""
+    _parse_cached.cache_clear()
 
 
 def parse_expression(text: str) -> ast.Expression:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -109,16 +110,17 @@ class SlidingWindow:
         if not readings:
             return []
         ordered = sorted(readings, key=lambda r: r[self.time_column])
-        start = ordered[0][self.time_column]
-        end = ordered[-1][self.time_column]
+        timestamps = [r[self.time_column] for r in ordered]
+        start = timestamps[0]
+        end = timestamps[-1]
         results: List[Reading] = []
         current = start + self.size_seconds
         while current <= end + step_seconds:
-            in_window = [
-                r
-                for r in ordered
-                if current - self.size_seconds < r[self.time_column] <= current
-            ]
+            # The readings are time-sorted, so each window is the contiguous
+            # slice with current-size < t <= current.
+            low = bisect_right(timestamps, current - self.size_seconds)
+            high = bisect_right(timestamps, current)
+            in_window = ordered[low:high]
             if in_window:
                 row: Reading = {
                     "window_start": current - self.size_seconds,

@@ -1,0 +1,192 @@
+"""Unit tests for the hash join operators and equi-key extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.join import (
+    UnhashableJoinKey,
+    extract_equi_keys,
+    hash_join,
+    hash_semi_join,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+
+
+def _key(name):
+    def key(scope):
+        value = scope.get(name)
+        if value is None:
+            return None
+        return (value,)
+
+    return key
+
+
+LEFT = [
+    {"id": 1, "k": 10},
+    {"id": 2, "k": 20},
+    {"id": 3, "k": None},
+    {"id": 4, "k": 20},
+]
+RIGHT = [
+    {"rid": 1, "k2": 20},
+    {"rid": 2, "k2": 20},
+    {"rid": 3, "k2": None},
+    {"rid": 4, "k2": 30},
+]
+
+
+class TestHashJoin:
+    def test_inner_duplicates_fan_out(self):
+        result = hash_join(LEFT, RIGHT, _key("k"), _key("k2"), join_type="INNER")
+        # k=20 appears twice on the left and twice on the right → 4 pairs.
+        assert [(row["id"], row["rid"]) for row in result] == [
+            (2, 1),
+            (2, 2),
+            (4, 1),
+            (4, 2),
+        ]
+
+    def test_null_keys_never_match_inner(self):
+        result = hash_join(LEFT, RIGHT, _key("k"), _key("k2"), join_type="INNER")
+        assert all(row["id"] != 3 and row["rid"] != 3 for row in result)
+
+    def test_left_join_pads_unmatched_and_null_keys(self):
+        result = hash_join(
+            LEFT,
+            RIGHT,
+            _key("k"),
+            _key("k2"),
+            join_type="LEFT",
+            right_null={"rid": None, "k2": None},
+        )
+        ids = [(row["id"], row["rid"]) for row in result]
+        assert ids == [(1, None), (2, 1), (2, 2), (3, None), (4, 1), (4, 2)]
+
+    def test_right_join_pads_unmatched_right_rows(self):
+        result = hash_join(
+            LEFT,
+            RIGHT,
+            _key("k"),
+            _key("k2"),
+            join_type="RIGHT",
+            left_null={"id": None, "k": None},
+        )
+        tail = [(row["id"], row["rid"]) for row in result[-2:]]
+        assert tail == [(None, 3), (None, 4)]
+
+    def test_full_join_pads_both_sides(self):
+        result = hash_join(
+            LEFT,
+            RIGHT,
+            _key("k"),
+            _key("k2"),
+            join_type="FULL",
+            left_null={"id": None, "k": None},
+            right_null={"rid": None, "k2": None},
+        )
+        pairs = [(row["id"], row["rid"]) for row in result]
+        assert (1, None) in pairs and (3, None) in pairs
+        assert (None, 3) in pairs and (None, 4) in pairs
+
+    def test_using_style_keys_match_nulls(self):
+        # USING key functions return the raw tuple, so None == None matches.
+        left_key = lambda scope: (scope.get("k"),)
+        right_key = lambda scope: (scope.get("k2"),)
+        result = hash_join(LEFT, RIGHT, left_key, right_key, join_type="INNER")
+        assert (3, 3) in [(row["id"], row["rid"]) for row in result]
+
+    def test_residual_filters_pairs(self):
+        result = hash_join(
+            LEFT,
+            RIGHT,
+            _key("k"),
+            _key("k2"),
+            join_type="INNER",
+            residual=lambda merged: merged["rid"] > 1,
+        )
+        assert [(row["id"], row["rid"]) for row in result] == [(2, 2), (4, 2)]
+
+    def test_unhashable_key_raises(self):
+        rows = [{"id": 1, "k": [1, 2]}]
+        with pytest.raises(UnhashableJoinKey):
+            hash_join(rows, rows, _key("k"), _key("k"), join_type="INNER")
+
+    def test_merge_right_wins_collisions(self):
+        left = [{"id": 1, "shared": "left"}]
+        right = [{"rid": 9, "shared": "right"}]
+        result = hash_join(
+            left, right, lambda s: (1,), lambda s: (1,), join_type="INNER"
+        )
+        assert result[0]["shared"] == "right"
+
+
+class TestHashSemiJoin:
+    SCOPES = [{"v": 1}, {"v": 2}, {"v": None}, {"v": 3}]
+
+    def test_membership(self):
+        kept = hash_semi_join(self.SCOPES, lambda s: s["v"], lambda: {1, 3})
+        assert [scope["v"] for scope in kept] == [1, 3]
+
+    def test_anti_membership_drops_nulls_too(self):
+        kept = hash_semi_join(
+            self.SCOPES, lambda s: s["v"], lambda: {1, 3}, negated=True
+        )
+        assert [scope["v"] for scope in kept] == [2]
+
+    def test_key_source_lazy(self):
+        calls = []
+
+        def source():
+            calls.append(1)
+            return {1}
+
+        hash_semi_join([{"v": None}], lambda s: s["v"], source)
+        assert calls == []  # all probes NULL → subquery never runs
+        hash_semi_join(self.SCOPES, lambda s: s["v"], source)
+        assert calls == [1]  # executed exactly once
+
+
+class TestExtractEquiKeys:
+    LEFT_KEYS = {"id", "k", "a.id", "a.k"}
+    RIGHT_KEYS = {"rid", "k2", "b.rid", "b.k2"}
+
+    def _extract(self, sql):
+        return extract_equi_keys(parse_expression(sql), self.LEFT_KEYS, self.RIGHT_KEYS)
+
+    def test_simple_equality(self):
+        plan = self._extract("a.k = b.k2")
+        assert plan is not None
+        assert len(plan.left_exprs) == 1
+        assert plan.residual is None
+
+    def test_reversed_sides_normalised(self):
+        plan = self._extract("b.k2 = a.k")
+        assert plan is not None
+        assert isinstance(plan.left_exprs[0], ast.Column)
+        assert plan.left_exprs[0].table == "a"
+
+    def test_conjunction_with_residual(self):
+        plan = self._extract("a.k = b.k2 AND a.id < b.rid")
+        assert plan is not None
+        assert len(plan.left_exprs) == 1
+        assert plan.residual is not None
+
+    def test_expression_keys(self):
+        plan = self._extract("k + 1 = k2 - 1")
+        assert plan is not None
+
+    def test_no_equality_returns_none(self):
+        assert self._extract("a.k < b.k2") is None
+
+    def test_same_side_equality_is_residual_only(self):
+        assert self._extract("a.k = a.id") is None
+
+    def test_constant_comparand_not_a_key(self):
+        assert self._extract("a.k = 5") is None
+
+    def test_unknown_column_bails(self):
+        # "outer_col" resolves on neither side → maybe correlated → residual.
+        assert self._extract("outer_col = b.k2") is None
