@@ -1,6 +1,6 @@
-"""Run every benchmark in quick mode and record the engine perf baseline.
+"""Run every benchmark in quick mode and record the perf baselines.
 
-Two jobs in one entry point:
+Three jobs in one entry point:
 
 1. **Quick suite** — execute every ``bench_*.py`` under pytest with
    pytest-benchmark's timing disabled, so the whole suite doubles as a smoke
@@ -12,10 +12,14 @@ Two jobs in one entry point:
    ``BENCH_engine.json`` with median/p90 latencies, rows/sec and speedups.
    Future PRs compare against this trajectory to prove wins or catch
    regressions.
+3. **Runtime scaling baseline** — run ``bench_runtime_scaling.py`` in quick
+   mode (parallel DAG execution vs. the serial oracle over sensor fan-outs,
+   plus concurrent sessions) and write ``BENCH_runtime.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--repeats N] [--skip-suite]
+        [--skip-runtime]
 """
 
 from __future__ import annotations
@@ -167,7 +171,16 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument("--skip-suite", action="store_true", help="skip the pytest quick pass")
     parser.add_argument(
+        "--skip-runtime", action="store_true", help="skip the runtime scaling baseline"
+    )
+    parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output path"
+    )
+    parser.add_argument(
+        "--runtime-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_runtime.json",
+        help="runtime scaling output path",
     )
     args = parser.parse_args(argv)
 
@@ -182,6 +195,24 @@ def main(argv: List[str] | None = None) -> int:
     if not args.skip_suite:
         report["quick_suite"] = run_quick_suite()
     report["workloads"] = run_engine_baseline(args.repeats)
+
+    if not args.skip_runtime:
+        from benchmarks.bench_runtime_scaling import run_runtime_scaling
+
+        runtime_report = run_runtime_scaling(
+            rows=800, repeats=2, out=args.runtime_out
+        )
+        report["runtime_scaling"] = {
+            "out": str(args.runtime_out),
+            "eight_sensor_speedup": next(
+                (
+                    entry["speedup_median"]
+                    for entry in runtime_report["fanout"]
+                    if entry["n_sensors"] >= 8
+                ),
+                None,
+            ),
+        }
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

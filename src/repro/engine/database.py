@@ -12,6 +12,7 @@ like the staged queries in Section 4.2 of the paper.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.engine.errors import ExecutionError, SchemaError
@@ -23,7 +24,16 @@ from repro.sql.parser import parse
 
 
 class Database:
-    """A named collection of relations with a SQL query interface."""
+    """A named collection of relations with a SQL query interface.
+
+    Each database models one node of the vertical architecture, so a
+    re-entrant lock serializes catalog mutations and query execution per
+    node: the shared :class:`~repro.engine.executor.QueryExecutor` (whose
+    plan memos and subquery-result epochs are single-threaded state) is only
+    ever driven by one thread at a time, while queries against *different*
+    nodes still run fully in parallel — which is exactly the concurrency the
+    fragment runtime exploits.
+    """
 
     def __init__(self, name: str = "db") -> None:
         self.name = name
@@ -31,6 +41,7 @@ class Database:
         # Reused across queries so compiled plans survive repeated executions;
         # invalidated whenever the set of registered tables changes.
         self._executor: Optional[QueryExecutor] = None
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # catalog management
@@ -45,13 +56,14 @@ class Database:
 
     def create_table(self, name: str, schema: Schema) -> Relation:
         """Create an empty table with the given schema."""
-        key = name.lower()
-        if key in self._tables:
-            raise SchemaError(f"Table already exists: {name}")
-        relation = Relation.empty(schema, name=name)
-        self._tables[key] = relation
-        self._executor = None
-        return relation
+        with self._lock:
+            key = name.lower()
+            if key in self._tables:
+                raise SchemaError(f"Table already exists: {name}")
+            relation = Relation.empty(schema, name=name)
+            self._tables[key] = relation
+            self._executor = None
+            return relation
 
     def register(self, name: str, relation: Relation, replace: bool = True) -> None:
         """Register an existing relation under ``name``.
@@ -59,52 +71,58 @@ class Database:
         Shipped query results are registered this way when they arrive at a
         node (``d1`` arriving at the appliance, ``d2`` at the media center...).
         """
-        key = name.lower()
-        if not replace and key in self._tables:
-            raise SchemaError(f"Table already exists: {name}")
-        existing = self._tables.get(key)
-        replacement = Relation(schema=relation.schema, rows=relation.to_dicts(), name=name)
-        self._tables[key] = replacement
-        # Re-registering a same-shaped relation (the pipeline's per-run
-        # d1..d4 fragments) keeps the executor and its compiled plans warm;
-        # anything that changes the column-name shape invalidates.
-        executor = self._executor
-        if (
-            executor is not None
-            and existing is not None
-            and [n.lower() for n in existing.schema.names]
-            == [n.lower() for n in replacement.schema.names]
-        ):
-            executor.replace_relation(key, replacement)
-        else:
-            self._executor = None
+        with self._lock:
+            key = name.lower()
+            if not replace and key in self._tables:
+                raise SchemaError(f"Table already exists: {name}")
+            existing = self._tables.get(key)
+            replacement = Relation(schema=relation.schema, rows=relation.to_dicts(), name=name)
+            self._tables[key] = replacement
+            # Re-registering a same-shaped relation (the pipeline's per-run
+            # d1..d4 fragments) keeps the executor and its compiled plans warm;
+            # anything that changes the column-name shape invalidates.
+            executor = self._executor
+            if (
+                executor is not None
+                and existing is not None
+                and [n.lower() for n in existing.schema.names]
+                == [n.lower() for n in replacement.schema.names]
+            ):
+                executor.replace_relation(key, replacement)
+            else:
+                self._executor = None
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
-        key = name.lower()
-        if key not in self._tables:
-            raise SchemaError(f"Unknown table: {name}")
-        del self._tables[key]
-        self._executor = None
+        with self._lock:
+            key = name.lower()
+            if key not in self._tables:
+                raise SchemaError(f"Unknown table: {name}")
+            del self._tables[key]
+            self._executor = None
 
     def table(self, name: str) -> Relation:
         """Return the relation registered under ``name``."""
-        key = name.lower()
-        if key not in self._tables:
-            raise SchemaError(f"Unknown table: {name}")
-        return self._tables[key]
+        with self._lock:
+            key = name.lower()
+            if key not in self._tables:
+                raise SchemaError(f"Unknown table: {name}")
+            return self._tables[key]
 
     def insert_rows(self, name: str, rows: Iterable[Mapping[str, Any]]) -> int:
         """Append rows to an existing table; returns the number inserted."""
-        relation = self.table(name)
-        count = 0
-        for row in rows:
-            unknown = [key for key in row if key not in relation.schema]
-            if unknown:
-                raise SchemaError(f"Unknown column(s) {unknown} for table {name}")
-            relation.rows.append({column: row.get(column) for column in relation.schema.names})
-            count += 1
-        return count
+        with self._lock:
+            relation = self.table(name)
+            count = 0
+            for row in rows:
+                unknown = [key for key in row if key not in relation.schema]
+                if unknown:
+                    raise SchemaError(f"Unknown column(s) {unknown} for table {name}")
+                relation.rows.append(
+                    {column: row.get(column) for column in relation.schema.names}
+                )
+                count += 1
+            return count
 
     # ------------------------------------------------------------------
     # querying
@@ -112,11 +130,12 @@ class Database:
     def query(self, sql_or_ast: Union[str, ast.Query]) -> Relation:
         """Parse (if needed) and execute a query against this database."""
         query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
-        executor = self._executor
-        if executor is None or executor.use_compiled != (default_execution_mode() == "compiled"):
-            executor = QueryExecutor(self._tables)
-            self._executor = executor
-        return executor.execute(query)
+        with self._lock:
+            executor = self._executor
+            if executor is None or executor.use_compiled != (default_execution_mode() == "compiled"):
+                executor = QueryExecutor(self._tables)
+                self._executor = executor
+            return executor.execute(query)
 
     def explain(self, sql_or_ast: Union[str, ast.Query]) -> dict:
         """Return the structural summary of a query (no execution)."""
@@ -136,10 +155,12 @@ class Database:
     ) -> Relation:
         """Create (or replace) a table directly from dict rows."""
         relation = Relation.from_rows(rows, name=name, schema=schema)
-        self._tables[name.lower()] = relation
-        self._executor = None
+        with self._lock:
+            self._tables[name.lower()] = relation
+            self._executor = None
         return relation
 
     def total_rows(self) -> int:
         """Total number of rows across all tables (used by capacity checks)."""
-        return sum(len(relation) for relation in self._tables.values())
+        with self._lock:
+            return sum(len(relation) for relation in self._tables.values())

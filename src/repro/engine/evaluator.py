@@ -11,6 +11,7 @@ the aggregate call.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -242,8 +243,12 @@ def _evaluate_between(expression: ast.Between, context: EvaluationContext) -> An
 
 
 #: Compiled LIKE patterns, keyed by the raw pattern string.  Patterns come
-#: from a small, query-authored vocabulary, so the memo is unbounded.
+#: from a small, query-authored vocabulary, so the memo is unbounded.  The
+#: lock covers insertions only: concurrent scheduler workers may compile the
+#: same pattern twice on a racing miss, but the cache dict itself can never
+#: be observed mid-update.
 _LIKE_REGEX_CACHE: Dict[str, re.Pattern] = {}
+_LIKE_REGEX_LOCK = threading.Lock()
 
 
 def _like_to_regex(pattern: str) -> re.Pattern:
@@ -256,8 +261,8 @@ def _like_to_regex(pattern: str) -> re.Pattern:
     escaped = escaped.replace(r"\%", ".*").replace("%", ".*")
     escaped = escaped.replace(r"\_", ".").replace("_", ".")
     compiled = re.compile(f"^{escaped}$", re.IGNORECASE)
-    _LIKE_REGEX_CACHE[pattern] = compiled
-    return compiled
+    with _LIKE_REGEX_LOCK:
+        return _LIKE_REGEX_CACHE.setdefault(pattern, compiled)
 
 
 def _evaluate_like(expression: ast.Like, context: EvaluationContext) -> Any:

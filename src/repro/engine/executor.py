@@ -27,6 +27,7 @@ same run.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -55,6 +56,10 @@ _STAR_ROW = (1,)
 _MODES = ("compiled", "interpreted")
 _default_mode = "compiled"
 
+#: Per-thread mode override; lets concurrent scheduler workers and sessions
+#: each pin an execution path without racing on the process-wide default.
+_thread_mode = threading.local()
+
 
 def set_default_execution_mode(mode: str) -> None:
     """Set the process-wide default path for new :class:`QueryExecutor`\\ s."""
@@ -65,19 +70,26 @@ def set_default_execution_mode(mode: str) -> None:
 
 
 def default_execution_mode() -> str:
-    """Return the current process-wide default execution mode."""
-    return _default_mode
+    """The calling thread's execution mode (override, else process default)."""
+    return getattr(_thread_mode, "mode", None) or _default_mode
 
 
 @contextmanager
 def execution_mode(mode: str) -> Iterator[None]:
-    """Temporarily switch the default execution mode (benchmark harness)."""
-    previous = _default_mode
-    set_default_execution_mode(mode)
+    """Temporarily switch the calling thread's execution mode.
+
+    The override is thread-local: the benchmark harness flips modes in its
+    own thread while scheduler workers (which enter this context manager per
+    task) stay unaffected by each other.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"Unknown execution mode: {mode!r} (expected one of {_MODES})")
+    previous = getattr(_thread_mode, "mode", None)
+    _thread_mode.mode = mode
     try:
         yield
     finally:
-        set_default_execution_mode(previous)
+        _thread_mode.mode = previous
 
 
 def _shallow_function_calls(node: ast.Node) -> List[ast.FunctionCall]:
@@ -193,7 +205,7 @@ class QueryExecutor:
     ) -> None:
         self._catalog = {name.lower(): relation for name, relation in catalog.items()}
         if use_compiled is None:
-            use_compiled = _default_mode == "compiled"
+            use_compiled = default_execution_mode() == "compiled"
         self._use_compiled = bool(use_compiled)
         self._compiler: Optional[ExpressionCompiler] = (
             ExpressionCompiler(self._subquery_is_constant) if self._use_compiled else None
@@ -1029,25 +1041,27 @@ class QueryExecutor:
     def _subquery_is_constant(self, query: ast.Query) -> bool:
         """True when ``query`` provably does not reference enclosing rows.
 
-        Conservative: the FROM clause must be a single catalog table, there
-        must be no nested subqueries, and every column reference must resolve
-        against that table (qualified references must use its effective name).
+        Conservative, but not limited to single-table FROM clauses: the FROM
+        tree may be a catalog table, a join tree of catalog tables, or a
+        derived table ``(SELECT ...) alias`` that is itself provably
+        constant.  Every column reference of the query (including join ON
+        conditions) must resolve against the columns those sources expose,
+        and qualified references must use a source's effective name.
         Anything else — including columns the catalog does not know — is
         treated as potentially correlated and evaluated per row.
         """
         if not isinstance(query, ast.SelectQuery):
             return False
-        from_clause = query.from_clause
-        if not isinstance(from_clause, ast.TableRef):
+        sources = self._constant_from_sources(query.from_clause)
+        if sources is None:
             return False
-        relation = self._catalog.get(from_clause.name.lower())
-        if relation is None:
-            return False
-        visible = {name.lower() for name in relation.schema.names}
-        qualifier = from_clause.effective_name.lower()
+        visible, qualifiers, join_conditions = sources
         stack: List[ast.Node] = [
-            child for child in query.children() if child is not from_clause
+            child for child in query.children() if child is not query.from_clause
         ]
+        # Join conditions live inside the FROM subtree but reference columns
+        # like any predicate, so they re-enter the reference walk here.
+        stack.extend(join_conditions)
         while stack:
             node = stack.pop()
             if node is None:
@@ -1055,12 +1069,75 @@ class QueryExecutor:
             if isinstance(node, ast.Query):
                 return False
             if isinstance(node, ast.Column):
-                if node.table is not None and node.table.lower() != qualifier:
+                if node.table is not None and node.table.lower() not in qualifiers:
                     return False
                 if node.name.lower() not in visible:
                     return False
             stack.extend(child for child in node.children() if child is not None)
         return True
+
+    def _constant_from_sources(
+        self, from_clause: Optional[ast.Node]
+    ) -> Optional[Tuple[set, set, List[ast.Expression]]]:
+        """Resolve a FROM tree into provably constant sources.
+
+        Returns ``(visible column names, valid qualifiers, join conditions)``
+        in lower case, or ``None`` when any source cannot be proven
+        row-independent (unknown table, set operation, derived table whose
+        shape cannot be determined).
+        """
+        if from_clause is None:
+            return set(), set(), []
+        if isinstance(from_clause, ast.TableRef):
+            relation = self._catalog.get(from_clause.name.lower())
+            if relation is None:
+                return None
+            visible = {name.lower() for name in relation.schema.names}
+            return visible, {from_clause.effective_name.lower()}, []
+        if isinstance(from_clause, ast.Join):
+            left = self._constant_from_sources(from_clause.left)
+            right = self._constant_from_sources(from_clause.right)
+            if left is None or right is None:
+                return None
+            conditions = left[2] + right[2]
+            if from_clause.condition is not None:
+                conditions = conditions + [from_clause.condition]
+            return left[0] | right[0], left[1] | right[1], conditions
+        if isinstance(from_clause, ast.SubqueryRef):
+            if not self._subquery_is_constant(from_clause.query):
+                return None
+            columns = self._subquery_output_columns(from_clause.query)
+            if columns is None:
+                return None
+            qualifiers = (
+                {from_clause.alias.lower()} if from_clause.alias else set()
+            )
+            return {column.lower() for column in columns}, qualifiers, []
+        return None
+
+    def _subquery_output_columns(self, query: ast.Query) -> Optional[List[str]]:
+        """Output column names of ``query`` when statically determinable."""
+        if isinstance(query, ast.SetOperation):
+            return self._subquery_output_columns(query.left)
+        if not isinstance(query, ast.SelectQuery):
+            return None
+        columns: List[str] = []
+        for item in query.items:
+            if isinstance(item.expression, ast.Star):
+                if not isinstance(query.from_clause, ast.TableRef):
+                    return None
+                relation = self._catalog.get(query.from_clause.name.lower())
+                if relation is None:
+                    return None
+                columns.extend(relation.schema.names)
+                continue
+            name = item.output_name
+            if name is None:
+                # Unnamed computed items get renderer-derived names; stay
+                # conservative rather than guessing them.
+                return None
+            columns.append(name)
+        return columns
 
     def _select_has_aggregates(self, query: ast.SelectQuery) -> bool:
         sources: List[ast.Node] = [item.expression for item in query.items]

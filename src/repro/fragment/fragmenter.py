@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.fragment.capabilities import CapabilityLevel, lowest_capable_level
-from repro.fragment.plan import FragmentPlan, QueryFragment
+from repro.fragment.plan import FragmentPlan, QueryFragment, is_row_distributive
 from repro.fragment.topology import Topology
 from repro.sql import ast
 from repro.sql.analysis import analyze_query
@@ -327,6 +327,10 @@ class VerticalFragmenter:
                 fragment.assigned_node = node.name
             else:
                 fragment.assigned_node = self.topology.nodes_at(level)[0].name
+            # Row-distributive fragments may fan out over sibling nodes; the
+            # parallel runtime overrides the single-node assignment with one
+            # task per partition and a merge at the siblings' common ancestor.
+            fragment.partitionable = is_row_distributive(fragment.query)
 
 
 def _walk_from(query: ast.Query):

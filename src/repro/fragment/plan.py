@@ -11,6 +11,43 @@ from repro.sql.analysis import QueryFeatures, analyze_query
 from repro.sql.render import render
 
 
+def is_row_distributive(query: ast.Query) -> bool:
+    """True when ``query`` commutes with horizontal partitioning.
+
+    A fragment is row-distributive when running it on each partition of its
+    input and concatenating the partials (in partition order) yields exactly
+    the rows of running it on the whole input: a per-row map/filter over a
+    single base relation.  Grouping, HAVING, ordering, LIMIT/OFFSET,
+    DISTINCT, window functions, aggregates and subqueries all see more than
+    one row at a time, so any of them disqualifies the fragment.  The
+    parallel runtime only fans such fragments out across sibling leaves.
+    """
+    if not isinstance(query, ast.SelectQuery):
+        return False
+    if not isinstance(query.from_clause, ast.TableRef):
+        return False
+    if query.group_by or query.having is not None or query.order_by:
+        return False
+    if query.limit is not None or query.offset is not None or query.distinct:
+        return False
+    stack: List[ast.Node] = [item.expression for item in query.items]
+    if query.where is not None:
+        stack.append(query.where)
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, (ast.Query, ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+            return False
+        if isinstance(node, ast.FunctionCall):
+            if node.window is not None:
+                return False
+            if ast.is_aggregate_function(node.name):
+                return False
+        stack.extend(child for child in node.children() if child is not None)
+    return True
+
+
 @dataclass
 class QueryFragment:
     """One pushed-down query fragment ``Qi`` of the plan.
@@ -23,6 +60,9 @@ class QueryFragment:
         level: The capability level the fragment requires.
         input_name: Name of the relation the fragment reads.
         description: Short human-readable explanation (used in reports).
+        partitionable: True when the fragment may run independently on
+            horizontal partitions of its input (set during node assignment;
+            see :func:`is_row_distributive`).
     """
 
     name: str
@@ -31,6 +71,7 @@ class QueryFragment:
     input_name: str
     description: str = ""
     assigned_node: Optional[str] = None
+    partitionable: bool = False
 
     @property
     def sql(self) -> str:

@@ -2,15 +2,30 @@
 
 Every node of the :class:`~repro.fragment.topology.Topology` owns its own
 in-memory :class:`~repro.engine.database.Database`.  Raw sensor data lives on
-the sensor node; query fragments execute bottom-up and their results are
+the sensor leaves; query fragments execute bottom-up and their results are
 *shipped* to the node that runs the next fragment.  Every shipment is recorded
 in the :class:`TransferLog`, which is what the Figure 3 benchmark measures:
 how many rows/bytes travel on each hop and, in particular, how much data
 crosses the apartment boundary towards the cloud (``d`` vs ``d'``).
+
+Concurrency: the parallel fragment runtime (:mod:`repro.runtime`) ships
+intermediate results from many worker threads at once, so :class:`TransferLog`
+is lock-protected and :meth:`TransferLog.by_hop` reports hops in a
+deterministic order independent of scheduling.  Callers that need an isolated
+per-run log (concurrent sessions sharing one simulator) pass ``log=`` to
+:meth:`NetworkSimulator.ship`.
+
+Tree topologies with several sensor leaves hold the base data *horizontally
+partitioned*: :meth:`NetworkSimulator.load_sensor_data` splits the relation
+into contiguous chunks, one per leaf, in leaf order.  Concatenating the
+chunks in that order reproduces the original row order exactly, which is what
+keeps the parallel runtime byte-identical to the serial oracle.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -37,36 +52,76 @@ class Transfer:
 
 @dataclass
 class TransferLog:
-    """All shipments of one processing run."""
+    """All shipments of one processing run.
+
+    Safe to record into from many scheduler workers at once; aggregate
+    accessors snapshot the list under the same lock.
+    """
 
     transfers: List[Transfer] = field(default_factory=list)
+    #: Node names from the least powerful upwards; fixes the deterministic
+    #: bottom-up hop order :meth:`by_hop` reports regardless of the
+    #: (scheduling-dependent) order transfers were recorded in.
+    node_order: List[str] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, transfer: Transfer) -> None:
-        """Append one transfer."""
-        self.transfers.append(transfer)
+        """Append one transfer (thread-safe)."""
+        with self._lock:
+            self.transfers.append(transfer)
+
+    def snapshot(self) -> List[Transfer]:
+        """A consistent copy of all transfers recorded so far."""
+        with self._lock:
+            return list(self.transfers)
 
     @property
     def total_rows(self) -> int:
         """Total rows moved across all hops."""
-        return sum(transfer.rows for transfer in self.transfers)
+        return sum(transfer.rows for transfer in self.snapshot())
 
     @property
     def total_bytes(self) -> int:
         """Total bytes moved across all hops."""
-        return sum(transfer.bytes for transfer in self.transfers)
+        return sum(transfer.bytes for transfer in self.snapshot())
 
     @property
     def rows_leaving_apartment(self) -> int:
         """Rows that crossed the apartment boundary (shipped to the cloud)."""
-        return sum(t.rows for t in self.transfers if t.leaves_apartment)
+        return sum(t.rows for t in self.snapshot() if t.leaves_apartment)
 
     @property
     def bytes_leaving_apartment(self) -> int:
         """Bytes that crossed the apartment boundary."""
-        return sum(t.bytes for t in self.transfers if t.leaves_apartment)
+        return sum(t.bytes for t in self.snapshot() if t.leaves_apartment)
 
     def by_hop(self) -> List[Dict[str, object]]:
-        """Tabular per-hop summary."""
+        """Tabular per-hop summary in a deterministic bottom-up order.
+
+        Parallel runs record transfers in scheduling order, which varies from
+        run to run; sorting hops by topology position (sources closest to the
+        sensors first, the apartment-leaving hop last) makes reports from
+        repeated runs stable and comparable.  Nodes absent from
+        ``node_order`` sort after known ones, by name.
+        """
+        known = {name: index for index, name in enumerate(self.node_order)}
+        fallback = len(known)
+
+        def position(name: str) -> tuple:
+            return (known.get(name, fallback), name)
+
+        ordered = sorted(
+            self.snapshot(),
+            key=lambda t: (
+                position(t.source),
+                position(t.target),
+                t.relation_name,
+                t.rows,
+                t.bytes,
+            ),
+        )
         return [
             {
                 "source": t.source,
@@ -76,19 +131,29 @@ class TransferLog:
                 "bytes": t.bytes,
                 "leaves_apartment": t.leaves_apartment,
             }
-            for t in self.transfers
+            for t in ordered
         ]
 
 
 class NetworkSimulator:
-    """Holds the per-node databases and performs shipments."""
+    """Holds the per-node databases and performs shipments.
 
-    def __init__(self, topology: Topology) -> None:
+    ``cost_model`` (optional, duck-typed — anything with a
+    ``transfer_delay(bytes) -> seconds`` method, see
+    :class:`repro.runtime.cost.CostModel`) simulates link latency: every
+    inter-node shipment sleeps for the returned duration, so overlapping
+    shipments from concurrent workers genuinely overlap in wall-clock time.
+    """
+
+    def __init__(self, topology: Topology, cost_model: Optional[object] = None) -> None:
         self.topology = topology
         self._databases: Dict[str, Database] = {
             node.name: Database(name=node.name) for node in topology
         }
-        self.log = TransferLog()
+        self.log = self.new_log()
+        self.cost_model = cost_model
+        #: table name (lower-case) -> ordered node names holding its chunks.
+        self._partitions: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------------
     # data placement
@@ -99,21 +164,79 @@ class NetworkSimulator:
             raise KeyError(f"Unknown node: {node_name}")
         return self._databases[node_name]
 
+    def _sensor_leaves(self) -> List[Node]:
+        """Leaf nodes of the topology's least powerful level, in order."""
+        lowest = self.topology.nodes[0].level
+        return [leaf for leaf in self.topology.leaves if leaf.level == lowest]
+
     def load_sensor_data(self, relation: Relation, table_name: str = "d") -> None:
-        """Place raw sensor data on the lowest node (the sensor itself)."""
-        sensor = self.topology.nodes[0]
-        database = self.database(sensor.name)
+        """Place raw sensor data on the sensor leaves.
+
+        A single-sensor topology (the seed's chains) receives the whole
+        relation on its lowest node.  A tree with several sensor leaves
+        receives contiguous chunks, one per leaf in leaf order, modelling
+        each sensor producing its own slice of the integrated stream.
+        """
+        leaves = self._sensor_leaves()
+        if len(leaves) <= 1:
+            target = leaves[0] if leaves else self.topology.nodes[0]
+            self._register_stream(self.database(target.name), table_name, relation)
+            self._partitions[table_name.lower()] = [target.name]
+            return
+        chunk_count = len(leaves)
+        rows = relation.rows
+        base, remainder = divmod(len(rows), chunk_count)
+        start = 0
+        holders: List[str] = []
+        for index, leaf in enumerate(leaves):
+            size = base + (1 if index < remainder else 0)
+            chunk = Relation(
+                schema=relation.schema, rows=rows[start : start + size], name=table_name
+            )
+            start += size
+            self._register_stream(self.database(leaf.name), table_name, chunk)
+            holders.append(leaf.name)
+        self._partitions[table_name.lower()] = holders
+
+    def _register_stream(self, database: Database, table_name: str, relation: Relation) -> None:
         database.register(table_name, relation)
         # "SELECT * FROM stream" of the use case reads the sensor's own stream.
         if table_name != "stream":
             database.register("stream", relation)
 
     def load_device_tables(self, tables: Dict[str, Relation]) -> None:
-        """Register every device table on the sensor node."""
+        """Register every device table on the first sensor node."""
         sensor = self.topology.nodes[0]
         database = self.database(sensor.name)
         for name, relation in tables.items():
             database.register(name, relation)
+            self._partitions[name.lower()] = [sensor.name]
+
+    # ------------------------------------------------------------------
+    # partition lookup
+    # ------------------------------------------------------------------
+    def partition_holders(self, table_name: str) -> List[str]:
+        """Node names holding chunks of ``table_name``, in chunk order.
+
+        Unknown tables fall back to the lowest node (where un-tracked data
+        such as directly registered tables lives).
+        """
+        return list(
+            self._partitions.get(table_name.lower(), [self.topology.nodes[0].name])
+        )
+
+    def is_partitioned(self, table_name: str) -> bool:
+        """True when ``table_name`` is split across more than one leaf."""
+        return len(self.partition_holders(table_name)) > 1
+
+    def base_table_rows(self, table_name: str) -> int:
+        """Total rows of ``table_name`` across all of its chunk holders."""
+        total = 0
+        for holder in self.partition_holders(table_name):
+            database = self.database(holder)
+            if table_name in database:
+                total += len(database.table(table_name))
+        return total
 
     # ------------------------------------------------------------------
     # shipping
@@ -124,15 +247,30 @@ class NetworkSimulator:
         relation_name: str,
         source: str,
         target: str,
+        log: Optional[TransferLog] = None,
+        register: bool = True,
     ) -> None:
-        """Ship ``relation`` from ``source`` to ``target`` and register it there."""
+        """Ship ``relation`` from ``source`` to ``target`` and register it there.
+
+        ``log`` selects the transfer log to record into; ``None`` uses the
+        simulator's shared log (the serial processor path).  Concurrent
+        sessions pass their own per-run log so runs do not interleave.
+        ``register=False`` logs the shipment without registering the relation
+        at the target (merge tasks register the union once instead of every
+        partial, keeping the target's catalog shape stable).
+        """
         if source == target:
-            self.database(target).register(relation_name, relation)
+            if register:
+                self.database(target).register(relation_name, relation)
             return
         source_node = self.topology.node(source)
         target_node = self.topology.node(target)
+        if self.cost_model is not None:
+            delay = self.cost_model.transfer_delay(relation.estimated_bytes())
+            if delay > 0:
+                time.sleep(delay)
         leaves = source_node.inside_apartment and not target_node.inside_apartment
-        self.log.record(
+        (log if log is not None else self.log).record(
             Transfer(
                 source=source,
                 target=target,
@@ -142,8 +280,13 @@ class NetworkSimulator:
                 leaves_apartment=leaves,
             )
         )
-        self.database(target).register(relation_name, relation)
+        if register:
+            self.database(target).register(relation_name, relation)
+
+    def new_log(self) -> TransferLog:
+        """A fresh transfer log carrying this topology's hop order."""
+        return TransferLog(node_order=[node.name for node in self.topology])
 
     def reset_log(self) -> None:
-        """Clear the transfer log (databases keep their contents)."""
-        self.log = TransferLog()
+        """Clear the shared transfer log (databases keep their contents)."""
+        self.log = self.new_log()

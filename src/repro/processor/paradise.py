@@ -19,8 +19,9 @@ A :class:`ParadiseProcessor` run performs the full pipeline of Figures 2/3:
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.anonymize.anonymizer import Anonymizer
 from repro.engine.executor import execution_mode
@@ -31,12 +32,17 @@ from repro.fragment.plan import FragmentPlan
 from repro.fragment.topology import Topology
 from repro.policy.model import PrivacyPolicy
 from repro.processor.network import NetworkSimulator
-from repro.processor.result import FragmentExecution, ProcessingResult
+from repro.processor.result import FragmentExecution, ProcessingResult, RuntimeStats
 from repro.rewrite.analyzer import NodeCapacity, PolicyAnalyzer
 from repro.rewrite.rewriter import QueryRewriter
 from repro.rlang.sqlable import RQueryExtraction, extract_sql_from_r
+from repro.runtime.cost import CostModel
+from repro.runtime.dag import ExecutionContext, build_execution_dag, last_inside_node, union_partials
+from repro.runtime.scheduler import Scheduler
 from repro.sql import ast
 from repro.sql.parser import parse
+
+_EXECUTION_MODES = ("serial", "parallel")
 
 
 class ParadiseProcessor:
@@ -51,11 +57,21 @@ class ParadiseProcessor:
         minimum_information_gain: float = 0.25,
         enforce_query_interval: bool = False,
         engine_mode: str = "compiled",
+        execution: str = "serial",
+        cost_model: Optional[CostModel] = None,
     ) -> None:
+        if execution not in _EXECUTION_MODES:
+            raise ValueError(
+                f"Unknown execution mode: {execution!r} (expected one of {_EXECUTION_MODES})"
+            )
         self.policy = policy
         self.topology = topology or Topology.default_chain()
         self.schema = schema
-        self.network = NetworkSimulator(self.topology)
+        #: Simulated per-node compute / per-hop transfer delays; the default
+        #: free model never sleeps.  Both execution paths charge the same
+        #: operations, so benchmark speedups measure overlap only.
+        self.cost_model = cost_model
+        self.network = NetworkSimulator(self.topology, cost_model=cost_model)
         self.analyzer = PolicyAnalyzer(
             policy, minimum_information_gain=minimum_information_gain
         )
@@ -66,6 +82,20 @@ class ParadiseProcessor:
         #: Per-node database execution path: "compiled" (default) or the
         #: interpreted reference oracle (benchmark baselines, audits).
         self.engine_mode = engine_mode
+        #: Plan execution strategy: "serial" walks the plan hop by hop (the
+        #: differential oracle); "parallel" schedules an execution DAG over
+        #: the topology tree (:mod:`repro.runtime`).
+        self.execution = execution
+        self._scheduler: Optional[Scheduler] = None
+        self._scheduler_lock = threading.Lock()
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The lazily created scheduler (shared by all parallel runs)."""
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                self._scheduler = Scheduler(self.topology)
+            return self._scheduler
 
     # ------------------------------------------------------------------
     # data placement
@@ -95,6 +125,8 @@ class ParadiseProcessor:
         anonymize: bool = True,
         pushdown: bool = True,
         apply_rewriting: bool = True,
+        execution: Optional[str] = None,
+        namespace: Optional[str] = None,
     ) -> ProcessingResult:
         """Process a SQL query end to end.
 
@@ -107,13 +139,27 @@ class ParadiseProcessor:
                 to the cloud (the ablation baseline).
             apply_rewriting: Apply the policy-driven rewriting; ``False`` is
                 the "no privacy" baseline.
+            execution: Override the processor's execution strategy for this
+                run ("serial" or "parallel").
+            namespace: Suffix for intermediate relation names (parallel runs
+                only); concurrent sessions pass a unique one each so shared
+                per-node databases never collide.
         """
+        strategy = execution or self.execution
+        if strategy not in _EXECUTION_MODES:
+            raise ValueError(
+                f"Unknown execution mode: {strategy!r} (expected one of {_EXECUTION_MODES})"
+            )
         started = time.perf_counter()
         parsed = parse(query) if isinstance(query, str) else query
         raw_rows = self._raw_input_rows()
 
         result = ProcessingResult(module_id=module_id, admitted=True, raw_input_rows=raw_rows)
-        self.network.reset_log()
+        if strategy == "serial":
+            # The serial oracle keeps the seed's shared-log semantics; the
+            # parallel path records into a per-run log instead (it may run
+            # concurrently with other sessions on the same simulator).
+            self.network.reset_log()
 
         # 1. admission + 2. rewriting
         working_query = parsed
@@ -150,16 +196,27 @@ class ParadiseProcessor:
         result.plan = plan
 
         # 4. distributed execution + 5. anonymization + 6. remainder
-        with execution_mode(self.engine_mode):
-            final = self._execute_plan(plan, result, anonymize=anonymize)
+        if strategy == "parallel" and plan.fragments:
+            final = self._execute_plan_parallel(
+                plan, result, anonymize=anonymize, namespace=namespace
+            )
+        else:
+            with execution_mode(self.engine_mode):
+                final = self._execute_plan(plan, result, anonymize=anonymize)
+            result.transfers = self.network.log
         result.result = final
-        result.transfers = self.network.log
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------------
-    # plan execution
+    # plan execution (serial oracle)
     # ------------------------------------------------------------------
+    def _charge_compute(self, rows: int, node_name: str) -> None:
+        """Sleep for the simulated compute cost of ``rows`` on a node."""
+        if self.cost_model is not None:
+            power = self.topology.node(node_name).cpu_power or 1.0
+            self.cost_model.charge_compute(rows, power)
+
     def _execute_plan(
         self, plan: FragmentPlan, result: ProcessingResult, anonymize: bool
     ) -> Relation:
@@ -167,7 +224,13 @@ class ParadiseProcessor:
         current_node = sensor_name
         current_relation: Optional[Relation] = None
 
-        for fragment in plan.fragments:
+        fragments = list(plan.fragments)
+        if fragments and self.network.is_partitioned(fragments[0].input_name):
+            current_node, current_relation, fragments = self._serial_leaf_stage(
+                plan, result, fragments
+            )
+
+        for fragment in fragments:
             target_node = fragment.assigned_node or self.topology.cloud.name
             # Ship the previous intermediate result to the node that needs it.
             if current_relation is not None:
@@ -180,6 +243,7 @@ class ParadiseProcessor:
                 if current_relation is not None
                 else self._raw_input_rows()
             )
+            self._charge_compute(input_rows, target_node)
             fragment_started = time.perf_counter()
             current_relation = database.query(fragment.query)
             elapsed = time.perf_counter() - fragment_started
@@ -204,6 +268,7 @@ class ParadiseProcessor:
         # 5. anonymization step A on the last in-apartment node.
         if anonymize:
             boundary_node = self._last_inside_node(current_node)
+            self._charge_compute(len(current_relation), boundary_node)
             outcome = self.anonymizer.anonymize(
                 current_relation,
                 node_cpu_power=self.topology.node(boundary_node).cpu_power or 1.0,
@@ -219,6 +284,8 @@ class ParadiseProcessor:
         if plan.remainder_query is not None:
             database = self.network.database(cloud)
             database.register(plan.remainder_input_alias, current_relation)
+            remainder_input_rows = len(current_relation)
+            self._charge_compute(remainder_input_rows, cloud)
             remainder_started = time.perf_counter()
             current_relation = database.query(plan.remainder_query)
             elapsed = time.perf_counter() - remainder_started
@@ -228,7 +295,7 @@ class ParadiseProcessor:
                     node=cloud,
                     level="E1",
                     sql=plan.remainder_description,
-                    input_rows=len(current_relation),
+                    input_rows=remainder_input_rows,
                     output_rows=len(current_relation),
                     elapsed_seconds=elapsed,
                 )
@@ -236,10 +303,111 @@ class ParadiseProcessor:
         current_relation.name = "d_prime"
         return current_relation
 
+    def _serial_leaf_stage(
+        self,
+        plan: FragmentPlan,
+        result: ProcessingResult,
+        fragments: List,
+    ) -> Tuple[str, Relation, List]:
+        """Serial oracle over a partitioned base: leaf loop + ordered union.
+
+        Visits each chunk holder in partition order, runs the bottom
+        fragment there when it is row-distributive (otherwise just collects
+        the raw chunks), ships every partial to the leaves' common ancestor
+        and unions them in partition order — exactly the relation the
+        parallel DAG produces, computed one leaf at a time.
+        """
+        first = fragments[0]
+        base_table = first.input_name
+        holders = self.network.partition_holders(base_table)
+        run_fragment = first.partitionable
+
+        partials: List[Relation] = []
+        for holder in holders:
+            database = self.network.database(holder)
+            chunk_rows = len(database.table(base_table)) if base_table in database else 0
+            if run_fragment:
+                self._charge_compute(chunk_rows, holder)
+                fragment_started = time.perf_counter()
+                partial = database.query(first.query)
+                elapsed = time.perf_counter() - fragment_started
+                partial.name = f"{first.name}[{holder}]"
+                result.executions.append(
+                    FragmentExecution(
+                        fragment_name=partial.name,
+                        node=holder,
+                        level=first.level.short_name,
+                        sql=first.sql,
+                        input_rows=chunk_rows,
+                        output_rows=len(partial),
+                        elapsed_seconds=elapsed,
+                    )
+                )
+            else:
+                partial = database.table(base_table)
+            partials.append(partial)
+
+        merge_name = first.name if run_fragment else base_table
+        ancestor = self.topology.common_ancestor(holders).name
+        for holder, partial in zip(holders, partials):
+            if holder != ancestor:
+                self.network.ship(
+                    partial, f"{merge_name}@{holder}", holder, ancestor, register=False
+                )
+        merged = union_partials(partials, merge_name)
+        self.network.database(ancestor).register(merge_name, merged)
+        remaining = fragments[1:] if run_fragment else fragments
+        return ancestor, merged, remaining
+
+    # ------------------------------------------------------------------
+    # plan execution (parallel runtime)
+    # ------------------------------------------------------------------
+    def _execute_plan_parallel(
+        self,
+        plan: FragmentPlan,
+        result: ProcessingResult,
+        anonymize: bool,
+        namespace: Optional[str],
+    ) -> Relation:
+        run_log = self.network.new_log()
+        dag = build_execution_dag(
+            plan,
+            self.topology,
+            self.network,
+            anonymize=anonymize,
+            namespace=namespace,
+        )
+        context = ExecutionContext(
+            network=self.network,
+            log=run_log,
+            engine_mode=self.engine_mode,
+            cost_model=self.cost_model,
+            anonymizer=self.anonymizer,
+        )
+        report = self.scheduler.run(dag, context)
+
+        final = context.outputs[dag.final_task_id]
+        final.name = "d_prime"
+        result.executions.extend(context.ordered_executions())
+        result.anonymization = context.anonymization
+        result.transfers = run_log
+        result.runtime = RuntimeStats(
+            partition_width=dag.partition_width,
+            task_count=len(dag.tasks),
+            merge_count=sum(1 for task in dag.tasks if task.kind == "merge"),
+            wall_seconds=report.wall_seconds,
+            busy_seconds=report.busy_seconds,
+            capacity_warnings=list(context.capacity_warnings),
+        )
+        return final
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _raw_input_rows(self) -> int:
+        partitioned = self.network.base_table_rows("d")
+        if partitioned:
+            return partitioned
         sensor = self.topology.nodes[0]
         database = self.network.database(sensor.name)
         if "d" in database:
@@ -247,9 +415,4 @@ class ParadiseProcessor:
         return database.total_rows()
 
     def _last_inside_node(self, current_node: str) -> str:
-        node = self.topology.node(current_node)
-        if node.inside_apartment:
-            return current_node
-        # Fall back to the most powerful in-apartment node.
-        inside = [n for n in self.topology.nodes if n.inside_apartment]
-        return inside[-1].name if inside else current_node
+        return last_inside_node(self.topology, current_node)

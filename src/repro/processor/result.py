@@ -34,6 +34,32 @@ class FragmentExecution:
 
 
 @dataclass
+class RuntimeStats:
+    """What the parallel runtime did for one query (``execution="parallel"``)."""
+
+    #: Number of leaf partitions the bottom fragment fanned out over.
+    partition_width: int
+    #: Total DAG tasks executed (scans, fragments, merges, anonymize, finalize).
+    task_count: int
+    #: Merge/union tasks among them.
+    merge_count: int
+    #: Wall-clock seconds of the scheduler run.
+    wall_seconds: float
+    #: Sum of per-task wall seconds (the serial-equivalent busy time); the
+    #: ratio to ``wall_seconds`` estimates the achieved overlap.
+    busy_seconds: float
+    #: Nodes whose free memory a shipped intermediate exceeded.
+    capacity_warnings: List[str] = field(default_factory=list)
+
+    @property
+    def overlap_factor(self) -> float:
+        """Busy time divided by wall time (1.0 = fully serial)."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.busy_seconds / self.wall_seconds
+
+
+@dataclass
 class ProcessingResult:
     """Everything a :class:`~repro.processor.paradise.ParadiseProcessor` run yields."""
 
@@ -50,6 +76,8 @@ class ProcessingResult:
     elapsed_seconds: float = 0.0
     #: The residual analysis call executed at the cloud (for R workloads).
     remainder_call: Optional[str] = None
+    #: Parallel-runtime statistics (``None`` for serial runs).
+    runtime: Optional[RuntimeStats] = None
 
     # ------------------------------------------------------------------
     # derived measures used by benchmarks and examples
@@ -96,6 +124,13 @@ class ProcessingResult:
                 f"  data leaving apartment: {self.rows_leaving_apartment} rows / "
                 f"{self.bytes_leaving_apartment} bytes "
                 f"(reduction x{self.data_reduction_ratio:.1f} over {self.raw_input_rows} raw rows)"
+            )
+        if self.runtime is not None:
+            lines.append(
+                f"  parallel runtime: {self.runtime.task_count} tasks "
+                f"({self.runtime.merge_count} merges) over "
+                f"{self.runtime.partition_width} partitions, "
+                f"overlap x{self.runtime.overlap_factor:.1f}"
             )
         if self.anonymization is not None:
             lines.append("  " + self.anonymization.summary().replace("\n", "\n  "))

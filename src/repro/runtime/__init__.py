@@ -1,0 +1,63 @@
+"""Parallel fragment-execution runtime over tree topologies.
+
+The seed processor executed every fragment plan serially, hop by hop, over a
+flat chain — one sensor, one appliance, one PC, one cloud.  The paper's
+architecture (Figure 3) is a *tree*: many sensors feed appliances, which
+feed the apartment PC, which feeds the provider's cloud, and many users
+query the environment at once.  This package closes that gap:
+
+``dag``
+    :func:`~repro.runtime.dag.build_execution_dag` partitions the bottom
+    fragment of a plan horizontally across sibling sensor leaves, lifts
+    row-distributive fragments up the tree one sibling-merge at a time, and
+    inserts a global merge/union task where the first non-distributive
+    fragment (grouping, windows) needs the whole relation.  Anonymization
+    and the cloud remainder are the DAG's final tasks.
+
+``scheduler``
+    :class:`~repro.runtime.scheduler.Scheduler` runs ready tasks
+    concurrently on a thread pool throttled by per-node worker slots sized
+    from each node's ``cpu_power``; per-node database locks keep the
+    engine's single-threaded executor state safe.
+
+``session``
+    :class:`~repro.runtime.session.SessionFrontEnd` admits many independent
+    user queries against one shared topology, giving each a namespace for
+    its intermediate relations and a private transfer log.
+
+``cost``
+    :class:`~repro.runtime.cost.CostModel` simulates the relative node
+    speeds of Table 1 and link latency with GIL-releasing sleeps, so the
+    runtime-scaling benchmark measures genuine wall-clock overlap.
+
+The serial executor remains in place as the *differential oracle*
+(``ParadiseProcessor(execution="serial")``, mirroring PR 1's
+``engine_mode`` pattern): the parallel runtime must return byte-identical
+relations on every workload, which ``tests/test_runtime.py`` enforces over
+the fig2 and use-case query corpora and a range of tree shapes.
+"""
+
+from repro.runtime.cost import CostModel
+from repro.runtime.dag import (
+    ExecutionContext,
+    ExecutionDag,
+    build_execution_dag,
+    last_inside_node,
+    union_partials,
+)
+from repro.runtime.scheduler import DagRunReport, Scheduler, TaskTiming
+from repro.runtime.session import QueryRequest, SessionFrontEnd
+
+__all__ = [
+    "CostModel",
+    "DagRunReport",
+    "ExecutionContext",
+    "ExecutionDag",
+    "QueryRequest",
+    "Scheduler",
+    "SessionFrontEnd",
+    "TaskTiming",
+    "build_execution_dag",
+    "last_inside_node",
+    "union_partials",
+]

@@ -1,0 +1,665 @@
+"""Execution-DAG construction for fragment plans over tree topologies.
+
+:func:`build_execution_dag` turns a :class:`~repro.fragment.plan.FragmentPlan`
+plus a (possibly tree-shaped) :class:`~repro.fragment.topology.Topology` into
+a dependency graph of :class:`Task` objects the
+:class:`~repro.runtime.scheduler.Scheduler` can run concurrently:
+
+* When the base relation is horizontally partitioned across sibling sensor
+  leaves (see :meth:`~repro.processor.network.NetworkSimulator.load_sensor_data`),
+  the bottom fragment fans out into one task per leaf chunk.
+* Row-distributive follow-up fragments (``partitionable``) are *lifted* one
+  tree level per stage: the partials of each sibling group merge at their
+  common parent, which then applies the fragment to its group — appliances
+  keep working on their own sensors' data, exactly the placement of Figure 3.
+* The first non-distributive fragment (grouping, windows, ordering) forces a
+  global merge at its assigned node; from there the plan chains serially.
+* Anonymization and the cloud remainder become the final tasks of the DAG.
+
+Chunks are contiguous slices of the original relation in leaf order, and
+merge tasks concatenate partials in exactly that order, so the DAG's result
+is row-for-row identical to the serial oracle
+(:meth:`~repro.processor.paradise.ParadiseProcessor._execute_plan`) — the
+differential tests in ``tests/test_runtime.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.table import Relation
+from repro.fragment.plan import FragmentPlan, QueryFragment
+from repro.fragment.topology import Topology
+from repro.processor.network import NetworkSimulator, TransferLog
+from repro.processor.result import FragmentExecution
+from repro.runtime.cost import CostModel
+from repro.sql import ast
+from repro.sql.visitor import clone
+
+
+def last_inside_node(topology: Topology, current: str) -> str:
+    """The node the anonymization step A runs on.
+
+    ``current`` itself when it is inside the apartment, otherwise the most
+    powerful in-apartment node (the paper's placement of the postprocessor).
+    """
+    node = topology.node(current)
+    if node.inside_apartment:
+        return current
+    inside = [n for n in topology.nodes if n.inside_apartment]
+    return inside[-1].name if inside else current
+
+
+def rebase_table_refs(query: ast.Query, old_name: str, new_name: str) -> ast.Query:
+    """Clone ``query`` with every ``old_name`` table reference renamed.
+
+    The original name survives as the alias (unless one exists), so
+    qualified column references keep resolving.  Used to point fragment
+    queries at namespaced per-session table names.
+    """
+    rebased = clone(query)
+    if old_name.lower() == new_name.lower():
+        return rebased
+    stack: List[ast.Node] = [rebased]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, ast.TableRef) and node.name.lower() == old_name.lower():
+            if node.alias is None:
+                node.alias = node.name
+            node.name = new_name
+        stack.extend(child for child in node.children() if child is not None)
+    return rebased
+
+
+def union_partials(parts: Sequence[Relation], name: str) -> Relation:
+    """Concatenate partial relations in order (the merge/union operator).
+
+    The schema comes from the first non-empty partial: every partial is the
+    same query over same-schema chunks, so non-empty ones agree; empty ones
+    may carry weaker inferred types.
+    """
+    schema_source = next((part for part in parts if len(part)), parts[0])
+    rows: List[dict] = []
+    for part in parts:
+        rows.extend(dict(row) for row in part.rows)
+    return Relation(schema=schema_source.schema, rows=rows, name=name)
+
+
+class ExecutionContext:
+    """Shared mutable state of one DAG run (thread-safe where it must be)."""
+
+    def __init__(
+        self,
+        network: NetworkSimulator,
+        log: TransferLog,
+        engine_mode: str = "compiled",
+        cost_model: Optional[CostModel] = None,
+        anonymizer: Optional[object] = None,
+    ) -> None:
+        self.network = network
+        self.log = log
+        self.engine_mode = engine_mode
+        self.cost_model = cost_model
+        self.anonymizer = anonymizer
+        #: task id -> output relation; each task writes only its own key.
+        self.outputs: Dict[str, Relation] = {}
+        #: (task order, record) pairs; completion order is scheduling noise,
+        #: so reports read :meth:`ordered_executions` instead.
+        self._executions: List[Tuple[int, FragmentExecution]] = []
+        self.capacity_warnings: List[str] = []
+        self.anonymization = None
+        self._lock = threading.Lock()
+
+    def record_execution(self, order: int, execution: FragmentExecution) -> None:
+        with self._lock:
+            self._executions.append((order, execution))
+
+    def ordered_executions(self) -> List[FragmentExecution]:
+        """Execution records in deterministic DAG build order."""
+        with self._lock:
+            return [record for _, record in sorted(self._executions, key=lambda e: e[0])]
+
+    def warn_capacity(self, message: str) -> None:
+        with self._lock:
+            self.capacity_warnings.append(message)
+
+    def charge_compute(self, rows: int, node_name: str) -> None:
+        if self.cost_model is None:
+            return
+        power = self.network.topology.node(node_name).cpu_power or 1.0
+        self.cost_model.charge_compute(rows, power)
+
+
+@dataclass
+class Task:
+    """One unit of work pinned to a topology node."""
+
+    task_id: str
+    node: str
+    #: Position in deterministic build order; fixes report ordering.
+    order: int
+    deps: List[str] = field(default_factory=list)
+    kind: str = "task"
+
+    def execute(self, context: ExecutionContext) -> Relation:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _receive(
+        self,
+        context: ExecutionContext,
+        relation: Relation,
+        name: str,
+        source_node: str,
+        register: bool = True,
+    ) -> None:
+        """Move a dependency's output to this task's node (ship + register)."""
+        node = context.network.topology.node(self.node)
+        if not node.can_hold_rows(len(relation)):
+            context.warn_capacity(
+                f"{self.node}: {len(relation)} rows of {name} exceed "
+                f"{node.free_memory_mb:g} MB of free memory"
+            )
+        if source_node == self.node:
+            if register:
+                context.network.database(self.node).register(name, relation)
+            return
+        context.network.ship(
+            relation, name, source_node, self.node, log=context.log, register=register
+        )
+
+
+@dataclass
+class FragmentTask(Task):
+    """Run one fragment query on this node (a leaf scan or a chained hop)."""
+
+    fragment: Optional[QueryFragment] = None
+    query: Optional[ast.Query] = None
+    #: Producing task of the input relation; ``None`` when the input is
+    #: already resident on the node (base chunks, device tables).
+    source_id: Optional[str] = None
+    source_node: Optional[str] = None
+    in_name: str = ""
+    out_name: str = ""
+    display_name: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        network = context.network
+        database = network.database(self.node)
+        if self.source_id is not None:
+            relation = context.outputs[self.source_id]
+            self._receive(context, relation, self.in_name, self.source_node or self.node)
+            input_rows = len(relation)
+        else:
+            input_rows = (
+                len(database.table(self.in_name)) if self.in_name in database else 0
+            )
+        context.charge_compute(input_rows, self.node)
+        started = time.perf_counter()
+        output = database.query(self.query)
+        elapsed = time.perf_counter() - started
+        output.name = self.display_name
+        database.register(self.out_name, output)
+        context.record_execution(
+            self.order,
+            FragmentExecution(
+                fragment_name=self.display_name,
+                node=self.node,
+                level=self.fragment.level.short_name if self.fragment else "",
+                sql=self.fragment.sql if self.fragment else "",
+                input_rows=input_rows,
+                output_rows=len(output),
+                elapsed_seconds=elapsed,
+            )
+        )
+        return output
+
+
+@dataclass
+class RawScanTask(Task):
+    """Expose a node's resident chunk of a base table as a task output."""
+
+    table_name: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        return context.network.database(self.node).table(self.table_name)
+
+
+@dataclass
+class MergeTask(Task):
+    """Union sibling partials, in deterministic partition order."""
+
+    parts: List[Tuple[str, str]] = field(default_factory=list)  # (task_id, node)
+    out_name: str = ""
+    display_name: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        partials: List[Relation] = []
+        total_in = 0
+        started = time.perf_counter()
+        for part_id, part_node in self.parts:
+            relation = context.outputs[part_id]
+            total_in += len(relation)
+            # Log the shipment of each partial towards the merge point; the
+            # union itself is registered once below, so partials are not
+            # individually registered (keeps the catalog shape stable).
+            self._receive(
+                context,
+                relation,
+                f"{self.display_name}@{part_node}",
+                part_node,
+                register=False,
+            )
+            partials.append(relation)
+        merged = union_partials(partials, self.display_name)
+        context.network.database(self.node).register(self.out_name, merged)
+        elapsed = time.perf_counter() - started
+        context.record_execution(
+            self.order,
+            FragmentExecution(
+                fragment_name=f"merge({self.display_name})",
+                node=self.node,
+                level=self.network_level(context),
+                sql=f"UNION ALL of {len(self.parts)} partials",
+                input_rows=total_in,
+                output_rows=len(merged),
+                elapsed_seconds=elapsed,
+            )
+        )
+        return merged
+
+    def network_level(self, context: ExecutionContext) -> str:
+        return context.network.topology.node(self.node).level.short_name
+
+
+@dataclass
+class AnonymizeTask(Task):
+    """The postprocessing step A on the last in-apartment node."""
+
+    source_id: str = ""
+    source_node: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        relation = context.outputs[self.source_id]
+        context.charge_compute(len(relation), self.node)
+        node = context.network.topology.node(self.node)
+        outcome = context.anonymizer.anonymize(
+            relation, node_cpu_power=node.cpu_power or 1.0
+        )
+        context.anonymization = outcome
+        return outcome.relation
+
+
+@dataclass
+class FinalizeTask(Task):
+    """Ship d' across the boundary and run the remainder at the cloud."""
+
+    source_id: str = ""
+    source_node: str = ""
+    result_name: str = ""
+    remainder_query: Optional[ast.Query] = None
+    remainder_input_alias: str = ""
+    remainder_description: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        relation = context.outputs[self.source_id]
+        if self.source_node != self.node:
+            self._receive(context, relation, self.result_name, self.source_node)
+        if self.remainder_query is None:
+            return relation
+        database = context.network.database(self.node)
+        database.register(self.remainder_input_alias, relation)
+        context.charge_compute(len(relation), self.node)
+        started = time.perf_counter()
+        output = database.query(self.remainder_query)
+        elapsed = time.perf_counter() - started
+        context.record_execution(
+            self.order,
+            FragmentExecution(
+                fragment_name="Q_delta",
+                node=self.node,
+                level="E1",
+                sql=self.remainder_description,
+                input_rows=len(relation),
+                output_rows=len(output),
+                elapsed_seconds=elapsed,
+            )
+        )
+        return output
+
+
+@dataclass
+class ExecutionDag:
+    """A topologically buildable set of tasks plus its final task."""
+
+    tasks: List[Task]
+    final_task_id: str
+    #: Number of leaf partitions the bottom fragment fanned out over.
+    partition_width: int
+
+    def by_id(self) -> Dict[str, Task]:
+        return {task.task_id: task for task in self.tasks}
+
+
+def build_execution_dag(
+    plan: FragmentPlan,
+    topology: Topology,
+    network: NetworkSimulator,
+    anonymize: bool = True,
+    namespace: Optional[str] = None,
+) -> ExecutionDag:
+    """Build the execution DAG for ``plan`` over ``topology``.
+
+    ``namespace`` suffixes every intermediate table name (``d1__s3``) so
+    concurrent sessions sharing one simulator never clobber each other's
+    intermediates; base tables stay un-suffixed (shared, read-only).
+    """
+    if not plan.fragments:
+        raise ValueError("Cannot build an execution DAG for an empty plan")
+
+    def ns(name: str) -> str:
+        return f"{name}__{namespace}" if namespace else name
+
+    tasks: List[Task] = []
+    counter = [0]
+
+    def next_id(prefix: str) -> Tuple[str, int]:
+        counter[0] += 1
+        return f"t{counter[0]:03d}:{prefix}", counter[0]
+
+    def add(task: Task) -> Task:
+        tasks.append(task)
+        return task
+
+    fragments = list(plan.fragments)
+    base_table = fragments[0].input_name
+    holders = network.partition_holders(base_table)
+    partition_width = len(holders)
+
+    #: Ordered (task, node) partials of the current intermediate relation.
+    partitions: List[Task] = []
+    remaining = fragments
+
+    if len(holders) > 1:
+        first = fragments[0]
+        if first.partitionable:
+            # Fan the bottom fragment out over the leaf chunks.
+            for holder in holders:
+                task_id, order = next_id(f"{first.name}[{holder}]")
+                partitions.append(
+                    add(
+                        FragmentTask(
+                            task_id=task_id,
+                            node=holder,
+                            order=order,
+                            kind="fragment",
+                            fragment=first,
+                            query=rebase_table_refs(first.query, base_table, base_table),
+                            in_name=base_table,
+                            out_name=ns(first.name),
+                            display_name=f"{first.name}[{holder}]",
+                        )
+                    )
+                )
+            remaining = fragments[1:]
+        else:
+            # Bottom fragment needs the whole relation: gather the raw
+            # chunks first, then run it where the serial oracle would.
+            for holder in holders:
+                task_id, order = next_id(f"scan[{holder}]")
+                partitions.append(
+                    add(
+                        RawScanTask(
+                            task_id=task_id,
+                            node=holder,
+                            order=order,
+                            kind="scan",
+                            table_name=base_table,
+                        )
+                    )
+                )
+            ancestor = topology.common_ancestor(holders).name
+            merge_id, order = next_id(f"merge[{base_table}]")
+            merge = add(
+                MergeTask(
+                    task_id=merge_id,
+                    node=ancestor,
+                    order=order,
+                    deps=[task.task_id for task in partitions],
+                    kind="merge",
+                    parts=[(task.task_id, task.node) for task in partitions],
+                    out_name=ns(base_table),
+                    display_name=base_table,
+                )
+            )
+            target = first.assigned_node or topology.cloud.name
+            task_id, order = next_id(first.name)
+            partitions = [
+                add(
+                    FragmentTask(
+                        task_id=task_id,
+                        node=target,
+                        order=order,
+                        deps=[merge.task_id],
+                        kind="fragment",
+                        fragment=first,
+                        query=rebase_table_refs(first.query, base_table, ns(base_table)),
+                        source_id=merge.task_id,
+                        source_node=merge.node,
+                        in_name=ns(base_table),
+                        out_name=ns(first.name),
+                        display_name=first.name,
+                    )
+                )
+            ]
+            remaining = fragments[1:]
+
+    for fragment in remaining:
+        in_base = fragment.input_name
+        if len(partitions) > 1:
+            lifted = _lift_groups(topology, partitions)
+            if fragment.partitionable and lifted is not None:
+                # Merge each sibling group at its parent, then apply the
+                # fragment there: the partition narrows one tree level.
+                new_partitions: List[Task] = []
+                for parent, group in lifted:
+                    merge_id, order = next_id(f"merge[{in_base}@{parent}]")
+                    merge = add(
+                        MergeTask(
+                            task_id=merge_id,
+                            node=parent,
+                            order=order,
+                            deps=[task.task_id for task in group],
+                            kind="merge",
+                            parts=[(task.task_id, task.node) for task in group],
+                            out_name=ns(in_base),
+                            display_name=in_base,
+                        )
+                    )
+                    task_id, order = next_id(f"{fragment.name}[{parent}]")
+                    new_partitions.append(
+                        add(
+                            FragmentTask(
+                                task_id=task_id,
+                                node=parent,
+                                order=order,
+                                deps=[merge.task_id],
+                                kind="fragment",
+                                fragment=fragment,
+                                query=rebase_table_refs(
+                                    fragment.query, in_base, ns(in_base)
+                                ),
+                                source_id=merge.task_id,
+                                source_node=merge.node,
+                                in_name=ns(in_base),
+                                out_name=ns(fragment.name),
+                                display_name=f"{fragment.name}[{parent}]",
+                            )
+                        )
+                    )
+                partitions = new_partitions
+                continue
+            # Non-distributive fragment (or nowhere left to lift): merge
+            # everything at the node the serial oracle uses and chain on.
+            target = fragment.assigned_node or topology.cloud.name
+            merge_id, order = next_id(f"merge[{in_base}]")
+            merge = add(
+                MergeTask(
+                    task_id=merge_id,
+                    node=target,
+                    order=order,
+                    deps=[task.task_id for task in partitions],
+                    kind="merge",
+                    parts=[(task.task_id, task.node) for task in partitions],
+                    out_name=ns(in_base),
+                    display_name=in_base,
+                )
+            )
+            task_id, order = next_id(fragment.name)
+            partitions = [
+                add(
+                    FragmentTask(
+                        task_id=task_id,
+                        node=target,
+                        order=order,
+                        deps=[merge.task_id],
+                        kind="fragment",
+                        fragment=fragment,
+                        query=rebase_table_refs(fragment.query, in_base, ns(in_base)),
+                        source_id=merge.task_id,
+                        source_node=merge.node,
+                        in_name=ns(in_base),
+                        out_name=ns(fragment.name),
+                        display_name=fragment.name,
+                    )
+                )
+            ]
+            continue
+        # Single-stream chain: exactly the serial oracle's hop.
+        target = fragment.assigned_node or topology.cloud.name
+        previous = partitions[0] if partitions else None
+        task_id, order = next_id(fragment.name)
+        rebased_in = ns(in_base) if previous is not None else in_base
+        partitions = [
+            add(
+                FragmentTask(
+                    task_id=task_id,
+                    node=target,
+                    order=order,
+                    deps=[previous.task_id] if previous is not None else [],
+                    kind="fragment",
+                    fragment=fragment,
+                    query=rebase_table_refs(fragment.query, in_base, rebased_in),
+                    source_id=previous.task_id if previous is not None else None,
+                    source_node=previous.node if previous is not None else None,
+                    in_name=rebased_in,
+                    out_name=ns(fragment.name),
+                    display_name=fragment.name,
+                )
+            )
+        ]
+
+    if len(partitions) > 1:
+        # Every fragment was distributive: one final union before leaving.
+        ancestor = topology.common_ancestor([task.node for task in partitions]).name
+        final_name = fragments[-1].name
+        merge_id, order = next_id(f"merge[{final_name}]")
+        partitions = [
+            add(
+                MergeTask(
+                    task_id=merge_id,
+                    node=ancestor,
+                    order=order,
+                    deps=[task.task_id for task in partitions],
+                    kind="merge",
+                    parts=[(task.task_id, task.node) for task in partitions],
+                    out_name=ns(final_name),
+                    display_name=final_name,
+                )
+            )
+        ]
+
+    current = partitions[0]
+
+    if anonymize:
+        boundary = last_inside_node(topology, current.node)
+        task_id, order = next_id("anonymize")
+        current = add(
+            AnonymizeTask(
+                task_id=task_id,
+                node=boundary,
+                order=order,
+                deps=[current.task_id],
+                kind="anonymize",
+                source_id=current.task_id,
+                source_node=current.node,
+            )
+        )
+
+    cloud = topology.cloud.name
+    remainder_query = None
+    if plan.remainder_query is not None:
+        remainder_query = rebase_table_refs(
+            plan.remainder_query,
+            plan.remainder_input_alias,
+            ns(plan.remainder_input_alias),
+        )
+    task_id, order = next_id("finalize")
+    final = add(
+        FinalizeTask(
+            task_id=task_id,
+            node=cloud,
+            order=order,
+            deps=[current.task_id],
+            kind="finalize",
+            source_id=current.task_id,
+            source_node=current.node,
+            result_name=ns(plan.result_name),
+            remainder_query=remainder_query,
+            remainder_input_alias=ns(plan.remainder_input_alias),
+            remainder_description=plan.remainder_description,
+        )
+    )
+
+    return ExecutionDag(
+        tasks=tasks, final_task_id=final.task_id, partition_width=partition_width
+    )
+
+
+def _lift_groups(
+    topology: Topology, partitions: Sequence[Task]
+) -> Optional[List[Tuple[str, List[Task]]]]:
+    """Group partition tasks by parent node, preserving partition order.
+
+    Returns ``None`` when lifting is not possible or not useful: a partition
+    node without a parent, a parent outside the apartment (data may not
+    cross the boundary before anonymization), sibling groups that are not
+    contiguous runs of the partition order (concatenating them would permute
+    rows relative to the serial oracle), or a lift that would not reduce the
+    number of partitions.
+    """
+    groups: List[Tuple[str, List[Task]]] = []
+    seen: Dict[str, int] = {}
+    for task in partitions:
+        parent = topology.parent_of(task.node)
+        if parent is None or not parent.inside_apartment:
+            return None
+        if parent.name in seen:
+            if seen[parent.name] != len(groups) - 1:
+                # The parent's children are interleaved with another group:
+                # a per-parent union would reorder rows.
+                return None
+            groups[-1][1].append(task)
+        else:
+            seen[parent.name] = len(groups)
+            groups.append((parent.name, [task]))
+    if len(groups) >= len(partitions):
+        return None
+    return groups

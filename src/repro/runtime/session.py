@@ -1,0 +1,121 @@
+"""Concurrent admission front-end: many user queries, one shared topology.
+
+The ROADMAP's north star is heavy traffic from many users against one smart
+environment.  :class:`SessionFrontEnd` is the first step: it admits many
+independent queries concurrently against a single shared
+:class:`~repro.processor.paradise.ParadiseProcessor` (one topology, one
+network simulator, one scheduler whose per-node worker slots all sessions
+contend for — queries from different users genuinely compete for the same
+sensors and appliances).
+
+Isolation comes from two mechanisms:
+
+* every in-flight session runs with ``execution="parallel"`` and a
+  *namespace* from a bounded pool (``s0`` .. ``s{max_concurrent-1}``), so
+  its intermediate relations (``d1__s3``) never collide with another
+  running session's on the shared per-node databases — and because the pool
+  recycles names, a long-running front-end keeps the per-node catalogs
+  bounded and re-registers same-shaped relations under stable names, which
+  keeps the engines' compiled plans warm across queries;
+* every session records shipments into its own per-run
+  :class:`~repro.processor.network.TransferLog`.
+
+Results are returned in request order and are identical to processing the
+same requests one at a time (the determinism tests enforce this).
+"""
+
+from __future__ import annotations
+
+import queue
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING, Union
+
+from repro.processor.result import ProcessingResult
+from repro.sql import ast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.processor.paradise import ParadiseProcessor
+
+
+@dataclass
+class QueryRequest:
+    """One user query submitted to the front-end."""
+
+    query: Union[str, ast.Query]
+    module_id: str
+    #: Extra keyword arguments for ``ParadiseProcessor.process`` (``anonymize``,
+    #: ``pushdown``, ``apply_rewriting``).
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+class SessionFrontEnd:
+    """Admits and executes many user queries concurrently.
+
+    Args:
+        processor: The shared processor (one topology + network + scheduler).
+        max_concurrent: Upper bound on simultaneously executing sessions;
+            further submissions queue.
+    """
+
+    def __init__(self, processor: "ParadiseProcessor", max_concurrent: int = 4) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        self.processor = processor
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="session"
+        )
+        # Recycled namespaces: at most max_concurrent sessions run at once,
+        # so a same-sized pool always has a free name for a starting worker.
+        self._namespaces: "queue.Queue[str]" = queue.Queue()
+        for index in range(max_concurrent):
+            self._namespaces.put(f"s{index}")
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _run(
+        self, query: Union[str, ast.Query], module_id: str, options: Dict[str, Any]
+    ) -> ProcessingResult:
+        namespace = self._namespaces.get()
+        try:
+            return self.processor.process(
+                query,
+                module_id,
+                execution="parallel",
+                namespace=namespace,
+                **options,
+            )
+        finally:
+            self._namespaces.put(namespace)
+
+    def submit(
+        self,
+        query: Union[str, ast.Query],
+        module_id: str,
+        **options: Any,
+    ) -> "Future[ProcessingResult]":
+        """Queue one query; returns a future with its :class:`ProcessingResult`."""
+        return self._pool.submit(self._run, query, module_id, options)
+
+    def run_batch(self, requests: Sequence[QueryRequest]) -> List[ProcessingResult]:
+        """Execute ``requests`` concurrently; results come back in order."""
+        futures = [
+            self.submit(request.query, request.module_id, **request.options)
+            for request in requests
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Finish queued sessions and release the worker threads."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SessionFrontEnd":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None

@@ -8,8 +8,8 @@ surprises.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import List, Optional
+import threading
+from typing import Dict, List, Optional
 
 from repro.sql import ast
 from repro.sql.errors import ParseError
@@ -584,9 +584,14 @@ class Parser:
         return ast.FrameBound("FOLLOWING", offset=offset)
 
 
-@lru_cache(maxsize=256)
-def _parse_cached(text: str) -> ast.Query:
-    return Parser(text).parse_query()
+#: Parse-text memo.  Explicitly lock-protected (rather than relying on
+#: ``functools.lru_cache`` internals) because concurrent scheduler workers
+#: and session threads parse at the same time: lookups and insertions hold
+#: the lock, the parse itself runs outside it (a racing miss parses twice
+#: and both threads store an equivalent immutable tree, which is harmless).
+_PARSE_CACHE: Dict[str, ast.Query] = {}
+_PARSE_CACHE_LOCK = threading.Lock()
+_PARSE_CACHE_MAX = 256
 
 
 def parse(text: str) -> ast.Query:
@@ -597,13 +602,26 @@ def parse(text: str) -> ast.Query:
     is safe under the repo-wide convention that AST nodes are immutable —
     every transformer (:func:`repro.sql.visitor.clone`, the rewriter, the
     fragmenter) deep-copies before mutating.  Parse errors are not cached.
+    Thread-safe; see the memo's comment for the locking discipline.
     """
-    return _parse_cached(text)
+    with _PARSE_CACHE_LOCK:
+        cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        return cached
+    parsed = Parser(text).parse_query()
+    with _PARSE_CACHE_LOCK:
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX and text not in _PARSE_CACHE:
+            # Flush wholesale past the bound, mirroring the engine's plan
+            # memos; the vocabulary of live query texts is small.
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = parsed
+    return parsed
 
 
 def clear_parse_cache() -> None:
     """Drop all memoized parse results (tests and long-running processes)."""
-    _parse_cached.cache_clear()
+    with _PARSE_CACHE_LOCK:
+        _PARSE_CACHE.clear()
 
 
 def parse_expression(text: str) -> ast.Expression:
