@@ -190,7 +190,9 @@ def run_runtime_scaling(
     fanouts=FANOUTS,
     session_counts=SESSION_COUNTS,
 ) -> Dict[str, Any]:
-    """Run both measurements and (optionally) write ``BENCH_runtime.json``."""
+    """Run all runtime measurements and (optionally) write ``BENCH_runtime.json``."""
+    from benchmarks.bench_groupby_pushdown import measure_groupby_pushdown
+
     report: Dict[str, Any] = {
         "generated_by": "benchmarks/bench_runtime_scaling.py",
         "python": sys.version.split()[0],
@@ -207,6 +209,10 @@ def run_runtime_scaling(
         "sessions": measure_sessions(
             rows, repeats, cost_model, session_counts=session_counts
         ),
+        # Distributed partial aggregation on the GROUP BY workload: its own
+        # link-bound cost model (see bench_groupby_pushdown.DEFAULT_COST),
+        # serial vs global-merge vs partial, wall clock and bytes per hop.
+        "groupby_pushdown": measure_groupby_pushdown(rows=rows, repeats=repeats),
     }
     if out is not None:
         out.write_text(json.dumps(report, indent=2) + "\n")

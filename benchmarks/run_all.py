@@ -75,6 +75,10 @@ def run_quick_suite() -> Dict[str, Any]:
         "pytest",
         *[f"benchmarks/{name}" for name in bench_files],
         "-q",
+        # Full-size benchmark variants are marked ``slow`` and stay opt-in
+        # (run them directly or with ``pytest -m slow``).
+        "-m",
+        "not slow",
         "--benchmark-disable",
         "-p",
         "no:cacheprovider",
@@ -202,6 +206,7 @@ def main(argv: List[str] | None = None) -> int:
         runtime_report = run_runtime_scaling(
             rows=800, repeats=2, out=args.runtime_out
         )
+        pushdown = runtime_report.get("groupby_pushdown", {})
         report["runtime_scaling"] = {
             "out": str(args.runtime_out),
             "eight_sensor_speedup": next(
@@ -211,6 +216,10 @@ def main(argv: List[str] | None = None) -> int:
                     if entry["n_sensors"] >= 8
                 ),
                 None,
+            ),
+            "groupby_pushdown_speedup_vs_serial": pushdown.get("speedup_vs_serial"),
+            "groupby_pushdown_speedup_vs_global_merge": pushdown.get(
+                "speedup_vs_global_merge"
             ),
         }
 

@@ -3,19 +3,146 @@
 The paper's running example uses ``AVG``, ``SUM`` and the SQL:2003 linear
 regression aggregates (``regr_intercept``); the full set below covers the
 aggregates an activity-recognition workload typically needs.
+
+**Exact, order-independent arithmetic.**  ``SUM``/``AVG`` accumulate floats
+as exact Shewchuk expansions (the algorithm behind :func:`math.fsum`) and
+integers as exact int sums; the ``STDDEV``/``VARIANCE`` family keeps exact
+rational moments ``(n, Σx, Σx²)``.  Exactness is what makes these
+aggregates *decomposable*: partial states computed over disjoint partitions
+of the input merge into bit-for-bit the same result as one pass over the
+whole input, regardless of how the partitions are split or combined.  The
+distributed runtime relies on this to push partial aggregation to the
+sensor leaves (see :mod:`repro.runtime.dag`).
+
+**Partial-state protocol.**  Decomposable accumulators implement
+``partial()`` (export a mergeable state), ``merge(state)`` (absorb another
+accumulator's partial state) and ``finalize()`` (alias of ``result()``).
+``DISTINCT`` aggregates, ``MEDIAN`` and the two-argument regression family
+are *not* decomposable — they buffer their inputs and only support the
+plain ``add``/``result`` interface.
 """
 
 from __future__ import annotations
 
 import math
 import statistics
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.errors import ExecutionError
 
 
 def _numeric(values: Sequence[Any]) -> List[float]:
     return [float(v) for v in values if v is not None]
+
+
+def _grow_expansion(partials: List[float], value: float) -> None:
+    """Add a *finite* ``value`` to a non-overlapping float expansion, exactly.
+
+    Shewchuk's grow-expansion step (the core of ``math.fsum``): after the
+    call, ``partials`` represents the exact real-number sum of everything
+    added so far.  ``math.fsum(partials)`` rounds that exact sum once, so
+    the result is independent of the order (and grouping) of additions.
+    Callers route non-finite values through :class:`_SpecialValues`
+    instead; a sum of finite inputs that exceeds the float range raises
+    the same ``OverflowError`` :func:`math.fsum` raises.
+    """
+    i = 0
+    x = value
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    if math.isinf(x):
+        raise OverflowError("intermediate overflow in fsum")
+    partials[i:] = [x]
+
+
+class _SpecialValues:
+    """Presence flags for non-finite float inputs (``inf``/``-inf``/``nan``).
+
+    ``math.fsum``'s result over special values depends only on which kinds
+    appear, so three booleans losslessly summarize any number of them.
+    ``as_values()`` reconstructs representatives that, appended to the
+    finite expansion, make ``math.fsum`` reproduce the batch result —
+    including its ``ValueError`` on mixed ``-inf + inf``.
+    """
+
+    __slots__ = ("pos_inf", "neg_inf", "nan")
+
+    def __init__(self, pos_inf: bool = False, neg_inf: bool = False, nan: bool = False) -> None:
+        self.pos_inf = pos_inf
+        self.neg_inf = neg_inf
+        self.nan = nan
+
+    def add(self, value: float) -> None:
+        if math.isnan(value):
+            self.nan = True
+        elif value > 0:
+            self.pos_inf = True
+        else:
+            self.neg_inf = True
+
+    def state(self) -> Tuple[bool, bool, bool]:
+        return (self.pos_inf, self.neg_inf, self.nan)
+
+    def merge(self, state: Tuple[bool, bool, bool]) -> None:
+        self.pos_inf = self.pos_inf or state[0]
+        self.neg_inf = self.neg_inf or state[1]
+        self.nan = self.nan or state[2]
+
+    def as_values(self) -> List[float]:
+        values: List[float] = []
+        if self.pos_inf:
+            values.append(math.inf)
+        if self.neg_inf:
+            values.append(-math.inf)
+        if self.nan:
+            values.append(math.nan)
+        return values
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _exact_moments(numbers: Sequence[float]) -> Tuple[int, Fraction, Fraction]:
+    """Exact ``(n, Σx, Σx²)`` of float inputs, as rationals."""
+    n = 0
+    sx = Fraction(0)
+    sxx = Fraction(0)
+    for number in numbers:
+        frac = Fraction(number)
+        n += 1
+        sx += frac
+        sxx += frac * frac
+    return n, sx, sxx
+
+
+def _moments_mss(n: int, sx: Fraction, sxx: Fraction, sample: bool) -> Optional[Fraction]:
+    """Mean-square deviation ``Σ(x-μ)²/d`` from exact moments (or None)."""
+    if sample:
+        if n < 2:
+            return None
+        denominator = n - 1
+    else:
+        if n < 1:
+            return None
+        denominator = n
+    return (sxx - sx * sx / n) / denominator
+
+
+def _sqrt_of_fraction(value: Fraction) -> float:
+    """Correctly rounded square root of an exact non-negative rational."""
+    try:
+        return statistics._float_sqrt_of_frac(value.numerator, value.denominator)
+    except AttributeError:  # pragma: no cover - older Python fallback
+        return math.sqrt(float(value))
 
 
 def _agg_count(values: Sequence[Any]) -> int:
@@ -27,20 +154,21 @@ def _agg_count_star(values: Sequence[Any]) -> int:
 
 
 def _agg_sum(values: Sequence[Any]) -> Any:
-    numbers = _numeric(values)
-    if not numbers:
+    present = [v for v in values if v is not None]
+    if not present:
         return None
-    total = sum(numbers)
-    if all(isinstance(v, int) and not isinstance(v, bool) for v in values if v is not None):
-        return int(total)
-    return total
+    if all(_is_int(v) for v in present):
+        # Exact int sum: no float round-trip, so values beyond 2**53 keep
+        # full precision (Python ints are arbitrary precision).
+        return sum(present)
+    return math.fsum(float(v) for v in present)
 
 
 def _agg_avg(values: Sequence[Any]) -> Any:
     numbers = _numeric(values)
     if not numbers:
         return None
-    return sum(numbers) / len(numbers)
+    return math.fsum(numbers) / len(numbers)
 
 
 def _agg_min(values: Sequence[Any]) -> Any:
@@ -59,31 +187,23 @@ def _agg_median(values: Sequence[Any]) -> Any:
 
 
 def _agg_stddev_samp(values: Sequence[Any]) -> Any:
-    numbers = _numeric(values)
-    if len(numbers) < 2:
-        return None
-    return statistics.stdev(numbers)
+    mss = _moments_mss(*_exact_moments(_numeric(values)), sample=True)
+    return None if mss is None else _sqrt_of_fraction(mss)
 
 
 def _agg_stddev_pop(values: Sequence[Any]) -> Any:
-    numbers = _numeric(values)
-    if not numbers:
-        return None
-    return statistics.pstdev(numbers)
+    mss = _moments_mss(*_exact_moments(_numeric(values)), sample=False)
+    return None if mss is None else _sqrt_of_fraction(mss)
 
 
 def _agg_var_samp(values: Sequence[Any]) -> Any:
-    numbers = _numeric(values)
-    if len(numbers) < 2:
-        return None
-    return statistics.variance(numbers)
+    mss = _moments_mss(*_exact_moments(_numeric(values)), sample=True)
+    return None if mss is None else float(mss)
 
 
 def _agg_var_pop(values: Sequence[Any]) -> Any:
-    numbers = _numeric(values)
-    if not numbers:
-        return None
-    return statistics.pvariance(numbers)
+    mss = _moments_mss(*_exact_moments(_numeric(values)), sample=False)
+    return None if mss is None else float(mss)
 
 
 #: Single-argument aggregates.
@@ -245,10 +365,17 @@ def is_known_aggregate(name: str) -> bool:
 # everything else (DISTINCT, MEDIAN, the regression family, ...) buffers its
 # inputs and delegates to :func:`compute_aggregate` at emit time, so both
 # accumulator kinds return exactly what the batch functions return.
+#
+# Incremental accumulators additionally implement the mergeable
+# partial-state protocol: ``partial()`` exports the accumulator's state,
+# ``merge(state)`` absorbs a state computed over another partition of the
+# input, and ``finalize()`` (an alias of ``result()``) produces the final
+# value.  Because the underlying arithmetic is exact, any split of the
+# input into partial states merges into the same result as one pass.
 
 
 class CountStarAccumulator:
-    """``COUNT(*)``: counts every row."""
+    """``COUNT(*)``: counts every row.  Partial state: the count."""
 
     __slots__ = ("count",)
 
@@ -261,9 +388,18 @@ class CountStarAccumulator:
     def result(self) -> int:
         return self.count
 
+    def partial(self) -> int:
+        return self.count
+
+    def merge(self, state: int) -> None:
+        self.count += state
+
+    def finalize(self) -> int:
+        return self.result()
+
 
 class CountAccumulator:
-    """``COUNT(expr)``: counts non-NULL values."""
+    """``COUNT(expr)``: counts non-NULL values.  Partial state: the count."""
 
     __slots__ = ("count",)
 
@@ -277,56 +413,152 @@ class CountAccumulator:
     def result(self) -> int:
         return self.count
 
+    def partial(self) -> int:
+        return self.count
+
+    def merge(self, state: int) -> None:
+        self.count += state
+
+    def finalize(self) -> int:
+        return self.result()
+
 
 class SumAccumulator:
-    """``SUM(expr)`` with the batch function's int-preserving behaviour."""
+    """``SUM(expr)`` with exact int and exact (fsum) float accumulation.
 
-    __slots__ = ("total", "present", "all_int")
+    Tracks two exact representations side by side: an arbitrary-precision
+    int total of the int inputs (the result while *all* inputs are ints)
+    and a float expansion of ``float(v)`` per input (the result once any
+    float appears, matching the batch function's per-value conversion).
+    Non-finite floats are tracked as presence flags and ints too large
+    for float as an overflow flag, so mixed-type edge cases reproduce the
+    batch function's value *and* error behaviour exactly.  Partial state:
+    ``(int_total, float_expansion, present, all_int, specials, int_overflow)``.
+    """
+
+    __slots__ = (
+        "int_total", "float_parts", "present", "all_int", "specials", "int_overflow"
+    )
 
     def __init__(self) -> None:
-        self.total = 0.0
+        self.int_total = 0
+        self.float_parts: List[float] = []
         self.present = False
         self.all_int = True
+        self.specials = _SpecialValues()
+        self.int_overflow = False
 
     def add(self, values: Tuple[Any, ...]) -> None:
         value = values[0]
         if value is None:
             return
         self.present = True
-        self.total += float(value)
-        if self.all_int and not (isinstance(value, int) and not isinstance(value, bool)):
+        if _is_int(value):
+            self.int_total += value
+            # The float image only matters if a float shows up later; an
+            # int beyond float range must not fail the exact all-int path.
+            try:
+                as_float = float(value)
+            except OverflowError:
+                self.int_overflow = True
+                return
+        else:
             self.all_int = False
+            as_float = float(value)
+        if math.isfinite(as_float):
+            _grow_expansion(self.float_parts, as_float)
+        else:
+            self.specials.add(as_float)
 
     def result(self) -> Any:
         if not self.present:
             return None
-        return int(self.total) if self.all_int else self.total
+        if self.all_int:
+            return self.int_total
+        if self.int_overflow:
+            # The batch path hits float(huge_int) inside fsum and raises.
+            raise OverflowError("int too large to convert to float")
+        return math.fsum(tuple(self.float_parts) + tuple(self.specials.as_values()))
+
+    def partial(self) -> Tuple[int, Tuple[float, ...], bool, bool, Tuple[bool, bool, bool], bool]:
+        return (
+            self.int_total,
+            tuple(self.float_parts),
+            self.present,
+            self.all_int,
+            self.specials.state(),
+            self.int_overflow,
+        )
+
+    def merge(
+        self,
+        state: Tuple[int, Tuple[float, ...], bool, bool, Tuple[bool, bool, bool], bool],
+    ) -> None:
+        int_total, float_parts, present, all_int, specials, int_overflow = state
+        self.int_total += int_total
+        for component in float_parts:
+            _grow_expansion(self.float_parts, component)
+        self.present = self.present or present
+        self.all_int = self.all_int and all_int
+        self.specials.merge(specials)
+        self.int_overflow = self.int_overflow or int_overflow
+
+    def finalize(self) -> Any:
+        return self.result()
 
 
 class AvgAccumulator:
-    """``AVG(expr)``: running float sum and count."""
+    """``AVG(expr)``: exact float sum (fsum expansion) and count.
 
-    __slots__ = ("total", "count")
+    Non-finite inputs are tracked as presence flags (see
+    :class:`_SpecialValues`).  Partial state:
+    ``(float_expansion, count, specials)``.
+    """
+
+    __slots__ = ("float_parts", "count", "specials")
 
     def __init__(self) -> None:
-        self.total = 0.0
+        self.float_parts: List[float] = []
         self.count = 0
+        self.specials = _SpecialValues()
 
     def add(self, values: Tuple[Any, ...]) -> None:
         value = values[0]
         if value is None:
             return
-        self.total += float(value)
+        as_float = float(value)
+        if math.isfinite(as_float):
+            _grow_expansion(self.float_parts, as_float)
+        else:
+            self.specials.add(as_float)
         self.count += 1
 
     def result(self) -> Any:
         if not self.count:
             return None
-        return self.total / self.count
+        total = math.fsum(tuple(self.float_parts) + tuple(self.specials.as_values()))
+        return total / self.count
+
+    def partial(self) -> Tuple[Tuple[float, ...], int, Tuple[bool, bool, bool]]:
+        return (tuple(self.float_parts), self.count, self.specials.state())
+
+    def merge(self, state: Tuple[Tuple[float, ...], int, Tuple[bool, bool, bool]]) -> None:
+        float_parts, count, specials = state
+        for component in float_parts:
+            _grow_expansion(self.float_parts, component)
+        self.count += count
+        self.specials.merge(specials)
+
+    def finalize(self) -> Any:
+        return self.result()
 
 
 class MinAccumulator:
-    """``MIN(expr)``: keeps the first minimal non-NULL value."""
+    """``MIN(expr)``: keeps the first minimal non-NULL value.
+
+    Partial state: ``(present, best)``; merging in partition order keeps
+    the earliest partition's value on ties, like one left-to-right pass.
+    """
 
     __slots__ = ("best", "present")
 
@@ -347,9 +579,23 @@ class MinAccumulator:
     def result(self) -> Any:
         return self.best if self.present else None
 
+    def partial(self) -> Tuple[bool, Any]:
+        return (self.present, self.best)
+
+    def merge(self, state: Tuple[bool, Any]) -> None:
+        present, best = state
+        if present:
+            self.add((best,))
+
+    def finalize(self) -> Any:
+        return self.result()
+
 
 class MaxAccumulator:
-    """``MAX(expr)``: keeps the first maximal non-NULL value."""
+    """``MAX(expr)``: keeps the first maximal non-NULL value.
+
+    Partial state: ``(present, best)``.
+    """
 
     __slots__ = ("best", "present")
 
@@ -369,6 +615,73 @@ class MaxAccumulator:
 
     def result(self) -> Any:
         return self.best if self.present else None
+
+    def partial(self) -> Tuple[bool, Any]:
+        return (self.present, self.best)
+
+    def merge(self, state: Tuple[bool, Any]) -> None:
+        present, best = state
+        if present:
+            self.add((best,))
+
+    def finalize(self) -> Any:
+        return self.result()
+
+
+class StatAccumulator:
+    """``STDDEV``/``VARIANCE`` family via exact rational moments.
+
+    Keeps ``(n, Σx, Σx²)`` as exact :class:`~fractions.Fraction` values of
+    the float-converted inputs, so the mean-square deviation is computed
+    without rounding until the single final conversion — bit-identical to
+    the batch functions and independent of input order or partitioning.
+    Partial state: ``(n, Σx, Σx²)``.
+    """
+
+    __slots__ = ("sample", "take_sqrt", "n", "sx", "sxx")
+
+    #: name -> (sample statistics?, take the square root?)
+    _KINDS = {
+        "STDDEV": (True, True),
+        "STDDEV_SAMP": (True, True),
+        "STDDEV_POP": (False, True),
+        "VARIANCE": (True, False),
+        "VAR_SAMP": (True, False),
+        "VAR_POP": (False, False),
+    }
+
+    def __init__(self, name: str) -> None:
+        self.sample, self.take_sqrt = self._KINDS[name.upper()]
+        self.n = 0
+        self.sx = Fraction(0)
+        self.sxx = Fraction(0)
+
+    def add(self, values: Tuple[Any, ...]) -> None:
+        value = values[0]
+        if value is None:
+            return
+        frac = Fraction(float(value))
+        self.n += 1
+        self.sx += frac
+        self.sxx += frac * frac
+
+    def result(self) -> Any:
+        mss = _moments_mss(self.n, self.sx, self.sxx, sample=self.sample)
+        if mss is None:
+            return None
+        return _sqrt_of_fraction(mss) if self.take_sqrt else float(mss)
+
+    def partial(self) -> Tuple[int, Fraction, Fraction]:
+        return (self.n, self.sx, self.sxx)
+
+    def merge(self, state: Tuple[int, Fraction, Fraction]) -> None:
+        n, sx, sxx = state
+        self.n += n
+        self.sx += sx
+        self.sxx += sxx
+
+    def finalize(self) -> Any:
+        return self.result()
 
 
 class BufferAccumulator:
@@ -407,6 +720,35 @@ _INCREMENTAL_ACCUMULATORS: Dict[str, Callable[[], Any]] = {
     "MIN": MinAccumulator,
     "MAX": MaxAccumulator,
 }
+for _name in StatAccumulator._KINDS:
+    _INCREMENTAL_ACCUMULATORS[_name] = (
+        lambda _name=_name: StatAccumulator(_name)
+    )
+del _name
+
+#: Aggregates whose accumulators support the partial-state protocol
+#: (``partial()``/``merge()``/``finalize()``).  ``DISTINCT`` variants,
+#: multi-argument aggregates and ``MEDIAN`` are excluded.
+DECOMPOSABLE_AGGREGATES = frozenset(_INCREMENTAL_ACCUMULATORS)
+
+
+def is_decomposable_aggregate(
+    name: str, *, is_star: bool = False, distinct: bool = False, arg_count: int = 1
+) -> bool:
+    """True when :func:`make_accumulator` returns a mergeable accumulator.
+
+    Mirrors the dispatch conditions of :func:`make_accumulator` exactly, so
+    decomposability analysis and execution can never disagree.
+    """
+    upper = name.upper()
+    if upper == "COUNT" and is_star:
+        return True
+    return (
+        not distinct
+        and arg_count == 1
+        and not is_star
+        and upper in DECOMPOSABLE_AGGREGATES
+    )
 
 
 def make_accumulator(name: str, *, is_star: bool, distinct: bool, arg_count: int) -> Any:

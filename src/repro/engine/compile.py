@@ -314,8 +314,11 @@ class ExpressionCompiler:
         probe = self.compile(expression.expression)
         negated = expression.negated
         pattern_node = expression.pattern
+        # Standard SQL LIKE is case-sensitive; the explicit flag keeps this
+        # path in lockstep with the interpreted evaluator's default.
+        case_insensitive = False
         if isinstance(pattern_node, ast.Literal) and pattern_node.value is not None:
-            regex = _like_to_regex(str(pattern_node.value))
+            regex = _like_to_regex(str(pattern_node.value), case_insensitive)
 
             def like_const(context: EvaluationContext) -> Any:
                 value = probe(context)
@@ -332,7 +335,9 @@ class ExpressionCompiler:
             pattern_value = pattern(context)
             if value is None or pattern_value is None:
                 return None
-            result = bool(_like_to_regex(str(pattern_value)).match(str(value)))
+            result = bool(
+                _like_to_regex(str(pattern_value), case_insensitive).match(str(value))
+            )
             return (not result) if negated else result
 
         return like

@@ -131,11 +131,49 @@ class Database:
         """Parse (if needed) and execute a query against this database."""
         query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
         with self._lock:
-            executor = self._executor
-            if executor is None or executor.use_compiled != (default_execution_mode() == "compiled"):
-                executor = QueryExecutor(self._tables)
-                self._executor = executor
-            return executor.execute(query)
+            return self._mode_executor().execute(query)
+
+    def _mode_executor(self) -> QueryExecutor:
+        """The catalog executor for the calling thread's engine mode."""
+        executor = self._executor
+        if executor is None or executor.use_compiled != (
+            default_execution_mode() == "compiled"
+        ):
+            executor = QueryExecutor(self._tables)
+            self._executor = executor
+        return executor
+
+    def partial_aggregate(self, sql_or_ast: Union[str, ast.Query]) -> Relation:
+        """Run a grouped query in *partial* mode: mergeable state rows.
+
+        The query's FROM/WHERE run against this node's catalog as usual,
+        but grouping stops before finalization — the distributed runtime
+        ships the (much smaller) state rows instead of raw rows.
+        """
+        query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
+        with self._lock:
+            return self._mode_executor().execute_partial_aggregation(query)
+
+    def combine_partials(
+        self, sql_or_ast: Union[str, ast.Query], relation: Relation
+    ) -> Relation:
+        """Merge partial-state rows (from several children) per group.
+
+        ``relation`` is passed directly rather than read from the catalog:
+        combine points receive partials over the wire and never register
+        the intermediate states.
+        """
+        query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
+        with self._lock:
+            return self._mode_executor().combine_partial_aggregation(query, relation)
+
+    def finalize_partials(
+        self, sql_or_ast: Union[str, ast.Query], relation: Relation
+    ) -> Relation:
+        """Merge partial-state rows and produce the query's real output."""
+        query = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
+        with self._lock:
+            return self._mode_executor().finalize_partial_aggregation(query, relation)
 
     def explain(self, sql_or_ast: Union[str, ast.Query]) -> dict:
         """Return the structural summary of a query (no execution)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 import re
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.engine.errors import ExecutionError
 from repro.engine.functions import call_scalar_function, is_scalar_function
@@ -242,17 +242,25 @@ def _evaluate_between(expression: ast.Between, context: EvaluationContext) -> An
     return (not result) if expression.negated else result
 
 
-#: Compiled LIKE patterns, keyed by the raw pattern string.  Patterns come
-#: from a small, query-authored vocabulary, so the memo is unbounded.  The
-#: lock covers insertions only: concurrent scheduler workers may compile the
-#: same pattern twice on a racing miss, but the cache dict itself can never
-#: be observed mid-update.
-_LIKE_REGEX_CACHE: Dict[str, re.Pattern] = {}
+#: Compiled LIKE patterns, keyed by ``(pattern, case_insensitive)``.
+#: Patterns come from a small, query-authored vocabulary, so the memo is
+#: unbounded.  The lock covers insertions only: concurrent scheduler workers
+#: may compile the same pattern twice on a racing miss, but the cache dict
+#: itself can never be observed mid-update.
+_LIKE_REGEX_CACHE: Dict[Tuple[str, bool], re.Pattern] = {}
 _LIKE_REGEX_LOCK = threading.Lock()
 
 
-def _like_to_regex(pattern: str) -> re.Pattern:
-    cached = _LIKE_REGEX_CACHE.get(pattern)
+def _like_to_regex(pattern: str, case_insensitive: bool = False) -> re.Pattern:
+    """Compile a SQL LIKE pattern.
+
+    Standard ``LIKE`` is case-sensitive; the flag exists so a future
+    ``ILIKE`` shares this memo.  Both the interpreted evaluator and the
+    expression compiler go through this one function, so the two execution
+    paths can never disagree on matching semantics.
+    """
+    key = (pattern, case_insensitive)
+    cached = _LIKE_REGEX_CACHE.get(key)
     if cached is not None:
         return cached
     escaped = re.escape(pattern)
@@ -260,9 +268,9 @@ def _like_to_regex(pattern: str) -> re.Pattern:
     # escaped them historically; handle both spellings.
     escaped = escaped.replace(r"\%", ".*").replace("%", ".*")
     escaped = escaped.replace(r"\_", ".").replace("_", ".")
-    compiled = re.compile(f"^{escaped}$", re.IGNORECASE)
+    compiled = re.compile(f"^{escaped}$", re.IGNORECASE if case_insensitive else 0)
     with _LIKE_REGEX_LOCK:
-        return _LIKE_REGEX_CACHE.setdefault(pattern, compiled)
+        return _LIKE_REGEX_CACHE.setdefault(key, compiled)
 
 
 def _evaluate_like(expression: ast.Like, context: EvaluationContext) -> Any:

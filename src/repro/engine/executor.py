@@ -31,7 +31,11 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.engine.aggregates import compute_aggregate, make_accumulator
+from repro.engine.aggregates import (
+    compute_aggregate,
+    is_decomposable_aggregate,
+    make_accumulator,
+)
 from repro.engine.compile import CompiledExpr, ExpressionCompiler
 from repro.engine.errors import ExecutionError
 from repro.engine.evaluator import EvaluationContext, evaluate, evaluate_predicate
@@ -181,6 +185,57 @@ class _GroupPlan:
         self.item_fns = item_fns
 
 
+class _PartialSpec:
+    """One decomposable aggregate call of a partially-aggregated query."""
+
+    __slots__ = ("key", "name", "is_star", "distinct", "arg_eval")
+
+    def __init__(
+        self,
+        key: str,
+        name: str,
+        is_star: bool,
+        distinct: bool,
+        arg_eval: Optional[Callable[[EvaluationContext], Any]],
+    ) -> None:
+        self.key = key
+        self.name = name
+        self.is_star = is_star
+        self.distinct = distinct
+        #: Evaluates the single argument for one row; ``None`` feeds the
+        #: star row (``COUNT(*)`` / argument-free calls).
+        self.arg_eval = arg_eval
+
+    def make(self) -> Any:
+        return make_accumulator(
+            self.name, is_star=self.is_star, distinct=self.distinct, arg_count=1
+        )
+
+
+class _PartialPlan:
+    """Compile-once artefacts for the partial-aggregation protocol.
+
+    The same plan drives all three phases of a distributed GROUP BY: the
+    *partial* phase (leaf chunks -> mergeable state rows), the *combine*
+    phase (state rows -> fewer state rows, one per group) and the
+    *finalize* phase (state rows -> the query's actual output).  State
+    relations carry the group-key columns under their original names plus
+    one opaque state column per distinct aggregate call.
+    """
+
+    __slots__ = ("query", "key_names", "state_names", "specs", "key_evals")
+
+    def __init__(self, query, key_names, state_names, specs, key_evals) -> None:
+        self.query = query
+        #: Group-key column names, in GROUP BY order (original case).
+        self.key_names = key_names
+        #: State column names (``__agg0``, ``__agg1``, ...).
+        self.state_names = state_names
+        self.specs = specs
+        #: Evaluates each group-key column for one row scope.
+        self.key_evals = key_evals
+
+
 class _WherePlan:
     """WHERE conjuncts split into ordered semi-join and predicate segments.
 
@@ -216,6 +271,7 @@ class QueryExecutor:
         self._flat_plans: Dict[int, _FlatPlan] = {}
         self._group_plans: Dict[int, _GroupPlan] = {}
         self._where_plans: Dict[int, _WherePlan] = {}
+        self._partial_plans: Dict[int, _PartialPlan] = {}
         self._qualified_memo: Dict[int, Tuple[ast.Node, bool]] = {}
 
     #: Plan memos are flushed wholesale past this size so a long-lived
@@ -1007,6 +1063,224 @@ class QueryExecutor:
                 call.name, argument_columns, is_star=is_star, distinct=call.distinct
             )
         return results
+
+    # ------------------------------------------------------------------
+    # partial aggregation (the distributed GROUP BY protocol)
+    # ------------------------------------------------------------------
+    def _expr_eval(self, expression: ast.Expression) -> Callable[[EvaluationContext], Any]:
+        """A per-row evaluator for ``expression``, honouring the engine mode."""
+        if self._compiler is not None:
+            return self._compiler.compile(expression)
+        return lambda context, _expr=expression: evaluate(_expr, context)
+
+    def _partial_plan(self, query: ast.SelectQuery) -> _PartialPlan:
+        plan = self._partial_plans.get(id(query))
+        if plan is not None and plan.query is query:
+            return plan
+        if query.distinct or query.limit is not None or query.offset is not None:
+            raise ExecutionError(
+                "Partial aggregation does not support DISTINCT/LIMIT/OFFSET"
+            )
+        key_names: List[str] = []
+        key_evals: List[Callable[[EvaluationContext], Any]] = []
+        for expression in query.group_by:
+            if not isinstance(expression, ast.Column):
+                raise ExecutionError(
+                    "Partial aggregation requires plain-column GROUP BY keys"
+                )
+            if expression.name.lower().startswith("__agg"):
+                # Reserved for the state columns of the partial relation.
+                raise ExecutionError(
+                    f"Partial aggregation cannot group by reserved column "
+                    f"{expression.name}"
+                )
+            key_names.append(expression.name)
+            key_evals.append(self._expr_eval(expression))
+        if len({name.lower() for name in key_names}) != len(key_names):
+            raise ExecutionError("Partial aggregation requires distinct GROUP BY keys")
+        specs: List[_PartialSpec] = []
+        seen: set[str] = set()
+        for call in self._collect_aggregate_calls(query):
+            key = render_expression(call)
+            if key in seen:
+                continue
+            seen.add(key)
+            is_star = len(call.arguments) == 1 and isinstance(call.arguments[0], ast.Star)
+            if not is_decomposable_aggregate(
+                call.name,
+                is_star=is_star,
+                distinct=call.distinct,
+                arg_count=len(call.arguments) or 1,
+            ):
+                raise ExecutionError(f"Aggregate {call.name} is not decomposable")
+            arg_eval = (
+                None
+                if is_star or not call.arguments
+                else self._expr_eval(call.arguments[0])
+            )
+            specs.append(_PartialSpec(key, call.name, is_star, call.distinct, arg_eval))
+        state_names = [f"__agg{index}" for index in range(len(specs))]
+        plan = _PartialPlan(query, key_names, state_names, specs, key_evals)
+        self._store_plan(self._partial_plans, id(query), plan)
+        return plan
+
+    def execute_partial_aggregation(self, query: ast.SelectQuery) -> Relation:
+        """Run ``query``'s FROM/WHERE, then group into mergeable state rows.
+
+        Emits one row per group in first-occurrence order: the group-key
+        columns under their original names plus one ``partial()`` state per
+        distinct aggregate call.  HAVING, select items and ORDER BY are
+        deferred to :meth:`finalize_partial_aggregation` — they must see
+        fully merged groups.  A query without GROUP BY always emits exactly
+        one (global) group row, even over an empty input, mirroring the
+        one-row output the full execution produces.
+        """
+        if self._compiler is not None:
+            self._compiler.new_execution()
+        plan = self._partial_plan(query)
+        needs_qualified = not self._use_compiled or self._needs_qualified_scopes(query)
+        scopes, _ = self._evaluate_from(query.from_clause, None, needs_qualified)
+        if query.where is not None:
+            if self._use_compiled:
+                scopes = self._filter_where_compiled(query, scopes, None)
+            else:
+                scopes = [
+                    scope
+                    for scope in scopes
+                    if evaluate_predicate(query.where, self._context(scope, None))
+                ]
+        context = self._fresh_context(None)
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        order: List[Tuple[Any, ...]] = []
+        specs = plan.specs
+        for scope in scopes:
+            context.scope = scope
+            key = tuple(_freeze(fn(context)) for fn in plan.key_evals)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [spec.make() for spec in specs]
+                groups[key] = accumulators
+                order.append(key)
+            for spec, accumulator in zip(specs, accumulators):
+                if spec.arg_eval is None:
+                    accumulator.add(_STAR_ROW)
+                else:
+                    accumulator.add((spec.arg_eval(context),))
+        if not query.group_by and not groups:
+            groups[()] = [spec.make() for spec in specs]
+            order.append(())
+        return self._partial_state_relation(plan, groups, order)
+
+    def _merge_partial_groups(
+        self, plan: _PartialPlan, relation: Relation
+    ) -> Tuple[Dict[Tuple[Any, ...], List[Any]], List[Tuple[Any, ...]]]:
+        """Group state rows by key (first-occurrence order), merging states.
+
+        Input rows are concatenated partials in partition order, and every
+        chunk holds rows the original relation ordered before later chunks'
+        rows, so first-occurrence order here equals the group order a
+        single pass over the whole input would produce.
+        """
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        order: List[Tuple[Any, ...]] = []
+        specs = plan.specs
+        for row in relation.rows:
+            key = tuple(row[name] for name in plan.key_names)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [spec.make() for spec in specs]
+                groups[key] = accumulators
+                order.append(key)
+            for spec, accumulator, state_name in zip(
+                specs, accumulators, plan.state_names
+            ):
+                accumulator.merge(row[state_name])
+        if not plan.query.group_by and not groups:
+            groups[()] = [spec.make() for spec in specs]
+            order.append(())
+        return groups, order
+
+    def _partial_state_relation(
+        self,
+        plan: _PartialPlan,
+        groups: Dict[Tuple[Any, ...], List[Any]],
+        order: List[Tuple[Any, ...]],
+    ) -> Relation:
+        rows: List[Dict[str, Any]] = []
+        for key in order:
+            row = dict(zip(plan.key_names, key))
+            for state_name, accumulator in zip(plan.state_names, groups[key]):
+                row[state_name] = accumulator.partial()
+            rows.append(row)
+        schema = _build_schema(plan.key_names + plan.state_names, rows)
+        return Relation(schema=schema, rows=rows, name="")
+
+    def combine_partial_aggregation(
+        self, query: ast.SelectQuery, relation: Relation
+    ) -> Relation:
+        """Merge a relation of partial-state rows into one row per group."""
+        plan = self._partial_plan(query)
+        groups, order = self._merge_partial_groups(plan, relation)
+        return self._partial_state_relation(plan, groups, order)
+
+    def finalize_partial_aggregation(
+        self, query: ast.SelectQuery, relation: Relation
+    ) -> Relation:
+        """Merge partial-state rows and produce ``query``'s actual output.
+
+        Applies HAVING, the select items and ORDER BY over the finalized
+        aggregate values — exactly the tail of the grouped execution path,
+        so the result is identical to running ``query`` over the
+        concatenated raw input.
+        """
+        if self._compiler is not None:
+            self._compiler.new_execution()
+        plan = self._partial_plan(query)
+        groups, order = self._merge_partial_groups(plan, relation)
+        specs = plan.specs
+        lowered_keys = [name.lower() for name in plan.key_names]
+        context = self._fresh_context(None)
+        output_rows: List[Dict[str, Any]] = []
+        if self._use_compiled:
+            group_plan = self._group_plan(query)
+            output_names = group_plan.output_names
+            for key in order:
+                context.scope = dict(zip(lowered_keys, key))
+                context.aggregates = {
+                    spec.key: accumulator.finalize()
+                    for spec, accumulator in zip(specs, groups[key])
+                }
+                if group_plan.having_fn is not None and not group_plan.having_fn(context):
+                    continue
+                output_rows.append(
+                    {
+                        name: fn(context)
+                        for name, fn in zip(output_names, group_plan.item_fns)
+                    }
+                )
+        else:
+            output_names = self._output_names(query.items)
+            for key in order:
+                scope = dict(zip(lowered_keys, key))
+                aggregates = {
+                    spec.key: accumulator.finalize()
+                    for spec, accumulator in zip(specs, groups[key])
+                }
+                row_context = self._context(scope, None, aggregates)
+                if query.having is not None and not evaluate_predicate(
+                    query.having, row_context
+                ):
+                    continue
+                output_rows.append(
+                    {
+                        name: evaluate(item.expression, row_context)
+                        for item, name in zip(query.items, output_names)
+                    }
+                )
+        if query.order_by:
+            output_rows = self._apply_order_by(query, output_rows, [], None, True)
+        schema = _build_schema(output_names, output_rows)
+        return Relation(schema=schema, rows=output_rows, name="")
 
     # ------------------------------------------------------------------
     # shared helpers

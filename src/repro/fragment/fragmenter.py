@@ -22,7 +22,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.fragment.capabilities import CapabilityLevel, lowest_capable_level
-from repro.fragment.plan import FragmentPlan, QueryFragment, is_row_distributive
+from repro.fragment.plan import (
+    FragmentPlan,
+    QueryFragment,
+    is_decomposable_aggregation,
+    is_row_distributive,
+)
 from repro.fragment.topology import Topology
 from repro.sql import ast
 from repro.sql.analysis import analyze_query
@@ -331,6 +336,9 @@ class VerticalFragmenter:
             # parallel runtime overrides the single-node assignment with one
             # task per partition and a merge at the siblings' common ancestor.
             fragment.partitionable = is_row_distributive(fragment.query)
+            # Decomposable aggregation stages run as leaf partial
+            # aggregation with per-level combines instead of a global merge.
+            fragment.decomposable = is_decomposable_aggregation(fragment.query)
 
 
 def _walk_from(query: ast.Query):

@@ -59,6 +59,7 @@ class ParadiseProcessor:
         engine_mode: str = "compiled",
         execution: str = "serial",
         cost_model: Optional[CostModel] = None,
+        partial_aggregation: bool = True,
     ) -> None:
         if execution not in _EXECUTION_MODES:
             raise ValueError(
@@ -86,6 +87,10 @@ class ParadiseProcessor:
         #: differential oracle); "parallel" schedules an execution DAG over
         #: the topology tree (:mod:`repro.runtime`).
         self.execution = execution
+        #: Parallel runs decompose GROUP BY fragments into leaf partial
+        #: aggregation plus per-level combines when possible; ``False``
+        #: restores the global-merge baseline (benchmark ablation knob).
+        self.partial_aggregation = partial_aggregation
         self._scheduler: Optional[Scheduler] = None
         self._scheduler_lock = threading.Lock()
 
@@ -376,6 +381,7 @@ class ParadiseProcessor:
             self.network,
             anonymize=anonymize,
             namespace=namespace,
+            partial_aggregation=self.partial_aggregation,
         )
         context = ExecutionContext(
             network=self.network,
@@ -398,6 +404,10 @@ class ParadiseProcessor:
             wall_seconds=report.wall_seconds,
             busy_seconds=report.busy_seconds,
             capacity_warnings=list(context.capacity_warnings),
+            partial_count=sum(1 for task in dag.tasks if task.kind == "partial"),
+            combine_count=sum(
+                1 for task in dag.tasks if task.kind in ("combine", "finalize_agg")
+            ),
         )
         return final
 

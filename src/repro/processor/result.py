@@ -50,6 +50,10 @@ class RuntimeStats:
     busy_seconds: float
     #: Nodes whose free memory a shipped intermediate exceeded.
     capacity_warnings: List[str] = field(default_factory=list)
+    #: Leaf partial-aggregation tasks (the distributed GROUP BY protocol).
+    partial_count: int = 0
+    #: Per-level combine tasks plus the final merge-and-finalize task.
+    combine_count: int = 0
 
     @property
     def overlap_factor(self) -> float:

@@ -11,8 +11,14 @@ query the environment at once.  This package closes that gap:
     fragment of a plan horizontally across sibling sensor leaves, lifts
     row-distributive fragments up the tree one sibling-merge at a time, and
     inserts a global merge/union task where the first non-distributive
-    fragment (grouping, windows) needs the whole relation.  Anonymization
-    and the cloud remainder are the DAG's final tasks.
+    fragment (windows, ordering) needs the whole relation.  GROUP BY
+    fragments whose aggregates all decompose skip the global merge
+    entirely: each leaf partition aggregates into mergeable states
+    (``partial()``/``merge()``/``finalize()``, see
+    :mod:`repro.engine.aggregates`), sibling states combine at each tree
+    level, and the fragment finalizes at its assigned node — only group
+    states ever cross a hop, never the raw rows.  Anonymization and the
+    cloud remainder are the DAG's final tasks.
 
 ``scheduler``
     :class:`~repro.runtime.scheduler.Scheduler` runs ready tasks
@@ -39,8 +45,11 @@ the fig2 and use-case query corpora and a range of tree shapes.
 
 from repro.runtime.cost import CostModel
 from repro.runtime.dag import (
+    CombinePartialsTask,
     ExecutionContext,
     ExecutionDag,
+    FinalizeAggregationTask,
+    PartialAggregateTask,
     build_execution_dag,
     last_inside_node,
     union_partials,
@@ -49,10 +58,13 @@ from repro.runtime.scheduler import DagRunReport, Scheduler, TaskTiming
 from repro.runtime.session import QueryRequest, SessionFrontEnd
 
 __all__ = [
+    "CombinePartialsTask",
     "CostModel",
     "DagRunReport",
     "ExecutionContext",
     "ExecutionDag",
+    "FinalizeAggregationTask",
+    "PartialAggregateTask",
     "QueryRequest",
     "Scheduler",
     "SessionFrontEnd",

@@ -12,8 +12,18 @@ a dependency graph of :class:`Task` objects the
   tree level per stage: the partials of each sibling group merge at their
   common parent, which then applies the fragment to its group — appliances
   keep working on their own sensors' data, exactly the placement of Figure 3.
-* The first non-distributive fragment (grouping, windows, ordering) forces a
-  global merge at its assigned node; from there the plan chains serially.
+* GROUP BY fragments whose aggregates all decompose
+  (``QueryFragment.decomposable``) never force a global merge: every
+  partition runs the fragment in *partial* mode where it lives (emitting
+  mergeable aggregate states, see :mod:`repro.engine.aggregates`), sibling
+  states *combine* at their common parent one tree level at a time, and the
+  fragment *finalizes* (HAVING, select items, ORDER BY) at its assigned
+  node.  Distributive fragments leading up to such an aggregation run in
+  place on their partitions instead of lifting, so only group states — a
+  few rows per node — ever cross a hop.
+* The first non-distributive fragment that cannot be decomposed (windows,
+  ordering, DISTINCT aggregates, MEDIAN, ...) forces a global merge at its
+  assigned node; from there the plan chains serially.
 * Anonymization and the cloud remainder become the final tasks of the DAG.
 
 Chunks are contiguous slices of the original relation in leaf order, and
@@ -30,7 +40,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.schema import ColumnDef, Schema
 from repro.engine.table import Relation
+from repro.engine.types import DataType
 from repro.fragment.plan import FragmentPlan, QueryFragment
 from repro.fragment.topology import Topology
 from repro.processor.network import NetworkSimulator, TransferLog
@@ -81,13 +93,38 @@ def union_partials(parts: Sequence[Relation], name: str) -> Relation:
 
     The schema comes from the first non-empty partial: every partial is the
     same query over same-schema chunks, so non-empty ones agree; empty ones
-    may carry weaker inferred types.
+    may carry weaker inferred types.  Degenerate inputs are handled too: an
+    empty ``parts`` sequence yields an empty relation, and when *every*
+    partial is empty the column types are merged across partials so one
+    explicitly typed (but empty) chunk is not shadowed by the first
+    partial's inferred-from-nothing defaults.
     """
-    schema_source = next((part for part in parts if len(part)), parts[0])
+    parts = list(parts)
+    if not parts:
+        return Relation(schema=Schema([]), rows=[], name=name)
+    schema_source = next((part for part in parts if len(part)), None)
+    if schema_source is not None:
+        schema = schema_source.schema
+    else:
+        # All partials are empty.  Empty relations infer FLOAT for every
+        # column, so prefer, per column, the first partial carrying a more
+        # specific type.
+        columns = []
+        for index, column in enumerate(parts[0].schema.columns):
+            data_type = column.data_type
+            if data_type is DataType.FLOAT:
+                for part in parts[1:]:
+                    if index < len(part.schema.columns):
+                        other = part.schema.columns[index].data_type
+                        if other is not DataType.FLOAT:
+                            data_type = other
+                            break
+            columns.append(ColumnDef(name=column.name, data_type=data_type))
+        schema = Schema(columns)
     rows: List[dict] = []
     for part in parts:
         rows.extend(dict(row) for row in part.rows)
-    return Relation(schema=schema_source.schema, rows=rows, name=name)
+    return Relation(schema=schema, rows=rows, name=name)
 
 
 class ExecutionContext:
@@ -280,6 +317,160 @@ class MergeTask(Task):
 
 
 @dataclass
+class PartialAggregateTask(Task):
+    """Run a decomposable GROUP BY fragment in *partial* mode on this node.
+
+    Emits mergeable aggregate states (one row per group of the local
+    chunk) instead of the fragment's finalized output — the rows that
+    travel up the tree from here on are group states, not raw data.
+    """
+
+    fragment: Optional[QueryFragment] = None
+    query: Optional[ast.Query] = None
+    source_id: Optional[str] = None
+    source_node: Optional[str] = None
+    in_name: str = ""
+    out_name: str = ""
+    display_name: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        network = context.network
+        database = network.database(self.node)
+        if self.source_id is not None:
+            relation = context.outputs[self.source_id]
+            self._receive(context, relation, self.in_name, self.source_node or self.node)
+            input_rows = len(relation)
+        else:
+            input_rows = (
+                len(database.table(self.in_name)) if self.in_name in database else 0
+            )
+        context.charge_compute(input_rows, self.node)
+        started = time.perf_counter()
+        output = database.partial_aggregate(self.query)
+        elapsed = time.perf_counter() - started
+        output.name = self.display_name
+        database.register(self.out_name, output)
+        context.record_execution(
+            self.order,
+            FragmentExecution(
+                fragment_name=self.display_name,
+                node=self.node,
+                level=self.fragment.level.short_name if self.fragment else "",
+                sql=f"partial({self.fragment.sql})" if self.fragment else "",
+                input_rows=input_rows,
+                output_rows=len(output),
+                elapsed_seconds=elapsed,
+            ),
+        )
+        return output
+
+
+@dataclass
+class CombinePartialsTask(Task):
+    """Merge sibling partial-state relations per group at this node.
+
+    The states of sibling subtrees union in partition order and merge into
+    one state row per group — the tree-level combine of the
+    partial-aggregation protocol.  Output stays in partial-state form.
+    """
+
+    fragment: Optional[QueryFragment] = None
+    query: Optional[ast.Query] = None
+    parts: List[Tuple[str, str]] = field(default_factory=list)  # (task_id, node)
+    out_name: str = ""
+    display_name: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        partials: List[Relation] = []
+        total_in = 0
+        for part_id, part_node in self.parts:
+            relation = context.outputs[part_id]
+            total_in += len(relation)
+            self._receive(
+                context,
+                relation,
+                f"{self.display_name}@{part_node}",
+                part_node,
+                register=False,
+            )
+            partials.append(relation)
+        merged = union_partials(partials, self.display_name)
+        context.charge_compute(total_in, self.node)
+        database = context.network.database(self.node)
+        started = time.perf_counter()
+        output = database.combine_partials(self.query, merged)
+        elapsed = time.perf_counter() - started
+        output.name = self.display_name
+        database.register(self.out_name, output)
+        context.record_execution(
+            self.order,
+            FragmentExecution(
+                fragment_name=f"combine({self.display_name})",
+                node=self.node,
+                level=context.network.topology.node(self.node).level.short_name,
+                sql=f"merge of {len(self.parts)} partial-state relations",
+                input_rows=total_in,
+                output_rows=len(output),
+                elapsed_seconds=elapsed,
+            ),
+        )
+        return output
+
+
+@dataclass
+class FinalizeAggregationTask(Task):
+    """Merge the remaining partial states and emit the fragment's output.
+
+    Runs where the serial oracle runs the GROUP BY fragment; applies
+    HAVING, the select items and ORDER BY over the finalized aggregates,
+    so the output is byte-identical to executing the fragment over the
+    globally merged raw input — which never had to exist.
+    """
+
+    fragment: Optional[QueryFragment] = None
+    query: Optional[ast.Query] = None
+    parts: List[Tuple[str, str]] = field(default_factory=list)  # (task_id, node)
+    out_name: str = ""
+    display_name: str = ""
+
+    def execute(self, context: ExecutionContext) -> Relation:
+        partials: List[Relation] = []
+        total_in = 0
+        for part_id, part_node in self.parts:
+            relation = context.outputs[part_id]
+            total_in += len(relation)
+            self._receive(
+                context,
+                relation,
+                f"{self.display_name}~partial@{part_node}",
+                part_node,
+                register=False,
+            )
+            partials.append(relation)
+        merged = union_partials(partials, f"{self.display_name}~partial")
+        context.charge_compute(total_in, self.node)
+        database = context.network.database(self.node)
+        started = time.perf_counter()
+        output = database.finalize_partials(self.query, merged)
+        elapsed = time.perf_counter() - started
+        output.name = self.display_name
+        database.register(self.out_name, output)
+        context.record_execution(
+            self.order,
+            FragmentExecution(
+                fragment_name=self.display_name,
+                node=self.node,
+                level=self.fragment.level.short_name if self.fragment else "",
+                sql=self.fragment.sql if self.fragment else "",
+                input_rows=total_in,
+                output_rows=len(output),
+                elapsed_seconds=elapsed,
+            ),
+        )
+        return output
+
+
+@dataclass
 class AnonymizeTask(Task):
     """The postprocessing step A on the last in-apartment node."""
 
@@ -354,12 +545,21 @@ def build_execution_dag(
     network: NetworkSimulator,
     anonymize: bool = True,
     namespace: Optional[str] = None,
+    partial_aggregation: bool = True,
 ) -> ExecutionDag:
     """Build the execution DAG for ``plan`` over ``topology``.
 
     ``namespace`` suffixes every intermediate table name (``d1__s3``) so
     concurrent sessions sharing one simulator never clobber each other's
     intermediates; base tables stay un-suffixed (shared, read-only).
+
+    ``partial_aggregation`` enables the distributed GROUP BY protocol:
+    fragments marked :attr:`~repro.fragment.plan.QueryFragment.decomposable`
+    run as per-partition partial aggregation whose mergeable states combine
+    at each tree level (reusing the sibling-lift machinery) and finalize at
+    the fragment's assigned node — no global merge of raw rows ever
+    happens.  ``False`` restores the merge-then-group behaviour (the
+    ablation baseline the pushdown benchmark compares against).
     """
     if not plan.fragments:
         raise ValueError("Cannot build an execution DAG for an empty plan")
@@ -387,6 +587,57 @@ def build_execution_dag(
     partitions: List[Task] = []
     remaining = fragments
 
+    def combine_and_finalize(fragment: QueryFragment, partial_tasks: List[Task]) -> Task:
+        """Lift partial states up the tree, then finalize the fragment.
+
+        Sibling partial-state relations combine at their common parent one
+        tree level at a time (the same lift rule distributive fragments
+        use); whatever states remain merge and finalize where the serial
+        oracle runs the fragment.
+        """
+        partial_name = ns(f"{fragment.name}__partial")
+        current = partial_tasks
+        while len(current) > 1:
+            lifted = _lift_groups(topology, current)
+            if lifted is None:
+                break
+            next_level: List[Task] = []
+            for parent, group in lifted:
+                task_id, order = next_id(f"{fragment.name}~combine[{parent}]")
+                next_level.append(
+                    add(
+                        CombinePartialsTask(
+                            task_id=task_id,
+                            node=parent,
+                            order=order,
+                            deps=[task.task_id for task in group],
+                            kind="combine",
+                            fragment=fragment,
+                            query=fragment.query,
+                            parts=[(task.task_id, task.node) for task in group],
+                            out_name=partial_name,
+                            display_name=f"{fragment.name}~partial",
+                        )
+                    )
+                )
+            current = next_level
+        target = fragment.assigned_node or topology.cloud.name
+        task_id, order = next_id(f"{fragment.name}~finalize")
+        return add(
+            FinalizeAggregationTask(
+                task_id=task_id,
+                node=target,
+                order=order,
+                deps=[task.task_id for task in current],
+                kind="finalize_agg",
+                fragment=fragment,
+                query=fragment.query,
+                parts=[(task.task_id, task.node) for task in current],
+                out_name=ns(fragment.name),
+                display_name=fragment.name,
+            )
+        )
+
     if len(holders) > 1:
         first = fragments[0]
         if first.partitionable:
@@ -408,6 +659,30 @@ def build_execution_dag(
                         )
                     )
                 )
+            remaining = fragments[1:]
+        elif partial_aggregation and first.decomposable:
+            # The bottom fragment is itself a decomposable aggregation:
+            # partial-aggregate every leaf chunk in place, combine states
+            # up the tree, finalize at the assigned node.
+            partial_tasks: List[Task] = []
+            for holder in holders:
+                task_id, order = next_id(f"{first.name}~partial[{holder}]")
+                partial_tasks.append(
+                    add(
+                        PartialAggregateTask(
+                            task_id=task_id,
+                            node=holder,
+                            order=order,
+                            kind="partial",
+                            fragment=first,
+                            query=rebase_table_refs(first.query, base_table, base_table),
+                            in_name=base_table,
+                            out_name=ns(f"{first.name}__partial"),
+                            display_name=f"{first.name}~partial[{holder}]",
+                        )
+                    )
+                )
+            partitions = [combine_and_finalize(first, partial_tasks)]
             remaining = fragments[1:]
         else:
             # Bottom fragment needs the whole relation: gather the raw
@@ -461,8 +736,70 @@ def build_execution_dag(
             ]
             remaining = fragments[1:]
 
-    for fragment in remaining:
+    for index, fragment in enumerate(remaining):
         in_base = fragment.input_name
+        if (
+            len(partitions) > 1
+            and partial_aggregation
+            and fragment.partitionable
+            and _next_blocker_decomposable(remaining, index)
+        ):
+            # A decomposable aggregation is coming: run this distributive
+            # fragment *in place* on every partition instead of lifting, so
+            # the partition is still at the leaves when partial aggregation
+            # starts — only aggregate states will ever climb the tree.
+            in_place: List[Task] = []
+            for previous in partitions:
+                task_id, order = next_id(f"{fragment.name}[{previous.node}]")
+                in_place.append(
+                    add(
+                        FragmentTask(
+                            task_id=task_id,
+                            node=previous.node,
+                            order=order,
+                            deps=[previous.task_id],
+                            kind="fragment",
+                            fragment=fragment,
+                            query=rebase_table_refs(fragment.query, in_base, ns(in_base)),
+                            source_id=previous.task_id,
+                            source_node=previous.node,
+                            in_name=ns(in_base),
+                            out_name=ns(fragment.name),
+                            display_name=f"{fragment.name}[{previous.node}]",
+                        )
+                    )
+                )
+            partitions = in_place
+            continue
+        if len(partitions) > 1 and partial_aggregation and fragment.decomposable:
+            # Decomposable aggregation: keep the partition, aggregate each
+            # chunk into mergeable states where it lives, combine states
+            # per tree level, finalize at the assigned node.  Only group
+            # states cross hops from here on — never the raw rows a global
+            # merge would have shipped.
+            partial_tasks = []
+            for previous in partitions:
+                task_id, order = next_id(f"{fragment.name}~partial[{previous.node}]")
+                partial_tasks.append(
+                    add(
+                        PartialAggregateTask(
+                            task_id=task_id,
+                            node=previous.node,
+                            order=order,
+                            deps=[previous.task_id],
+                            kind="partial",
+                            fragment=fragment,
+                            query=rebase_table_refs(fragment.query, in_base, ns(in_base)),
+                            source_id=previous.task_id,
+                            source_node=previous.node,
+                            in_name=ns(in_base),
+                            out_name=ns(f"{fragment.name}__partial"),
+                            display_name=f"{fragment.name}~partial[{previous.node}]",
+                        )
+                    )
+                )
+            partitions = [combine_and_finalize(fragment, partial_tasks)]
+            continue
         if len(partitions) > 1:
             lifted = _lift_groups(topology, partitions)
             if fragment.partitionable and lifted is not None:
@@ -631,6 +968,20 @@ def build_execution_dag(
     return ExecutionDag(
         tasks=tasks, final_task_id=final.task_id, partition_width=partition_width
     )
+
+
+def _next_blocker_decomposable(fragments: Sequence[QueryFragment], index: int) -> bool:
+    """True when the first non-distributive fragment after ``index`` is a
+    decomposable aggregation.
+
+    Decides whether distributive fragments should stay on their partitions
+    (the aggregation will shrink the data to group states before anything
+    climbs the tree) or follow the default lift-per-level placement.
+    """
+    for fragment in fragments[index + 1 :]:
+        if not fragment.partitionable:
+            return fragment.decomposable
+    return False
 
 
 def _lift_groups(

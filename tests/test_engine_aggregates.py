@@ -1,10 +1,17 @@
 """Tests for aggregate functions, including the SQL:2003 regression family."""
 
 import math
+import random
+import statistics
 
 import pytest
 
-from repro.engine.aggregates import compute_aggregate, is_known_aggregate
+from repro.engine.aggregates import (
+    compute_aggregate,
+    is_decomposable_aggregate,
+    is_known_aggregate,
+    make_accumulator,
+)
 from repro.engine.errors import ExecutionError
 
 
@@ -90,3 +97,161 @@ def test_is_known_aggregate():
     assert is_known_aggregate("avg")
     assert is_known_aggregate("REGR_INTERCEPT")
     assert not is_known_aggregate("UPPER")
+
+
+# ---------------------------------------------------------------------------
+# exact arithmetic and the partial-state protocol
+# ---------------------------------------------------------------------------
+
+
+def _run_accumulator(name, values, **kwargs):
+    accumulator = make_accumulator(
+        name,
+        is_star=kwargs.get("is_star", False),
+        distinct=kwargs.get("distinct", False),
+        arg_count=1,
+    )
+    for value in values:
+        accumulator.add((value,))
+    return accumulator
+
+
+def test_sum_of_large_ints_is_exact():
+    """SUM over ints beyond 2**53 must not round through float.
+
+    This is the compiled ``SumAccumulator`` regression: it used to keep a
+    float running total and cast back with ``int(...)``, silently losing
+    the low bits the batch path (and SQL semantics) preserve.
+    """
+    values = [2**53 + 1, 2**53 + 3, 7, -2**60, 2**60]
+    exact = sum(values)
+    assert float(exact) != exact  # the float detour would corrupt it
+    assert compute_aggregate("SUM", [values]) == exact
+    accumulator = _run_accumulator("SUM", values)
+    assert accumulator.result() == exact
+    assert isinstance(accumulator.result(), int)
+
+
+def test_sum_large_int_partials_merge_exactly():
+    values = [2**53 + 1, 1, 2**53 + 3, 5, -2**57, 2**57 + 11]
+    merged = make_accumulator("SUM", is_star=False, distinct=False, arg_count=1)
+    for split in (values[:2], values[2:3], values[3:]):
+        merged.merge(_run_accumulator("SUM", split).partial())
+    assert merged.finalize() == sum(values)
+
+
+def test_sum_mixed_int_float_matches_batch():
+    values = [2**53 + 1, 0.5, 3, None, 2.25]
+    batch = compute_aggregate("SUM", [values])
+    assert _run_accumulator("SUM", values).result() == batch
+    assert isinstance(batch, float)
+
+
+def test_stddev_variance_match_statistics_module():
+    rng = random.Random(7)
+    data = [rng.uniform(-50, 50) for _ in range(60)]
+    assert compute_aggregate("STDDEV", [data]) == statistics.stdev(data)
+    assert compute_aggregate("STDDEV_POP", [data]) == statistics.pstdev(data)
+    assert compute_aggregate("VARIANCE", [data]) == statistics.variance(data)
+    assert compute_aggregate("VAR_POP", [data]) == statistics.pvariance(data)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "STDDEV_POP", "VARIANCE", "VAR_POP"],
+)
+def test_partial_merge_finalize_matches_batch(name):
+    """Any split of the input must merge into the exact batch result."""
+    rng = random.Random(11)
+    values = [
+        None if rng.random() < 0.25 else round(rng.uniform(-10, 10), 3)
+        for _ in range(120)
+    ]
+    batch = compute_aggregate(name, [values])
+    for cuts in ([40, 80], [1, 2, 119], [0, 60], [120]):
+        merged = make_accumulator(name, is_star=False, distinct=False, arg_count=1)
+        start = 0
+        for cut in cuts + [len(values)]:
+            merged.merge(_run_accumulator(name, values[start:cut]).partial())
+            start = cut
+        assert merged.finalize() == batch
+
+
+def test_count_star_partials():
+    left = make_accumulator("COUNT", is_star=True, distinct=False, arg_count=1)
+    right = make_accumulator("COUNT", is_star=True, distinct=False, arg_count=1)
+    for _ in range(3):
+        left.add((1,))
+    for _ in range(5):
+        right.add((1,))
+    left.merge(right.partial())
+    assert left.finalize() == 8
+
+
+def test_empty_partials_merge_to_empty_result():
+    for name, expected in [("SUM", None), ("AVG", None), ("COUNT", 0), ("MIN", None)]:
+        merged = make_accumulator(name, is_star=False, distinct=False, arg_count=1)
+        for _ in range(3):
+            merged.merge(
+                make_accumulator(name, is_star=False, distinct=False, arg_count=1).partial()
+            )
+        assert merged.finalize() == expected
+
+
+def test_min_max_ties_keep_partition_order_semantics():
+    # MIN keeps the *first* minimal value; merging in partition order must too.
+    left = _run_accumulator("MIN", [1.0])
+    right = _run_accumulator("MIN", [1])  # equal but later
+    left.merge(right.partial())
+    assert left.finalize() == 1.0 and isinstance(left.finalize(), float)
+
+
+def test_sum_avg_non_finite_inputs_match_batch():
+    """inf/nan inputs must not poison the exact expansion into NaN."""
+    inf, nan = float("inf"), float("nan")
+    for values in ([inf, 1.0], [inf, inf, 2.0], [-inf, 1.0]):
+        assert _run_accumulator("SUM", values).result() == compute_aggregate("SUM", [values])
+        assert _run_accumulator("AVG", values).result() == compute_aggregate("AVG", [values])
+    assert math.isnan(_run_accumulator("SUM", [nan, 1.0]).result())
+    assert math.isnan(_run_accumulator("AVG", [inf, nan]).result())
+    # Mixed +inf/-inf raises the same error as the batch fsum path.
+    with pytest.raises(ValueError):
+        compute_aggregate("SUM", [[inf, -inf]])
+    with pytest.raises(ValueError):
+        _run_accumulator("SUM", [inf, -inf]).result()
+    # Non-finite partials merge faithfully too.
+    left = _run_accumulator("SUM", [inf, 1.0])
+    left.merge(_run_accumulator("SUM", [2.0]).partial())
+    assert left.finalize() == inf
+
+
+def test_sum_int_beyond_float_range_stays_exact():
+    """An all-int SUM past float range must not fail on the float image."""
+    values = [10**400, 10**400, -7]
+    expected = sum(values)
+    assert compute_aggregate("SUM", [values]) == expected
+    assert _run_accumulator("SUM", values).result() == expected
+    merged = make_accumulator("SUM", is_star=False, distinct=False, arg_count=1)
+    merged.merge(_run_accumulator("SUM", values[:1]).partial())
+    merged.merge(_run_accumulator("SUM", values[1:]).partial())
+    assert merged.finalize() == expected
+    # Once a float appears the batch path overflows converting the huge int;
+    # the accumulator must raise the same error instead of guessing.
+    mixed = [10**400, 0.5]
+    with pytest.raises(OverflowError):
+        compute_aggregate("SUM", [mixed])
+    with pytest.raises(OverflowError):
+        _run_accumulator("SUM", mixed).result()
+
+
+def test_is_decomposable_aggregate():
+    assert is_decomposable_aggregate("SUM")
+    assert is_decomposable_aggregate("avg")
+    assert is_decomposable_aggregate("STDDEV")
+    assert is_decomposable_aggregate("COUNT", is_star=True)
+    assert not is_decomposable_aggregate("SUM", distinct=True)
+    assert not is_decomposable_aggregate("MEDIAN")
+    assert not is_decomposable_aggregate("REGR_SLOPE", arg_count=2)
+    # DISTINCT/buffered accumulators expose no partial-state protocol.
+    buffered = make_accumulator("SUM", is_star=False, distinct=True, arg_count=1)
+    assert not hasattr(buffered, "partial")

@@ -80,6 +80,30 @@ def test_between_in_like_isnull():
     assert ev("x IS NOT NULL", {"x": None}) is False
 
 
+def test_like_is_case_sensitive():
+    """Standard SQL LIKE must not match across case (it used to ILIKE)."""
+    assert ev("c LIKE 'WALK'", {"c": "walk"}) is False
+    assert ev("c LIKE 'walk'", {"c": "walk"}) is True
+    assert ev("c LIKE 'W%'", {"c": "walk"}) is False
+    assert ev("c NOT LIKE 'WA%'", {"c": "walk"}) is True
+    assert ev("c LIKE 'Wa%'", {"c": "Walk"}) is True
+
+
+def test_like_case_sensitivity_compiled_matches_interpreted():
+    from repro.engine.compile import ExpressionCompiler
+
+    compiler = ExpressionCompiler()
+    for text, scope in [
+        ("c LIKE 'WALK'", {"c": "walk"}),
+        ("c LIKE 'walk'", {"c": "walk"}),
+        ("c LIKE p", {"c": "walk", "p": "W%"}),
+        ("c NOT LIKE 'W_lk'", {"c": "walk"}),
+    ]:
+        expression = parse_expression(text)
+        context = EvaluationContext(scope=scope)
+        assert compiler.compile(expression)(context) == evaluate(expression, context)
+
+
 def test_case_expression():
     assert ev("CASE WHEN z < 1 THEN 'low' ELSE 'high' END", {"z": 0.5}) == "low"
     assert ev("CASE WHEN z < 1 THEN 'low' END", {"z": 2}) is None
