@@ -10,6 +10,9 @@ Three jobs in one entry point:
    ``bench_usecase_rewrite.py``'s R use case) through both execution paths
    (interpreted oracle vs. compiled default) in the same process, and write
    ``BENCH_engine.json`` with median/p90 latencies, rows/sec and speedups.
+   The ``columnar`` section (``bench_columnar.py``) additionally compares
+   the vectorized columnar scans against the row-dict scan baseline on
+   projection/filter/aggregate microbenchmarks at 10k and 100k rows.
    Future PRs compare against this trajectory to prove wins or catch
    regressions.
 3. **Runtime scaling baseline** — run ``bench_runtime_scaling.py`` in quick
@@ -178,6 +181,9 @@ def main(argv: List[str] | None = None) -> int:
         "--skip-runtime", action="store_true", help="skip the runtime scaling baseline"
     )
     parser.add_argument(
+        "--skip-columnar", action="store_true", help="skip the columnar scan section"
+    )
+    parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output path"
     )
     parser.add_argument(
@@ -199,6 +205,11 @@ def main(argv: List[str] | None = None) -> int:
     if not args.skip_suite:
         report["quick_suite"] = run_quick_suite()
     report["workloads"] = run_engine_baseline(args.repeats)
+
+    if not args.skip_columnar:
+        from benchmarks.bench_columnar import run_columnar
+
+        report["columnar"] = run_columnar([10_000, 100_000], repeats=args.repeats)
 
     if not args.skip_runtime:
         from benchmarks.bench_runtime_scaling import run_runtime_scaling

@@ -29,6 +29,11 @@ from repro.engine.executor import (
     execution_mode,
     set_default_execution_mode,
 )
+from repro.engine.vectorized import (
+    set_default_vectorized,
+    vectorized_enabled,
+    vectorized_scans,
+)
 
 __all__ = [
     "EngineError",
@@ -44,4 +49,7 @@ __all__ = [
     "default_execution_mode",
     "execution_mode",
     "set_default_execution_mode",
+    "set_default_vectorized",
+    "vectorized_enabled",
+    "vectorized_scans",
 ]

@@ -372,6 +372,13 @@ def is_known_aggregate(name: str) -> bool:
 # input, and ``finalize()`` (an alias of ``result()``) produces the final
 # value.  Because the underlying arithmetic is exact, any split of the
 # input into partial states merges into the same result as one pass.
+#
+# The vectorized scan paths (:mod:`repro.engine.vectorized`) feed column
+# slices instead of per-row tuples: ``add_many(values)`` consumes a
+# sequence of raw argument values (no tuple boxing) and ``add_many_star(n)``
+# accounts ``n`` star rows.  Both are exact bulk equivalents of repeated
+# ``add`` calls in the same order, so the fast path reproduces the
+# row-at-a-time result bit for bit.
 
 
 class CountStarAccumulator:
@@ -384,6 +391,12 @@ class CountStarAccumulator:
 
     def add(self, values: Tuple[Any, ...]) -> None:
         self.count += 1
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        self.count += len(values)
+
+    def add_many_star(self, count: int) -> None:
+        self.count += count
 
     def result(self) -> int:
         return self.count
@@ -409,6 +422,12 @@ class CountAccumulator:
     def add(self, values: Tuple[Any, ...]) -> None:
         if values[0] is not None:
             self.count += 1
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        if isinstance(values, list):
+            self.count += len(values) - values.count(None)
+        else:
+            self.count += sum(1 for value in values if value is not None)
 
     def result(self) -> int:
         return self.count
@@ -469,6 +488,26 @@ class SumAccumulator:
             _grow_expansion(self.float_parts, as_float)
         else:
             self.specials.add(as_float)
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        for value in values:
+            if value is None:
+                continue
+            self.present = True
+            if _is_int(value):
+                self.int_total += value
+                try:
+                    as_float = float(value)
+                except OverflowError:
+                    self.int_overflow = True
+                    continue
+            else:
+                self.all_int = False
+                as_float = float(value)
+            if math.isfinite(as_float):
+                _grow_expansion(self.float_parts, as_float)
+            else:
+                self.specials.add(as_float)
 
     def result(self) -> Any:
         if not self.present:
@@ -533,6 +572,17 @@ class AvgAccumulator:
             self.specials.add(as_float)
         self.count += 1
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        for value in values:
+            if value is None:
+                continue
+            as_float = float(value)
+            if math.isfinite(as_float):
+                _grow_expansion(self.float_parts, as_float)
+            else:
+                self.specials.add(as_float)
+            self.count += 1
+
     def result(self) -> Any:
         if not self.count:
             return None
@@ -576,6 +626,16 @@ class MinAccumulator:
         elif value < self.best:
             self.best = value
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        for value in values:
+            if value is None:
+                continue
+            if not self.present:
+                self.best = value
+                self.present = True
+            elif value < self.best:
+                self.best = value
+
     def result(self) -> Any:
         return self.best if self.present else None
 
@@ -612,6 +672,16 @@ class MaxAccumulator:
             self.present = True
         elif value > self.best:
             self.best = value
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        for value in values:
+            if value is None:
+                continue
+            if not self.present:
+                self.best = value
+                self.present = True
+            elif value > self.best:
+                self.best = value
 
     def result(self) -> Any:
         return self.best if self.present else None
@@ -665,6 +735,15 @@ class StatAccumulator:
         self.sx += frac
         self.sxx += frac * frac
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        for value in values:
+            if value is None:
+                continue
+            frac = Fraction(float(value))
+            self.n += 1
+            self.sx += frac
+            self.sxx += frac * frac
+
     def result(self) -> Any:
         mss = _moments_mss(self.n, self.sx, self.sxx, sample=self.sample)
         if mss is None:
@@ -702,6 +781,12 @@ class BufferAccumulator:
 
     def add(self, values: Tuple[Any, ...]) -> None:
         self.rows.append(values)
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        self.rows.extend((value,) for value in values)
+
+    def add_many_star(self, count: int) -> None:
+        self.rows.extend([(1,)] * count)
 
     def result(self) -> Any:
         if self.rows:

@@ -76,7 +76,13 @@ class Database:
             if not replace and key in self._tables:
                 raise SchemaError(f"Table already exists: {name}")
             existing = self._tables.get(key)
-            replacement = Relation(schema=relation.schema, rows=relation.to_dicts(), name=name)
+            # Defensive isolation without a deep copy: the columnar layout
+            # makes this an O(#columns) list copy (values shared), so the
+            # pipeline's per-run d1..d4 re-registrations no longer pay a
+            # per-row dict materialization.  Mutations on either side stay
+            # invisible to the other (see tests/test_columnar.py).
+            replacement = relation.copy()
+            replacement.name = name
             self._tables[key] = replacement
             # Re-registering a same-shaped relation (the pipeline's per-run
             # d1..d4 fragments) keeps the executor and its compiled plans warm;

@@ -48,6 +48,14 @@ from repro.engine.join import (
 from repro.engine.schema import ColumnDef, Schema
 from repro.engine.table import Relation
 from repro.engine.types import infer_type
+from repro.engine.vectorized import (
+    build_schema as _build_schema,
+    distinct_rows as _distinct_rows,
+    freeze_value as _freeze,
+    try_execute_partial,
+    try_execute_select,
+    vectorized_enabled,
+)
 from repro.engine.window import compute_window_values
 from repro.sql import ast
 from repro.sql.render import render_expression
@@ -273,6 +281,10 @@ class QueryExecutor:
         self._where_plans: Dict[int, _WherePlan] = {}
         self._partial_plans: Dict[int, _PartialPlan] = {}
         self._qualified_memo: Dict[int, Tuple[ast.Node, bool]] = {}
+        # Vectorized scan plans (repro.engine.vectorized); entries cache the
+        # "ineligible" verdict too, so bailing queries plan only once.
+        self._vector_plans: Dict[int, Tuple[ast.Node, Any]] = {}
+        self._vector_partial_plans: Dict[int, Tuple[ast.Node, Any]] = {}
 
     #: Plan memos are flushed wholesale past this size so a long-lived
     #: executor serving many distinct queries cannot grow without bound.
@@ -360,6 +372,15 @@ class QueryExecutor:
     def _execute_select(
         self, query: ast.SelectQuery, parent: Optional[EvaluationContext]
     ) -> Relation:
+        # Columnar fast path: plain projections, simple predicates and
+        # aggregate scans over a single catalog table evaluate directly on
+        # the column arrays — no row scopes at all.  Ineligible shapes
+        # return None and fall through to the row-at-a-time path below.
+        if self._use_compiled and vectorized_enabled():
+            vectorized = try_execute_select(self, query, parent)
+            if vectorized is not None:
+                return vectorized
+
         # Scopes only need alias-qualified keys when something in the query
         # subtree (including correlated subqueries) uses the qualified form.
         needs_qualified = not self._use_compiled or self._needs_qualified_scopes(query)
@@ -508,41 +529,62 @@ class QueryExecutor:
         needs_qualified: bool = True,
     ) -> Tuple[List[Scope], List[str]]:
         """Return per-row scopes and the ordered unqualified column names."""
+        scopes, columns, _ = self._evaluate_from_sources(relation, parent, needs_qualified)
+        return scopes, columns
+
+    def _evaluate_from_sources(
+        self,
+        relation: Optional[ast.Relation],
+        parent: Optional[EvaluationContext],
+        needs_qualified: bool = True,
+    ) -> Tuple[List[Scope], List[str], Optional[Relation]]:
+        """Like :meth:`_evaluate_from`, plus the backing columnar relation.
+
+        The backing is the source :class:`Relation` when the FROM item is a
+        single catalog table or derived table (one scope per row, in row
+        order) — the hash-join fast path builds its key arrays from the
+        backing's columns instead of probing every scope dict.  Join trees
+        return ``None``.
+        """
         if relation is None:
-            return [{}], []
+            return [{}], [], None
         if isinstance(relation, ast.TableRef):
             table = self.lookup_table(relation.name)
-            scopes = _scoped_rows(
-                table.rows,
-                table.schema.names,
+            scopes = _relation_scopes(
+                table,
                 relation.effective_name if needs_qualified else "",
                 allow_reuse=self._use_compiled,
             )
-            return scopes, list(table.schema.names)
+            return scopes, list(table.schema.names), table
         if isinstance(relation, ast.SubqueryRef):
             result = self._execute_query(relation.query, parent)
-            scopes = _scoped_rows(
-                result.rows,
-                result.schema.names,
+            scopes = _relation_scopes(
+                result,
                 (relation.alias or "") if needs_qualified else "",
                 allow_reuse=self._use_compiled,
             )
-            return scopes, list(result.schema.names)
+            return scopes, list(result.schema.names), result
         if isinstance(relation, ast.Join):
-            return self._evaluate_join(relation, parent, needs_qualified)
+            scopes, columns = self._evaluate_join(relation, parent, needs_qualified)
+            return scopes, columns, None
         raise ExecutionError(f"Cannot evaluate FROM item of type {type(relation).__name__}")
 
     def _evaluate_join(
         self, join: ast.Join, parent: Optional[EvaluationContext], needs_qualified: bool = True
     ) -> Tuple[List[Scope], List[str]]:
-        left_scopes, left_columns = self._evaluate_from(join.left, parent, needs_qualified)
-        right_scopes, right_columns = self._evaluate_from(join.right, parent, needs_qualified)
+        left_scopes, left_columns, left_backing = self._evaluate_from_sources(
+            join.left, parent, needs_qualified
+        )
+        right_scopes, right_columns, right_backing = self._evaluate_from_sources(
+            join.right, parent, needs_qualified
+        )
         join_type = join.join_type.upper()
         columns = left_columns + [c for c in right_columns if c not in left_columns]
 
         if self._use_compiled:
             combined = self._join_compiled(
-                join, join_type, left_scopes, right_scopes, left_columns, right_columns, parent
+                join, join_type, left_scopes, right_scopes, left_columns, right_columns, parent,
+                left_backing, right_backing,
             )
             return combined, columns
 
@@ -615,11 +657,14 @@ class QueryExecutor:
         left_columns: List[str],
         right_columns: List[str],
         parent: Optional[EvaluationContext],
+        left_backing: Optional[Relation] = None,
+        right_backing: Optional[Relation] = None,
     ) -> List[Scope]:
         if left_scopes and right_scopes and join_type in {"INNER", "LEFT", "RIGHT", "FULL"}:
             try:
                 combined = self._try_hash_join(
-                    join, join_type, left_scopes, right_scopes, left_columns, right_columns, parent
+                    join, join_type, left_scopes, right_scopes, left_columns, right_columns,
+                    parent, left_backing, right_backing,
                 )
                 if combined is not None:
                     return combined
@@ -628,6 +673,44 @@ class QueryExecutor:
         return self._nested_loop_join_compiled(
             join, join_type, left_scopes, right_scopes, left_columns, right_columns, parent
         )
+
+    @staticmethod
+    def _backed_key_arrays(
+        backing: Optional[Relation],
+        scopes: List[Scope],
+        exprs: Sequence[ast.Expression],
+        keep_nulls: bool,
+    ) -> Optional[List[Optional[Tuple[Any, ...]]]]:
+        """Per-row join key tuples built straight from the backing columns.
+
+        Possible when the join side is a single table/derived relation (one
+        scope per row) and every key expression is a plain column of it —
+        then the hash table is built from the column arrays, with no
+        per-scope closure calls.  ``keep_nulls`` selects USING semantics
+        (``None == None`` matches) over ON semantics (NULL keys match
+        nothing, signalled as a ``None`` key).
+        """
+        if backing is None or len(backing) != len(scopes):
+            return None
+        arrays = []
+        for expression in exprs:
+            if not isinstance(expression, ast.Column):
+                return None
+            array = backing.column_array(expression.name)
+            if array is None:
+                return None
+            arrays.append(array)
+        if len(arrays) == 1:
+            array = arrays[0]
+            if keep_nulls:
+                return [(value,) for value in array]
+            return [None if value is None else (value,) for value in array]
+        if keep_nulls:
+            return list(zip(*arrays))
+        return [
+            None if any(value is None for value in values) else values
+            for values in zip(*arrays)
+        ]
 
     def _try_hash_join(
         self,
@@ -638,20 +721,32 @@ class QueryExecutor:
         left_columns: List[str],
         right_columns: List[str],
         parent: Optional[EvaluationContext],
+        left_backing: Optional[Relation] = None,
+        right_backing: Optional[Relation] = None,
     ) -> Optional[List[Scope]]:
         compiler = self._compiler
         assert compiler is not None
         residual_fn: Optional[Callable[[Scope], bool]] = None
+        left_key: Optional[Callable[[Scope], Optional[Tuple[Any, ...]]]] = None
+        right_key: Optional[Callable[[Scope], Optional[Tuple[Any, ...]]]] = None
 
         if join.using:
             using = [name.lower() for name in join.using]
-
+            using_columns = [ast.Column(name=name) for name in using]
             # USING compares with ``==`` where None matches None, so keys keep
             # their None values instead of signalling "no match".
-            def left_key(scope: Scope) -> Tuple[Any, ...]:
-                return tuple(scope.get(key) for key in using)
+            left_keys = self._backed_key_arrays(
+                left_backing, left_scopes, using_columns, keep_nulls=True
+            )
+            right_keys = self._backed_key_arrays(
+                right_backing, right_scopes, using_columns, keep_nulls=True
+            )
+            if left_keys is None or right_keys is None:
+                def using_key(scope: Scope) -> Tuple[Any, ...]:
+                    return tuple(scope.get(key) for key in using)
 
-            right_key = left_key
+                left_key = right_key = using_key
+                left_keys = right_keys = None
         else:
             if join.condition is None:
                 return None
@@ -660,10 +755,12 @@ class QueryExecutor:
             )
             if plan is None:
                 return None
-            left_fns = [compiler.compile(expression) for expression in plan.left_exprs]
-            right_fns = [compiler.compile(expression) for expression in plan.right_exprs]
-            left_context = self._fresh_context(parent)
-            right_context = self._fresh_context(parent)
+            left_keys = self._backed_key_arrays(
+                left_backing, left_scopes, plan.left_exprs, keep_nulls=False
+            )
+            right_keys = self._backed_key_arrays(
+                right_backing, right_scopes, plan.right_exprs, keep_nulls=False
+            )
 
             def make_key(
                 fns: List[CompiledExpr], context: EvaluationContext
@@ -680,8 +777,12 @@ class QueryExecutor:
 
                 return key
 
-            left_key = make_key(left_fns, left_context)
-            right_key = make_key(right_fns, right_context)
+            if left_keys is None:
+                left_fns = [compiler.compile(expression) for expression in plan.left_exprs]
+                left_key = make_key(left_fns, self._fresh_context(parent))
+            if right_keys is None:
+                right_fns = [compiler.compile(expression) for expression in plan.right_exprs]
+                right_key = make_key(right_fns, self._fresh_context(parent))
             if plan.residual is not None:
                 residual_pred = compiler.compile_predicate(plan.residual)
                 residual_context = self._fresh_context(parent)
@@ -699,6 +800,8 @@ class QueryExecutor:
             residual=residual_fn,
             left_null=_null_scope(left_columns, left_scopes),
             right_null=_null_scope(right_columns, right_scopes),
+            left_keys=left_keys,
+            right_keys=right_keys,
         )
 
     def _nested_loop_join_compiled(
@@ -1138,6 +1241,10 @@ class QueryExecutor:
         if self._compiler is not None:
             self._compiler.new_execution()
         plan = self._partial_plan(query)
+        if self._use_compiled and vectorized_enabled():
+            vectorized = try_execute_partial(self, query)
+            if vectorized is not None:
+                return vectorized
         needs_qualified = not self._use_compiled or self._needs_qualified_scopes(query)
         scopes, _ = self._evaluate_from(query.from_clause, None, needs_qualified)
         if query.where is not None:
@@ -1545,54 +1652,32 @@ class _OrderKey:
         return isinstance(other, _OrderKey) and self.value == other.value
 
 
-def _scoped_rows(
-    rows: Sequence[Mapping[str, Any]],
-    column_names: Sequence[str],
-    qualifier: str,
-    allow_reuse: bool = False,
-) -> List[Scope]:
-    """Build per-row scope dicts with keys lowered once, not once per row.
+def _relation_scopes(relation: Relation, qualifier: str, allow_reuse: bool) -> List[Scope]:
+    """Per-row scope dicts built straight from a relation's column arrays.
 
-    With ``allow_reuse`` (compiled path) a row dict whose keys already are
-    exactly the lower-cased column names is used as its own scope — scopes are
-    read-only throughout the executor, so no copy is needed.  The interpreted
-    oracle always builds fresh dicts.
+    Keys are lowered once per relation, and rows materialize via C-level
+    ``zip`` over the columns.  With ``allow_reuse`` (compiled path) the
+    unqualified scopes come from :meth:`Relation.scope_rows`, which caches
+    them on the relation until it mutates — scopes are read-only throughout
+    the executor, so repeated executions over the same table pay zero scope
+    construction.  The interpreted oracle always builds fresh dicts.
     """
-    lowered = [name.lower() for name in column_names]
-    pairs = list(zip(column_names, lowered))
+    names = relation.schema.names
+    if not names:
+        return [{} for _ in range(len(relation))]
+    lowered = [name.lower() for name in names]
     if qualifier:
         prefix = qualifier.lower()
-        triples = [(name, low, f"{prefix}.{low}") for name, low in pairs]
-        scopes: List[Scope] = []
-        for row in rows:
-            scope: Scope = {}
-            for name, low, qualified in triples:
-                value = row.get(name)
-                scope[low] = value
-                scope[qualified] = value
-            scopes.append(scope)
-        return scopes
-    if allow_reuse and lowered == list(column_names):
-        expected = set(lowered)
-        scopes = []
-        for row in rows:
-            if row.keys() == expected:
-                scopes.append(row)  # type: ignore[arg-type]
-            else:
-                scopes.append({low: row.get(name) for name, low in pairs})
-        return scopes
-    return [{low: row.get(name) for name, low in pairs} for row in rows]
+        keys = lowered + [f"{prefix}.{low}" for low in lowered]
+        return [dict(zip(keys, values + values)) for values in zip(*relation.columns())]
+    if allow_reuse:
+        return relation.scope_rows()
+    return [dict(zip(lowered, values)) for values in zip(*relation.columns())]
 
 
 def _null_scope(columns: Sequence[str], scopes: List[Scope]) -> Scope:
     template = scopes[0] if scopes else {name.lower(): None for name in columns}
     return {key: None for key in template}
-
-
-def _freeze(value: Any) -> Any:
-    if isinstance(value, (list, dict, set)):
-        return str(value)
-    return value
 
 
 def _freeze_tuple(row: Tuple[Any, ...]) -> Tuple[Any, ...]:
@@ -1610,25 +1695,6 @@ def _unique(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
     return result
 
 
-def _distinct_rows(rows: List[Dict[str, Any]], names: List[str]) -> List[Dict[str, Any]]:
-    seen: set = set()
-    result = []
-    for row in rows:
-        key = tuple(_freeze(row.get(name)) for name in names)
-        if key not in seen:
-            seen.add(key)
-            result.append(row)
-    return result
-
-
-def _build_schema(names: List[str], rows: List[Dict[str, Any]]) -> Schema:
-    columns = []
-    for name in names:
-        data_type = None
-        for row in rows:
-            value = row.get(name)
-            if value is not None:
-                data_type = infer_type(value)
-                break
-        columns.append(ColumnDef(name=name, data_type=data_type or infer_type(0.0)))
-    return Schema(columns)
+# _build_schema / _distinct_rows / _freeze live in repro.engine.vectorized
+# (imported above) so the columnar fast paths and the row-at-a-time tail
+# share one implementation and can never drift apart.

@@ -171,32 +171,43 @@ def _column_side(
 def hash_join(
     left_scopes: Sequence[Scope],
     right_scopes: Sequence[Scope],
-    left_key: KeyFunction,
-    right_key: KeyFunction,
+    left_key: Optional[KeyFunction],
+    right_key: Optional[KeyFunction],
     join_type: str = "INNER",
     residual: Optional[Callable[[Scope], bool]] = None,
     left_null: Optional[Scope] = None,
     right_null: Optional[Scope] = None,
+    left_keys: Optional[Sequence[Optional[Tuple[Any, ...]]]] = None,
+    right_keys: Optional[Sequence[Optional[Tuple[Any, ...]]]] = None,
 ) -> List[Scope]:
     """Hash equi-join producing merged scopes in nested-loop order.
 
     Args:
         left_scopes: Probe-side scopes (outer loop of the oracle).
         right_scopes: Build-side scopes.
-        left_key: Key extractor for left scopes (None = matches nothing).
+        left_key: Key extractor for left scopes (None key = matches
+            nothing).  May be ``None`` when ``left_keys`` is given.
         right_key: Key extractor for right scopes.
         join_type: INNER | LEFT | RIGHT | FULL.
         residual: Optional predicate over the merged scope for non-equi
             conjuncts of the ON condition.
         left_null: All-None scope used to pad unmatched right rows.
         right_null: All-None scope used to pad unmatched left rows.
+        left_keys: Precomputed key tuples aligned with ``left_scopes``.
+            When the join side is backed by a columnar relation and the key
+            expressions are plain columns, the executor builds these
+            straight from the column arrays, skipping per-scope closure
+            calls entirely.
+        right_keys: Precomputed key tuples aligned with ``right_scopes``.
 
     Raises:
         UnhashableJoinKey: When a key value is not hashable.
     """
     table: Dict[Tuple[Any, ...], List[int]] = {}
-    for index, scope in enumerate(right_scopes):
-        key = right_key(scope)
+    if right_keys is None:
+        assert right_key is not None
+        right_keys = [right_key(scope) for scope in right_scopes]
+    for index, key in enumerate(right_keys):
         if key is None:
             continue
         try:
@@ -210,12 +221,13 @@ def hash_join(
     right_null = right_null or {}
     left_null = left_null or {}
 
-    for left_scope in left_scopes:
-        key = left_key(left_scope)
+    table_get = table.get
+    for left_index, left_scope in enumerate(left_scopes):
+        key = left_keys[left_index] if left_keys is not None else left_key(left_scope)
         matched = False
         if key is not None:
             try:
-                bucket = table.get(key, ())
+                bucket = table_get(key, ())
             except TypeError as exc:
                 raise UnhashableJoinKey(str(exc)) from exc
             for right_index in bucket:

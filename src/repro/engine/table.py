@@ -1,29 +1,189 @@
-"""The :class:`Relation` row container used throughout the reproduction.
+"""The :class:`Relation` container used throughout the reproduction.
 
-A relation couples a :class:`~repro.engine.schema.Schema` with a list of rows.
-Rows are plain dictionaries keyed by (unqualified) column name, which keeps the
-executor, the anonymizers and the metrics simple and debuggable.
+A relation couples a :class:`~repro.engine.schema.Schema` with row data.
+Storage is **columnar**: one Python list per column, in schema order.  The
+scan-bound hot paths of the compiled engine (projections, simple predicates,
+aggregate scans, hash-join key builds) and the runtime's chunk/merge
+machinery read and slice these arrays directly, paying no per-row dict
+allocation or hashing.
+
+Row-oriented consumers (anonymizers, metrics, policy checks, tests) keep
+working unchanged through a lazy façade:
+
+* ``relation.rows`` is a :class:`RowsView` — a live sequence that supports
+  ``len``/iteration/indexing/slicing/``append``/``extend`` and compares equal
+  to a list of plain dicts.
+* Indexing or iterating yields :class:`RowView` — a mutable mapping over one
+  row whose reads and writes go straight to the column arrays (mutating a
+  view mutates the relation, exactly like the former stored dicts).
+* ``to_dicts()`` materializes plain dict rows on demand (copies).
+
+Column lookup is case-insensitive (mirroring :class:`Schema`); keys not in
+the schema raise ``KeyError`` from views.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Sequence,
+)
 
 from repro.engine.errors import SchemaError
 from repro.engine.schema import ColumnDef, Schema
-from repro.engine.types import DataType
+from repro.engine.wire import WireFormatError, packed_size
 
 Row = Dict[str, Any]
 
 
-@dataclass
-class Relation:
-    """A named, schema-carrying bag of rows."""
+class RowView(MutableMapping):
+    """A mapping façade over one row of a columnar :class:`Relation`.
 
-    schema: Schema
-    rows: List[Row] = field(default_factory=list)
-    name: str = ""
+    Reads and writes resolve to the backing column arrays; keys are the
+    schema's column names (original spelling), and lookup is
+    case-insensitive.  Deleting or adding keys is not supported — the row
+    shape is the relation's schema.
+    """
+
+    __slots__ = ("_relation", "_index")
+
+    def __init__(self, relation: "Relation", index: int) -> None:
+        self._relation = relation
+        self._index = index
+
+    def __getitem__(self, key: str) -> Any:
+        column = self._relation._column_for(key)
+        if column is None:
+            raise KeyError(key)
+        return column[self._index]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        column = self._relation._column_for(key)
+        if column is None:
+            raise KeyError(f"Cannot add column {key!r} through a row view")
+        column[self._index] = value
+        self._relation._bump()
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("Cannot delete columns through a row view")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relation.schema.names)
+
+    def __len__(self) -> int:
+        return len(self._relation.schema)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self._relation._column_for(key) is not None
+
+    def to_dict(self) -> Row:
+        """The row as a plain dict (copy), keyed by schema column names."""
+        relation = self._relation
+        index = self._index
+        return {
+            name: column[index]
+            for name, column in zip(relation.schema.names, relation._columns)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowView({self.to_dict()!r})"
+
+
+class RowsView:
+    """A live, list-like view of a relation's rows.
+
+    Supports the idioms the former ``List[Dict]`` storage allowed:
+    ``len(rows)``, iteration, ``rows[i]`` (a :class:`RowView`),
+    ``rows[a:b]`` (a list of views), ``rows.append(mapping)``,
+    ``rows.extend(...)`` and equality against lists of dicts.
+    """
+
+    __slots__ = ("_relation",)
+
+    def __init__(self, relation: "Relation") -> None:
+        self._relation = relation
+
+    def __len__(self) -> int:
+        return self._relation._nrows
+
+    def __bool__(self) -> bool:
+        return self._relation._nrows > 0
+
+    def __iter__(self) -> Iterator[RowView]:
+        relation = self._relation
+        for index in range(relation._nrows):
+            yield RowView(relation, index)
+
+    def __getitem__(self, index):
+        relation = self._relation
+        if isinstance(index, slice):
+            return [RowView(relation, i) for i in range(*index.indices(relation._nrows))]
+        if index < 0:
+            index += relation._nrows
+        if not 0 <= index < relation._nrows:
+            raise IndexError("row index out of range")
+        return RowView(relation, index)
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Append one row (missing schema columns become None)."""
+        self._relation._append_row(row)
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        for row in rows:
+            self._relation._append_row(row)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RowsView):
+            other = list(other)
+        if not isinstance(other, (list, tuple)):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowsView({[dict(row) for row in self]!r})"
+
+
+class Relation:
+    """A named, schema-carrying bag of rows with columnar backing."""
+
+    __slots__ = ("schema", "name", "_columns", "_index_by_name", "_nrows", "_version", "_scope_cache")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Optional[Iterable[Mapping[str, Any]]] = None,
+        name: str = "",
+    ) -> None:
+        self.schema = schema
+        self.name = name
+        self._index_by_name = {
+            column.name.lower(): position for position, column in enumerate(schema.columns)
+        }
+        self._version = 0
+        self._scope_cache: Optional[tuple] = None
+        if rows is None:
+            self._columns: List[List[Any]] = [[] for _ in schema.columns]
+            self._nrows = 0
+        elif isinstance(rows, RowsView):
+            source = rows._relation
+            self._columns = source._aligned_column_copies(schema)
+            self._nrows = source._nrows
+        else:
+            self._columns, self._nrows = _columns_from_rows(schema, rows)
 
     # ------------------------------------------------------------------
     # constructors
@@ -35,28 +195,73 @@ class Relation:
         name: str = "",
         schema: Optional[Schema] = None,
     ) -> "Relation":
-        """Build a relation from dict rows, inferring the schema if needed."""
-        materialized = [dict(row) for row in rows]
+        """Build a relation from mapping rows, inferring the schema if needed."""
+        materialized = list(rows)
         if schema is None:
             schema = Schema.infer(materialized)
         return cls(schema=schema, rows=materialized, name=name)
 
     @classmethod
+    def from_columns(
+        cls, schema: Schema, columns: Sequence[List[Any]], name: str = ""
+    ) -> "Relation":
+        """Build a relation directly from per-column value lists.
+
+        Takes ownership of ``columns`` (no copy) — the fast constructor the
+        vectorized scan paths and the chunk/merge machinery use.  All columns
+        must have equal length and align positionally with ``schema``.
+        """
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"Expected {len(schema)} columns, got {len(columns)}"
+            )
+        relation = cls(schema=schema, rows=None, name=name)
+        columns = list(columns)
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"Ragged columns: lengths {sorted(lengths)}")
+        relation._columns = columns
+        relation._nrows = lengths.pop() if lengths else 0
+        return relation
+
+    @classmethod
     def empty(cls, schema: Schema, name: str = "") -> "Relation":
         """Return a relation with no rows."""
-        return cls(schema=schema, rows=[], name=name)
+        return cls(schema=schema, rows=None, name=name)
 
     # ------------------------------------------------------------------
     # basic protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._nrows
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[RowView]:
         return iter(self.rows)
 
-    def __getitem__(self, index: int) -> Row:
+    def __getitem__(self, index: int) -> RowView:
         return self.rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.name == other.name
+            and self._columns == other._columns
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation(name={self.name!r}, rows={self._nrows}, columns={self.schema.names!r})"
+
+    @property
+    def rows(self) -> RowsView:
+        """Live row-oriented view of the columnar data."""
+        return RowsView(self)
+
+    @rows.setter
+    def rows(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        self._columns, self._nrows = _columns_from_rows(self.schema, rows)
+        self._bump()
 
     @property
     def column_names(self) -> List[str]:
@@ -64,32 +269,105 @@ class Relation:
         return self.schema.names
 
     def column_values(self, name: str) -> List[Any]:
-        """Return all values of one column (in row order)."""
-        if name not in self.schema:
+        """Return all values of one column (in row order; a copy)."""
+        column = self._column_for(name)
+        if column is None:
             raise SchemaError(f"Unknown column: {name}")
-        key = self._resolve_key(name)
-        return [row.get(key) for row in self.rows]
+        return list(column)
 
-    def _resolve_key(self, name: str) -> str:
-        return self.schema.column(name).name
+    # ------------------------------------------------------------------
+    # columnar accessors (engine-internal hot paths)
+    # ------------------------------------------------------------------
+    def columns(self) -> List[List[Any]]:
+        """The live column arrays in schema order.
+
+        Callers outside this module must treat the arrays as read-only;
+        writes bypass the version counter that guards the scope cache.
+        """
+        return self._columns
+
+    def column_array(self, name: str) -> Optional[List[Any]]:
+        """The live value array of ``name`` (case-insensitive), or None."""
+        return self._column_for(name)
+
+    def _column_for(self, name: str) -> Optional[List[Any]]:
+        position = self._index_by_name.get(name.lower())
+        if position is None:
+            return None
+        return self._columns[position]
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._scope_cache = None
+
+    def _append_row(self, row: Mapping[str, Any]) -> None:
+        for name, column in zip(self.schema.names, self._columns):
+            column.append(row.get(name))
+        self._nrows += 1
+        self._bump()
+
+    def _aligned_column_copies(self, schema: Schema) -> List[List[Any]]:
+        """Column copies aligned (by lower-cased name) to ``schema``'s order."""
+        copies: List[List[Any]] = []
+        for column_def in schema.columns:
+            column = self._column_for(column_def.name)
+            copies.append(list(column) if column is not None else [None] * self._nrows)
+        return copies
+
+    def scope_rows(self) -> List[Dict[str, Any]]:
+        """Per-row scope dicts keyed by lower-cased column names (cached).
+
+        The compiled executor reuses these dicts as read-only row scopes
+        across repeated executions — the columnar equivalent of reusing the
+        stored row dicts.  Any mutation of the relation (append, row-view
+        write, rows replacement) invalidates the cache.
+        """
+        cached = self._scope_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        lowered = [name.lower() for name in self.schema.names]
+        if not lowered:
+            scopes: List[Dict[str, Any]] = [{} for _ in range(self._nrows)]
+        else:
+            scopes = [dict(zip(lowered, values)) for values in zip(*self._columns)]
+        self._scope_cache = (self._version, scopes)
+        return scopes
+
+    def slice_rows(self, start: int, stop: Optional[int] = None, name: str = "") -> "Relation":
+        """A new relation holding the contiguous row range ``[start, stop)``."""
+        return Relation.from_columns(
+            self.schema,
+            [column[start:stop] for column in self._columns],
+            name=name or self.name,
+        )
+
+    def take_rows(self, indices: Sequence[int], name: str = "") -> "Relation":
+        """A new relation holding the given rows, in the given order."""
+        return Relation.from_columns(
+            self.schema,
+            [[column[i] for i in indices] for column in self._columns],
+            name=name or self.name,
+        )
 
     # ------------------------------------------------------------------
     # functional operators (each returns a new relation)
     # ------------------------------------------------------------------
-    def select(self, predicate: Callable[[Row], bool], name: str = "") -> "Relation":
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool], name: str = "") -> "Relation":
         """Return only the rows for which ``predicate`` is true."""
-        return Relation(
-            schema=self.schema,
-            rows=[dict(row) for row in self.rows if predicate(row)],
-            name=name or self.name,
-        )
+        rows = self.rows
+        kept = [i for i in range(self._nrows) if predicate(rows[i])]
+        return self.take_rows(kept, name=name or self.name)
 
     def project(self, names: Sequence[str], name: str = "") -> "Relation":
         """Keep only the given columns."""
         schema = self.schema.project(names)
-        keys = [self._resolve_key(column) for column in names]
-        rows = [{key: row.get(key) for key in keys} for row in self.rows]
-        return Relation(schema=schema, rows=rows, name=name or self.name)
+        columns = []
+        for column_name in names:
+            column = self._column_for(column_name)
+            if column is None:
+                raise SchemaError(f"Unknown column: {column_name}")
+            columns.append(list(column))
+        return Relation.from_columns(schema, columns, name=name or self.name)
 
     def drop(self, names: Sequence[str], name: str = "") -> "Relation":
         """Remove the given columns."""
@@ -97,39 +375,39 @@ class Relation:
         return self.project(remaining, name=name)
 
     def rename(self, mapping: Mapping[str, str], name: str = "") -> "Relation":
-        """Rename columns according to ``mapping``."""
+        """Rename columns according to ``mapping`` (values are shared copies)."""
         schema = self.schema.rename(mapping)
-        lowered = {key.lower(): value for key, value in mapping.items()}
-        rows = []
-        for row in self.rows:
-            rows.append({lowered.get(key.lower(), key): value for key, value in row.items()})
-        return Relation(schema=schema, rows=rows, name=name or self.name)
+        return Relation.from_columns(
+            schema, [list(column) for column in self._columns], name=name or self.name
+        )
 
     def limit(self, count: int) -> "Relation":
         """Return the first ``count`` rows."""
-        return Relation(schema=self.schema, rows=[dict(r) for r in self.rows[:count]], name=self.name)
+        return self.slice_rows(0, count)
 
-    def order_by(self, key: Callable[[Row], Any], reverse: bool = False) -> "Relation":
+    def order_by(self, key: Callable[[Mapping[str, Any]], Any], reverse: bool = False) -> "Relation":
         """Return a relation sorted by ``key``."""
-        return Relation(
-            schema=self.schema,
-            rows=sorted((dict(r) for r in self.rows), key=key, reverse=reverse),
-            name=self.name,
-        )
+        rows = self.rows
+        indices = sorted(range(self._nrows), key=lambda i: key(rows[i]), reverse=reverse)
+        return self.take_rows(indices)
 
-    def map_rows(self, mapper: Callable[[Row], Row], schema: Optional[Schema] = None) -> "Relation":
-        """Apply ``mapper`` to every row, optionally with a new schema."""
-        rows = [mapper(dict(row)) for row in self.rows]
-        return Relation(schema=schema or self.schema, rows=rows, name=self.name)
+    def map_rows(
+        self, mapper: Callable[[Row], Row], schema: Optional[Schema] = None
+    ) -> "Relation":
+        """Apply ``mapper`` to every row (as a dict), optionally with a new schema."""
+        mapped = [mapper(row.to_dict()) for row in self.rows]
+        return Relation(schema=schema or self.schema, rows=mapped, name=self.name)
 
     def copy(self) -> "Relation":
-        """Deep-ish copy (rows are copied, values shared)."""
-        return Relation(schema=self.schema, rows=[dict(row) for row in self.rows], name=self.name)
+        """Copy with fresh column arrays (values shared, structure private)."""
+        return Relation.from_columns(
+            self.schema, [list(column) for column in self._columns], name=self.name
+        )
 
     def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
         """Append rows in place (used by stream buffers and simulators)."""
         for row in rows:
-            self.rows.append(dict(row))
+            self._append_row(row)
 
     # ------------------------------------------------------------------
     # measurement helpers used by the benchmarks
@@ -137,47 +415,66 @@ class Relation:
     @property
     def cell_count(self) -> int:
         """Total number of cells (rows × columns)."""
-        return len(self.rows) * len(self.schema)
+        return self._nrows * len(self.schema)
 
     def estimated_bytes(self) -> int:
         """Rough wire-size estimate used for the data-transfer benchmarks.
 
         Numbers count as 8 bytes, booleans as 1, strings/timestamps as their
-        textual length.  The absolute values do not matter; the benchmarks
+        textual length.  Partial aggregate states — tuples and Fractions —
+        count at their packed-struct size (:mod:`repro.engine.wire`), not
+        their repr text, so the cost model charges shipped group states
+        realistically.  Absolute values do not matter; the benchmarks
         compare ratios between configurations.
         """
         sizes = {type(None): 1, bool: 1, int: 8, float: 8}
         total = 0
-        for row in self.rows:
-            for value in row.values():
+        for column in self._columns:
+            for value in column:
                 size = sizes.get(type(value))
-                total += size if size is not None else len(str(value))
+                if size is not None:
+                    total += size
+                elif isinstance(value, tuple):
+                    try:
+                        total += packed_size(value)
+                    except WireFormatError:
+                        # Tuples holding values outside the state vocabulary
+                        # (not aggregate states) keep the textual estimate.
+                        total += len(str(value))
+                else:
+                    total += len(str(value))
         return total
 
     def to_dicts(self) -> List[Row]:
         """Return rows as a list of plain dicts (copies)."""
-        return [dict(row) for row in self.rows]
+        names = self.schema.names
+        if not names:
+            return [{} for _ in range(self._nrows)]
+        return [dict(zip(names, values)) for values in zip(*self._columns)]
 
     def distinct(self) -> "Relation":
         """Return a relation with duplicate rows removed (order-preserving)."""
         seen = set()
-        rows: List[Row] = []
-        for row in self.rows:
-            key = tuple((name, _hashable(row.get(name))) for name in self.schema.names)
+        kept: List[int] = []
+        names = self.schema.names
+        for index, values in enumerate(zip(*self._columns) if names else ()):
+            key = tuple(zip(names, map(_hashable, values)))
             if key not in seen:
                 seen.add(key)
-                rows.append(dict(row))
-        return Relation(schema=self.schema, rows=rows, name=self.name)
+                kept.append(index)
+        return self.take_rows(kept)
 
     def head(self, count: int = 5) -> List[Row]:
         """Return the first ``count`` rows (for examples and debugging)."""
-        return self.to_dicts()[:count]
+        return self.slice_rows(0, count).to_dicts()
 
     def pretty(self, max_rows: int = 10) -> str:
         """Render the relation as a fixed-width text table."""
         names = self.schema.names
-        rows = self.rows[:max_rows]
-        cells = [[_format_cell(row.get(name)) for name in names] for row in rows]
+        cells = [
+            [_format_cell(value) for value in values]
+            for values in zip(*(column[:max_rows] for column in self._columns))
+        ]
         widths = [
             max(len(name), *(len(row[i]) for row in cells)) if cells else len(name)
             for i, name in enumerate(names)
@@ -187,9 +484,23 @@ class Relation:
         lines = [header, separator]
         for row in cells:
             lines.append(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
-        if len(self.rows) > max_rows:
-            lines.append(f"... ({len(self.rows)} rows total)")
+        if self._nrows > max_rows:
+            lines.append(f"... ({self._nrows} rows total)")
         return "\n".join(lines)
+
+
+def _columns_from_rows(
+    schema: Schema, rows: Iterable[Mapping[str, Any]]
+) -> tuple:
+    """Materialize mapping rows into per-column lists, in schema order."""
+    names = schema.names
+    columns: List[List[Any]] = [[] for _ in names]
+    count = 0
+    for row in rows:
+        count += 1
+        for position, name in enumerate(names):
+            columns[position].append(row.get(name))
+    return columns, count
 
 
 def _hashable(value: Any) -> Any:
@@ -211,11 +522,11 @@ def concat(relations: Sequence[Relation], name: str = "") -> Relation:
     if not relations:
         raise SchemaError("Cannot concatenate zero relations")
     first = relations[0]
-    rows: List[Row] = []
+    expected = [n.lower() for n in first.schema.names]
+    columns: List[List[Any]] = [[] for _ in expected]
     for relation in relations:
-        if [n.lower() for n in relation.schema.names] != [
-            n.lower() for n in first.schema.names
-        ]:
+        if [n.lower() for n in relation.schema.names] != expected:
             raise SchemaError("Relations have different schemas")
-        rows.extend(dict(row) for row in relation.rows)
-    return Relation(schema=first.schema, rows=rows, name=name or first.name)
+        for position, column in enumerate(relation.columns()):
+            columns[position].extend(column)
+    return Relation.from_columns(first.schema, columns, name=name or first.name)

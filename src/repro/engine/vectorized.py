@@ -1,0 +1,975 @@
+"""Vectorized scan/aggregate fast paths over columnar relations.
+
+The compiled executor's default path still walks one row scope at a time:
+every scanned row costs a scope dict, a closure call per expression and a
+tuple per aggregate feed.  For the most common fragment shapes — a plain
+projection, a conjunction of simple comparisons, a GROUP BY over plain
+columns — none of that is necessary once relations are columnar
+(:mod:`repro.engine.table`): the answer is a column slice away.
+
+This module plans and executes those shapes directly over the column
+arrays:
+
+* **Flat projection** (``SELECT a, b FROM t [WHERE ...] [LIMIT/OFFSET]``
+  with plain-column items): output columns are sliced/gathered straight
+  from the input arrays into :meth:`Relation.from_columns` — no row scope,
+  no output dict, no per-row anything.
+* **Simple predicates** (``col <op> literal``, ``col <op> col``,
+  ``col IS [NOT] NULL``, ``col [NOT] BETWEEN lit AND lit``,
+  ``col [NOT] LIKE 'pat'``, ``col [NOT] IN (literals)`` joined by ``AND``)
+  filter an index selection per conjunct with exact three-valued NULL
+  semantics and the same error behaviour as the compiled closures.
+* **Aggregate scans** (GROUP BY over plain columns, aggregate arguments
+  that are plain columns or ``*``): rows are partitioned into per-group
+  index lists in one pass, then every accumulator consumes its argument
+  column slice in bulk (:meth:`add_many`).  HAVING, select items and
+  ORDER BY reuse the executor's compiled group plan, so results are
+  byte-identical to the row-at-a-time path.
+* **Partial aggregation scans** — the distributed GROUP BY leaf phase —
+  use the same machinery and emit mergeable state relations.
+
+Anything outside these shapes (joins, subqueries, window functions,
+qualified references, expression keys...) bails to the executor's
+row-at-a-time path by returning ``None`` from the planner; the interpreted
+oracle never takes these paths at all, which is what the differential
+suite leans on.
+
+**Error identity.**  The vectorized scan evaluates conjunct-major and
+group-major, so when row-level evaluation fails (incomparable types in a
+predicate, a NaN/Inf reaching an exact accumulator) the *first* failure it
+hits may differ from the row-major order of the compiled closures.  Both
+scans evaluate exactly the same (row, expression) pairs, so an error on
+one path implies an error on the other — the fast path therefore abandons
+the scan on any such error and lets the row path re-raise its own
+row-major error, keeping error identity byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import operator
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.errors import ExecutionError
+from repro.engine.evaluator import _like_to_regex
+from repro.engine.schema import ColumnDef, Schema
+from repro.engine.table import Relation
+from repro.engine.types import infer_type
+from repro.sql import ast
+from repro.sql.render import render_expression
+
+# ---------------------------------------------------------------------------
+# toggle (mirrors executor.execution_mode): process default + thread override
+# ---------------------------------------------------------------------------
+
+_default_enabled = True
+_thread_state = threading.local()
+
+
+def set_default_vectorized(enabled: bool) -> None:
+    """Set the process-wide default for the vectorized fast paths."""
+    global _default_enabled
+    _default_enabled = bool(enabled)
+
+
+def vectorized_enabled() -> bool:
+    """The calling thread's setting (override, else process default)."""
+    override = getattr(_thread_state, "enabled", None)
+    return _default_enabled if override is None else override
+
+
+@contextmanager
+def vectorized_scans(enabled: bool) -> Iterator[None]:
+    """Temporarily enable/disable the vectorized paths on this thread.
+
+    The columnar benchmark flips this off to time the row-at-a-time
+    compiled path as the pre-columnar baseline.
+    """
+    previous = getattr(_thread_state, "enabled", None)
+    _thread_state.enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _thread_state.enabled = previous
+
+
+class ScanStats:
+    """Counters of fast-path hits (advisory; used by tests and benchmarks)."""
+
+    __slots__ = ("flat", "grouped", "partial")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.flat = 0
+        self.grouped = 0
+        self.partial = 0
+
+    @property
+    def total(self) -> int:
+        return self.flat + self.grouped + self.partial
+
+
+stats = ScanStats()
+
+
+# ---------------------------------------------------------------------------
+# shared helpers (the executor imports these — keep them executor-free)
+# ---------------------------------------------------------------------------
+
+
+def freeze_value(value: Any) -> Any:
+    """Hashable stand-in for group/distinct keys (identity on scalars)."""
+    if isinstance(value, (list, dict, set)):
+        return str(value)
+    return value
+
+
+def distinct_rows(rows: List[Dict[str, Any]], names: List[str]) -> List[Dict[str, Any]]:
+    """Order-preserving duplicate removal over output dict rows."""
+    seen: set = set()
+    result = []
+    for row in rows:
+        key = tuple(freeze_value(row.get(name)) for name in names)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result
+
+
+def _first_non_null_type(values) -> Any:
+    """The shared inference rule: first non-null value decides, else FLOAT."""
+    for value in values:
+        if value is not None:
+            return infer_type(value)
+    return infer_type(0.0)
+
+
+def build_schema(names: List[str], rows: List[Dict[str, Any]]) -> Schema:
+    """Schema inferred from output rows: first non-null value per column."""
+    return Schema(
+        [
+            ColumnDef(
+                name=name,
+                data_type=_first_non_null_type(row.get(name) for row in rows),
+            )
+            for name in names
+        ]
+    )
+
+
+def build_schema_from_columns(names: List[str], columns: Sequence[List[Any]]) -> Schema:
+    """Columnar twin of :func:`build_schema` (same inference core)."""
+    return Schema(
+        [
+            ColumnDef(name=name, data_type=_first_non_null_type(column))
+            for name, column in zip(names, columns)
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# simple predicates
+# ---------------------------------------------------------------------------
+
+_EQ_OPS = {"=": False, "<>": True, "!=": True}
+_ORDER_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Selection state threaded through the conjunct filters: the surviving
+#: indices (not yet definitely false) and the subset that saw a NULL
+#: conjunct.  NULL rows keep evaluating later conjuncts — exactly like the
+#: compiled AND closure, which only short-circuits on a definite false —
+#: but are excluded from the final selection.
+Selection = Tuple[List[int], Set[int]]
+
+
+class _AlwaysNullPred:
+    """A conjunct that is NULL for every row (e.g. ``x < NULL``)."""
+
+    __slots__ = ()
+    columns: Tuple[str, ...] = ()
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        nulls.update(sel)
+        return sel
+
+
+class _IsNullPred:
+    __slots__ = ("column", "negated")
+
+    def __init__(self, column: str, negated: bool) -> None:
+        self.column = column
+        self.negated = negated
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        array = relation.column_array(self.column)
+        if self.negated:
+            return [i for i in sel if array[i] is not None]
+        return [i for i in sel if array[i] is None]
+
+
+class _ComparePred:
+    """``col <op> literal`` (or ``literal <op> col`` when ``swapped``)."""
+
+    __slots__ = ("column", "op", "value", "invert", "order_op", "swapped")
+
+    def __init__(self, column: str, op: str, value: Any, swapped: bool) -> None:
+        self.column = column
+        self.op = op
+        self.value = value
+        self.invert = _EQ_OPS.get(op)
+        self.order_op = _ORDER_OPS.get(op)
+        self.swapped = swapped
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        array = relation.column_array(self.column)
+        const = self.value
+        out: List[int] = []
+        add_null = nulls.add
+        if self.invert is not None:  # = / <> / != : never raises
+            wanted = not self.invert
+            for i in sel:
+                value = array[i]
+                if value is None:
+                    out.append(i)
+                    add_null(i)
+                elif (value == const) is wanted:
+                    out.append(i)
+            return out
+        # Ordering comparisons may raise TypeError on incomparable values;
+        # the caller abandons the scan then (see "Error identity" above).
+        op = self.order_op
+        if self.swapped:
+            for i in sel:
+                value = array[i]
+                if value is None:
+                    out.append(i)
+                    add_null(i)
+                elif op(const, value):
+                    out.append(i)
+        else:
+            for i in sel:
+                value = array[i]
+                if value is None:
+                    out.append(i)
+                    add_null(i)
+                elif op(value, const):
+                    out.append(i)
+        return out
+
+
+class _ColumnComparePred:
+    """``col <op> col`` between two columns of the scanned relation."""
+
+    __slots__ = ("left", "right", "op", "invert", "order_op")
+
+    def __init__(self, left: str, right: str, op: str) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+        self.invert = _EQ_OPS.get(op)
+        self.order_op = _ORDER_OPS.get(op)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return (self.left, self.right)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        left = relation.column_array(self.left)
+        right = relation.column_array(self.right)
+        out: List[int] = []
+        add_null = nulls.add
+        if self.invert is not None:
+            wanted = not self.invert
+            for i in sel:
+                lhs, rhs = left[i], right[i]
+                if lhs is None or rhs is None:
+                    out.append(i)
+                    add_null(i)
+                elif (lhs == rhs) is wanted:
+                    out.append(i)
+            return out
+        op = self.order_op
+        for i in sel:
+            lhs, rhs = left[i], right[i]
+            if lhs is None or rhs is None:
+                out.append(i)
+                add_null(i)
+            elif op(lhs, rhs):
+                out.append(i)
+        return out
+
+
+class _BetweenPred:
+    """``col [NOT] BETWEEN literal AND literal``.
+
+    Type errors from the chained comparison propagate to the caller, which
+    abandons the scan so the row path re-raises in its own order.
+    """
+
+    __slots__ = ("column", "low", "high", "negated")
+
+    def __init__(self, column: str, low: Any, high: Any, negated: bool) -> None:
+        self.column = column
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        array = relation.column_array(self.column)
+        low, high = self.low, self.high
+        negated = self.negated
+        out: List[int] = []
+        add_null = nulls.add
+        for i in sel:
+            value = array[i]
+            if value is None:
+                out.append(i)
+                add_null(i)
+                continue
+            result = low <= value <= high
+            if (not result) if negated else result:
+                out.append(i)
+        return out
+
+
+class _LikePred:
+    """``col [NOT] LIKE 'pattern'`` with a literal pattern."""
+
+    __slots__ = ("column", "regex", "negated")
+
+    def __init__(self, column: str, pattern: str, negated: bool) -> None:
+        self.column = column
+        self.regex = _like_to_regex(pattern)
+        self.negated = negated
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        array = relation.column_array(self.column)
+        match = self.regex.match
+        negated = self.negated
+        out: List[int] = []
+        add_null = nulls.add
+        for i in sel:
+            value = array[i]
+            if value is None:
+                out.append(i)
+                add_null(i)
+                continue
+            result = bool(match(str(value)))
+            if (not result) if negated else result:
+                out.append(i)
+        return out
+
+
+class _InListPred:
+    """``col [NOT] IN (literal, ...)`` — NULL members are dropped up front."""
+
+    __slots__ = ("column", "constants", "negated")
+
+    def __init__(self, column: str, constants: List[Any], negated: bool) -> None:
+        self.column = column
+        self.constants = constants
+        self.negated = negated
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        array = relation.column_array(self.column)
+        constants = self.constants
+        negated = self.negated
+        out: List[int] = []
+        add_null = nulls.add
+        for i in sel:
+            value = array[i]
+            if value is None:
+                out.append(i)
+                add_null(i)
+            elif (value not in constants) if negated else (value in constants):
+                out.append(i)
+        return out
+
+
+def _plain_column(node: ast.Node) -> Optional[str]:
+    """The lower-cased name of an unqualified plain column reference."""
+    if isinstance(node, ast.Column) and not node.table:
+        return node.name.lower()
+    return None
+
+
+def _simple_predicate(term: ast.Expression):
+    """Compile one WHERE conjunct to a filter, or None when not simple."""
+    if isinstance(term, ast.BinaryOp):
+        op = term.operator.upper()
+        if op not in _EQ_OPS and op not in _ORDER_OPS:
+            return None
+        left_col = _plain_column(term.left)
+        right_col = _plain_column(term.right)
+        if left_col is not None and right_col is not None:
+            return _ColumnComparePred(left_col, right_col, op)
+        if left_col is not None and isinstance(term.right, ast.Literal):
+            if term.right.value is None:
+                return _AlwaysNullPred()
+            return _ComparePred(left_col, op, term.right.value, swapped=False)
+        if right_col is not None and isinstance(term.left, ast.Literal):
+            if term.left.value is None:
+                return _AlwaysNullPred()
+            return _ComparePred(right_col, op, term.left.value, swapped=True)
+        return None
+    if isinstance(term, ast.IsNull):
+        column = _plain_column(term.expression)
+        if column is None:
+            return None
+        return _IsNullPred(column, term.negated)
+    if isinstance(term, ast.Between):
+        column = _plain_column(term.expression)
+        if column is None:
+            return None
+        if not isinstance(term.low, ast.Literal) or not isinstance(term.high, ast.Literal):
+            return None
+        if term.low.value is None or term.high.value is None:
+            return _AlwaysNullPred()
+        return _BetweenPred(column, term.low.value, term.high.value, term.negated)
+    if isinstance(term, ast.Like):
+        column = _plain_column(term.expression)
+        if column is None or not isinstance(term.pattern, ast.Literal):
+            return None
+        if term.pattern.value is None:
+            return _AlwaysNullPred()
+        return _LikePred(column, str(term.pattern.value), term.negated)
+    if isinstance(term, ast.InList):
+        column = _plain_column(term.expression)
+        if column is None:
+            return None
+        if not all(isinstance(value, ast.Literal) for value in term.values):
+            return None
+        constants = [value.value for value in term.values if value.value is not None]
+        return _InListPred(column, constants, term.negated)
+    return None
+
+
+def _apply_predicates(
+    predicates: Sequence[Any], relation: Relation
+) -> Optional[List[int]]:
+    """Filter row indices through the conjuncts; None means "all rows"."""
+    if not predicates:
+        return None
+    sel = list(range(len(relation)))
+    nulls: Set[int] = set()
+    for predicate in predicates:
+        sel = predicate.apply(relation, sel, nulls)
+        if not sel:
+            return []
+    if nulls:
+        return [i for i in sel if i not in nulls]
+    return sel
+
+
+# ---------------------------------------------------------------------------
+# scan plans
+# ---------------------------------------------------------------------------
+
+
+class _VectorAggSpec:
+    """One distinct aggregate call, with column-resolved arguments."""
+
+    __slots__ = ("key", "make", "arg_columns")
+
+    def __init__(self, key: str, make: Callable[[], Any], arg_columns: Optional[List[str]]) -> None:
+        self.key = key
+        #: Accumulator factory (shared with the executor's group plan).
+        self.make = make
+        #: Lower-cased argument column names; None feeds the star row.
+        self.arg_columns = arg_columns
+
+
+class FlatScanPlan:
+    """``SELECT <plain columns> FROM <table> [WHERE simple] [LIMIT/OFFSET]``."""
+
+    __slots__ = ("query", "table_name", "predicates", "out_names", "out_columns", "required")
+
+    def __init__(self, query, table_name, predicates, out_names, out_columns) -> None:
+        self.query = query
+        self.table_name = table_name
+        self.predicates = predicates
+        self.out_names = out_names
+        self.out_columns = out_columns
+        self.required = set(out_columns)
+        for predicate in predicates:
+            self.required.update(predicate.columns)
+
+
+class GroupedScanPlan:
+    """A GROUP BY / aggregate scan over plain key and argument columns."""
+
+    __slots__ = ("query", "table_name", "predicates", "key_columns", "specs", "required")
+
+    def __init__(self, query, table_name, predicates, key_columns, specs) -> None:
+        self.query = query
+        self.table_name = table_name
+        self.predicates = predicates
+        self.key_columns = key_columns
+        self.specs = specs
+        self.required = set(key_columns)
+        for predicate in predicates:
+            self.required.update(predicate.columns)
+        for spec in specs:
+            if spec.arg_columns:
+                self.required.update(spec.arg_columns)
+
+
+_BAIL = object()  #: plan-cache sentinel for queries proven ineligible
+
+
+def _resolve_vector_specs(
+    calls: Sequence[ast.FunctionCall],
+    source_specs: Sequence[Any],
+    table_columns: Set[str],
+    allow_multi_arg: bool,
+) -> Optional[List[_VectorAggSpec]]:
+    """Pair the executor plan's aggregate specs with argument columns.
+
+    ``calls`` dedup in first-occurrence render order — the same order the
+    executor's own plans use, so the pairing is positional in spirit but
+    matched by rendered key for safety.  Returns None when any argument is
+    not a plain column of the scanned table (the row path owns those).
+    """
+    specs: List[_VectorAggSpec] = []
+    seen: Set[str] = set()
+    for call in calls:
+        key = render_expression(call)
+        if key in seen:
+            continue
+        seen.add(key)
+        is_star = len(call.arguments) == 1 and isinstance(call.arguments[0], ast.Star)
+        if is_star or not call.arguments:
+            arg_columns: Optional[List[str]] = None
+        else:
+            if len(call.arguments) != 1 and not allow_multi_arg:
+                return None
+            arg_columns = []
+            for argument in call.arguments:
+                column = _plain_column(argument)
+                if column is None or column not in table_columns:
+                    return None
+                arg_columns.append(column)
+        spec = next((s for s in source_specs if s.key == key), None)
+        if spec is None:  # pragma: no cover - same dedup, same order
+            return None
+        specs.append(_VectorAggSpec(key, spec.make, arg_columns))
+    if len(specs) != len(source_specs):
+        return None  # pragma: no cover - defensive
+    return specs
+
+
+def _plan_predicates(query: ast.SelectQuery) -> Optional[List[Any]]:
+    predicates: List[Any] = []
+    if query.where is not None:
+        for term in ast.conjunction_terms(query.where):
+            predicate = _simple_predicate(term)
+            if predicate is None:
+                return None
+            predicates.append(predicate)
+    return predicates
+
+
+def plan_select(executor, query: ast.Query):
+    """Build (and cache) a scan plan for ``query``, or None when ineligible."""
+    memo = executor._vector_plans
+    cached = memo.get(id(query))
+    if cached is not None and cached[0] is query:
+        plan = cached[1]
+        return None if plan is _BAIL else plan
+    plan = _plan_select_uncached(executor, query)
+    executor._store_plan(memo, id(query), (query, _BAIL if plan is None else plan))
+    return plan
+
+
+def _plan_select_uncached(executor, query: ast.Query):
+    if not isinstance(query, ast.SelectQuery):
+        return None
+    if not isinstance(query.from_clause, ast.TableRef):
+        return None
+    if executor._needs_qualified_scopes(query):
+        return None
+    try:
+        table = executor.lookup_table(query.from_clause.name)
+    except ExecutionError:
+        return None  # the row path raises the same "Unknown table"
+    table_columns = {name.lower() for name in table.schema.names}
+    predicates = _plan_predicates(query)
+    if predicates is None:
+        return None
+    table_name = query.from_clause.name
+
+    if query.group_by or executor._select_has_aggregates(query):
+        if any(isinstance(item.expression, ast.Star) for item in query.items):
+            return None  # the row path raises the star/GROUP BY error
+        key_columns: List[str] = []
+        for expression in query.group_by:
+            column = _plain_column(expression)
+            if column is None or column not in table_columns:
+                return None
+            key_columns.append(column)
+        group_plan = executor._group_plan(query)
+        specs = _resolve_vector_specs(
+            executor._collect_aggregate_calls(query),
+            group_plan.specs,
+            table_columns,
+            allow_multi_arg=True,
+        )
+        if specs is None:
+            return None
+        return GroupedScanPlan(query, table_name, predicates, key_columns, specs)
+
+    # Flat projection: plain columns only, no DISTINCT/ORDER BY (the row
+    # path owns reordering and dedup of full-width outputs).
+    if query.distinct or query.order_by:
+        return None
+    items = executor._expand_star_items(query.items, list(table.schema.names))
+    out_columns: List[str] = []
+    for item in items:
+        column = _plain_column(item.expression)
+        if column is None or column not in table_columns:
+            return None
+        out_columns.append(column)
+    out_names = executor._output_names(items)
+    return FlatScanPlan(query, query.from_clause.name, predicates, out_names, out_columns)
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+#: Row-level evaluation errors that abandon the vectorized scan so the row
+#: path can re-raise its own row-major error (see "Error identity" above).
+_SCAN_ABANDON_ERRORS = (TypeError, ValueError, OverflowError)
+
+
+def try_execute_select(executor, query: ast.Query, parent) -> Optional[Relation]:
+    """Execute ``query`` over column arrays, or None to use the row path."""
+    plan = plan_select(executor, query)
+    if plan is None:
+        return None
+    relation = executor.lookup_table(plan.table_name)
+    if any(relation.column_array(name) is None for name in plan.required):
+        return None  # catalog shape drifted from the planned columns
+    try:
+        sel = _apply_predicates(plan.predicates, relation)
+    except _SCAN_ABANDON_ERRORS:
+        return None
+    if isinstance(plan, FlatScanPlan):
+        return _execute_flat(plan, relation, sel)
+    return _execute_grouped(executor, plan, relation, parent, sel)
+
+
+def _execute_flat(
+    plan: FlatScanPlan, relation: Relation, sel: Optional[List[int]]
+) -> Relation:
+    query = plan.query
+    offset = query.offset
+    limit = query.limit
+
+    columns: List[List[Any]] = []
+    if sel is None:
+        start = offset or 0
+        stop = None if limit is None else start + limit
+        for name in plan.out_columns:
+            columns.append(relation.column_array(name)[start:stop])
+    else:
+        if offset is not None:
+            sel = sel[offset:]
+        if limit is not None:
+            sel = sel[:limit]
+        for name in plan.out_columns:
+            array = relation.column_array(name)
+            columns.append([array[i] for i in sel])
+
+    stats.flat += 1
+    schema = build_schema_from_columns(plan.out_names, columns)
+    return Relation.from_columns(schema, columns, name="")
+
+
+def _group_indices(
+    relation: Relation,
+    key_columns: Sequence[str],
+    sel: Optional[List[int]],
+) -> Tuple[Dict[Tuple[Any, ...], List[int]], List[Tuple[Any, ...]], Dict[Tuple[Any, ...], int]]:
+    """Partition row indices by group key, in first-occurrence order.
+
+    Raw key values are used while hashable, falling back to the frozen form
+    on a TypeError — exactly the compiled fast-key behaviour, so group
+    identity and order match the row path bit for bit.
+    """
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    order: List[Tuple[Any, ...]] = []
+    first_index: Dict[Tuple[Any, ...], int] = {}
+    arrays = [relation.column_array(name) for name in key_columns]
+    indices = range(len(relation)) if sel is None else sel
+    if len(arrays) == 1:
+        array = arrays[0]
+        for i in indices:
+            key = (array[i],)
+            try:
+                bucket = groups.get(key)
+            except TypeError:
+                key = (freeze_value(key[0]),)
+                bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [i]
+                order.append(key)
+                first_index[key] = i
+            else:
+                bucket.append(i)
+    else:
+        for i in indices:
+            key = tuple(array[i] for array in arrays)
+            try:
+                bucket = groups.get(key)
+            except TypeError:
+                key = tuple(freeze_value(value) for value in key)
+                bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [i]
+                order.append(key)
+                first_index[key] = i
+            else:
+                bucket.append(i)
+    return groups, order, first_index
+
+
+def _feed_accumulators(
+    relation: Relation,
+    specs: Sequence[_VectorAggSpec],
+    indices: List[int],
+    whole_relation: bool,
+) -> List[Any]:
+    """Instantiate and bulk-feed one accumulator per spec from column slices."""
+    accumulators = []
+    for spec in specs:
+        accumulator = spec.make()
+        arg_columns = spec.arg_columns
+        if arg_columns is None:
+            # Star and zero-argument calls: the row path feeds ``(1,)`` per
+            # row.  ``add_many_star`` is the bulk shortcut where it exists
+            # (COUNT(*), buffered aggregates); zero-arg calls of the other
+            # aggregates (``COUNT()``, ``SUM()``... — the parser accepts
+            # them) resolve to incremental accumulators without it, which
+            # consume the equivalent ones column.
+            add_star = getattr(accumulator, "add_many_star", None)
+            if add_star is not None:
+                add_star(len(indices))
+            else:
+                accumulator.add_many([1] * len(indices))
+        elif len(arg_columns) == 1:
+            array = relation.column_array(arg_columns[0])
+            if whole_relation:
+                accumulator.add_many(array)
+            else:
+                accumulator.add_many([array[i] for i in indices])
+        else:
+            arrays = [relation.column_array(name) for name in arg_columns]
+            for i in indices:
+                accumulator.add(tuple(array[i] for array in arrays))
+        accumulators.append(accumulator)
+    return accumulators
+
+
+def _execute_grouped(
+    executor, plan: GroupedScanPlan, relation: Relation, parent, sel: Optional[List[int]]
+) -> Optional[Relation]:
+    query = plan.query
+    group_plan = executor._group_plan(query)
+    specs = plan.specs
+
+    lowered_names = [name.lower() for name in relation.schema.names]
+    arrays = relation.columns()
+
+    if plan.key_columns:
+        groups, order, first_index = _group_indices(relation, plan.key_columns, sel)
+    else:
+        indices = list(range(len(relation))) if sel is None else sel
+        if indices:
+            groups = {(): indices}
+            order = [()]
+            first_index = {(): indices[0]}
+        else:
+            groups, order, first_index = {}, [], {}
+
+    if not query.group_by and not groups:
+        groups[()] = []
+        order.append(())
+
+    # Feed every group before emitting anything — the row path's scan phase
+    # completes before its emit phase, and keeping the phases separate here
+    # means an accumulator conversion error (exact SUM/STDDEV meeting a
+    # non-numeric or non-finite value) abandons the scan before any item
+    # evaluation, so the row path re-raises its own row-major error.
+    whole = sel is None and len(order) == 1 and plan.key_columns == []
+    accumulators_by_key: Dict[Tuple[Any, ...], List[Any]] = {}
+    try:
+        for key in order:
+            accumulators_by_key[key] = _feed_accumulators(
+                relation, specs, groups[key], whole
+            )
+    except _SCAN_ABANDON_ERRORS:
+        return None
+
+    context = executor._fresh_context(parent)
+    output_names = group_plan.output_names
+    item_fns = group_plan.item_fns
+    having_fn = group_plan.having_fn
+    output_rows: List[Dict[str, Any]] = []
+    for key in order:
+        indices = groups[key]
+        accumulators = accumulators_by_key[key]
+        if indices:
+            first = first_index.get(key, indices[0])
+            representative = {
+                name: array[first] for name, array in zip(lowered_names, arrays)
+            }
+        else:
+            representative = {}
+        context.scope = representative
+        context.aggregates = {
+            spec.key: accumulator.result()
+            for spec, accumulator in zip(specs, accumulators)
+        }
+        if having_fn is not None and not having_fn(context):
+            continue
+        output_rows.append({name: fn(context) for name, fn in zip(output_names, item_fns)})
+
+    stats.grouped += 1
+
+    # The standard SELECT tail, identical to the row path.
+    if query.distinct:
+        output_rows = distinct_rows(output_rows, output_names)
+    if query.order_by:
+        output_rows = executor._apply_order_by(query, output_rows, [], parent, True)
+    if query.offset is not None:
+        output_rows = output_rows[query.offset :]
+    if query.limit is not None:
+        output_rows = output_rows[: query.limit]
+    schema = build_schema(output_names, output_rows)
+    return Relation(schema=schema, rows=output_rows, name="")
+
+
+# ---------------------------------------------------------------------------
+# partial aggregation (distributed GROUP BY leaf scans)
+# ---------------------------------------------------------------------------
+
+
+class PartialScanPlan(GroupedScanPlan):
+    """A leaf-phase partial aggregation — same shape as a grouped scan,
+    but executed through the partial-state protocol (mergeable states out,
+    no HAVING/items/ORDER BY)."""
+
+    __slots__ = ()
+
+
+def plan_partial(executor, query: ast.SelectQuery):
+    """Build (and cache) a partial-aggregation scan plan, or None."""
+    memo = executor._vector_partial_plans
+    cached = memo.get(id(query))
+    if cached is not None and cached[0] is query:
+        plan = cached[1]
+        return None if plan is _BAIL else plan
+    plan = _plan_partial_uncached(executor, query)
+    executor._store_plan(memo, id(query), (query, _BAIL if plan is None else plan))
+    return plan
+
+
+def _plan_partial_uncached(executor, query: ast.SelectQuery):
+    if not isinstance(query.from_clause, ast.TableRef):
+        return None
+    if executor._needs_qualified_scopes(query):
+        return None
+    try:
+        table = executor.lookup_table(query.from_clause.name)
+    except ExecutionError:
+        return None
+    table_columns = {name.lower() for name in table.schema.names}
+    predicates = _plan_predicates(query)
+    if predicates is None:
+        return None
+    partial_plan = executor._partial_plan(query)
+    key_columns = [name.lower() for name in partial_plan.key_names]
+    if any(name not in table_columns for name in key_columns):
+        return None
+    specs = _resolve_vector_specs(
+        executor._collect_aggregate_calls(query),
+        partial_plan.specs,
+        table_columns,
+        allow_multi_arg=False,  # decomposable aggregates are single-argument
+    )
+    if specs is None:
+        return None
+    return PartialScanPlan(query, query.from_clause.name, predicates, key_columns, specs)
+
+
+def try_execute_partial(executor, query: ast.SelectQuery) -> Optional[Relation]:
+    """Vectorized leaf partial aggregation, or None to use the row path."""
+    plan = plan_partial(executor, query)
+    if plan is None:
+        return None
+    relation = executor.lookup_table(plan.table_name)
+    if any(relation.column_array(name) is None for name in plan.required):
+        return None
+    partial_plan = executor._partial_plan(query)
+    try:
+        sel = _apply_predicates(plan.predicates, relation)
+    except _SCAN_ABANDON_ERRORS:
+        return None
+
+    if plan.key_columns:
+        # The row path freezes every key value unconditionally; raw
+        # hashable values are their own frozen form, so only the unhashable
+        # fallback (already frozen) differs — nothing further to do.
+        groups_indices, order, _ = _group_indices(relation, plan.key_columns, sel)
+    else:
+        indices = list(range(len(relation))) if sel is None else sel
+        if indices:
+            groups_indices = {(): indices}
+            order = [()]
+        else:
+            groups_indices, order = {}, []
+
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    whole = sel is None and len(order) == 1 and plan.key_columns == []
+    try:
+        for key in order:
+            groups[key] = _feed_accumulators(
+                relation, plan.specs, groups_indices[key], whole
+            )
+    except _SCAN_ABANDON_ERRORS:
+        return None
+    if not query.group_by and not groups:
+        groups[()] = [spec.make() for spec in plan.specs]
+        order.append(())
+    stats.partial += 1
+    return executor._partial_state_relation(partial_plan, groups, order)

@@ -184,15 +184,13 @@ class NetworkSimulator:
             self._partitions[table_name.lower()] = [target.name]
             return
         chunk_count = len(leaves)
-        rows = relation.rows
-        base, remainder = divmod(len(rows), chunk_count)
+        base, remainder = divmod(len(relation), chunk_count)
         start = 0
         holders: List[str] = []
         for index, leaf in enumerate(leaves):
             size = base + (1 if index < remainder else 0)
-            chunk = Relation(
-                schema=relation.schema, rows=rows[start : start + size], name=table_name
-            )
+            # Contiguous columnar slice — no per-row copies.
+            chunk = relation.slice_rows(start, start + size, name=table_name)
             start += size
             self._register_stream(self.database(leaf.name), table_name, chunk)
             holders.append(leaf.name)

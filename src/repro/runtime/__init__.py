@@ -52,6 +52,7 @@ from repro.runtime.dag import (
     PartialAggregateTask,
     build_execution_dag,
     last_inside_node,
+    partial_aggregation_pays,
     union_partials,
 )
 from repro.runtime.scheduler import DagRunReport, Scheduler, TaskTiming
@@ -71,5 +72,6 @@ __all__ = [
     "TaskTiming",
     "build_execution_dag",
     "last_inside_node",
+    "partial_aggregation_pays",
     "union_partials",
 ]

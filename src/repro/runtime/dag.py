@@ -52,6 +52,82 @@ from repro.sql import ast
 from repro.sql.visitor import clone
 
 
+#: Cardinality fallback for the partial-aggregation protocol: when a leaf
+#: chunk's observed group count reaches this share of its row count, state
+#: rows would be nearly as numerous as raw rows (and individually larger),
+#: so the DAG falls back to the global-merge path for that fragment.
+GROUP_FALLBACK_RATIO = 0.75
+
+#: Chunks below this row count skip the fallback check: either way only a
+#: handful of rows cross the hop, and tiny chunks make the ratio noisy.
+GROUP_FALLBACK_MIN_ROWS = 16
+
+#: At most this many leading rows of a chunk are observed per DAG build.
+#: The observation is planner-side statistics gathering (no data leaves the
+#: node, so the cost model rightly never charges a transfer), but it runs
+#: serially on the coordinator per query admission — the prefix cap keeps it
+#: O(1) per chunk regardless of chunk size.
+GROUP_FALLBACK_SAMPLE_ROWS = 512
+
+
+def partial_aggregation_pays(
+    network: NetworkSimulator,
+    holders: Sequence[str],
+    fragment: QueryFragment,
+    observe_table: str,
+) -> bool:
+    """Cardinality heuristic: is leaf-level partial aggregation worthwhile?
+
+    Observes the distinct group-key count over a bounded prefix of every
+    leaf chunk of ``observe_table`` (at most
+    :data:`GROUP_FALLBACK_SAMPLE_ROWS` rows, straight off the key column
+    arrays).  When some chunk's observed group count approaches the
+    observed row count (:data:`GROUP_FALLBACK_RATIO`), partial states
+    would not shrink the shipment — each state row is bigger than the raw
+    row it summarizes — so the builder should fall back to the
+    global-merge path.
+
+    Global aggregations (no GROUP BY) always pay: they ship one state row.
+    Chunks that do not expose the key columns (a preceding fragment renames
+    or derives them) cannot be observed and are assumed worthwhile.
+    """
+    from repro.engine.vectorized import freeze_value
+
+    query = fragment.query
+    if not isinstance(query, ast.SelectQuery) or not query.group_by:
+        return True
+    keys = [
+        expression.name
+        for expression in query.group_by
+        if isinstance(expression, ast.Column)
+    ]
+    if len(keys) != len(query.group_by):
+        return True  # non-column keys are not observable on the base chunks
+    for holder in holders:
+        database = network.database(holder)
+        if observe_table not in database:
+            continue
+        chunk = database.table(observe_table)
+        rows = min(len(chunk), GROUP_FALLBACK_SAMPLE_ROWS)
+        if rows < GROUP_FALLBACK_MIN_ROWS:
+            continue
+        arrays = [chunk.column_array(key) for key in keys]
+        if any(array is None for array in arrays):
+            return True
+        if len(arrays) == 1:
+            observed = len({freeze_value(value) for value in arrays[0][:rows]})
+        else:
+            observed = len(
+                {
+                    tuple(freeze_value(value) for value in values)
+                    for values in zip(*(array[:rows] for array in arrays))
+                }
+            )
+        if observed >= GROUP_FALLBACK_RATIO * rows:
+            return False
+    return True
+
+
 def last_inside_node(topology: Topology, current: str) -> str:
     """The node the anonymization step A runs on.
 
@@ -98,6 +174,11 @@ def union_partials(parts: Sequence[Relation], name: str) -> Relation:
     partial is empty the column types are merged across partials so one
     explicitly typed (but empty) chunk is not shadowed by the first
     partial's inferred-from-nothing defaults.
+
+    Relations are columnar, so the union is a per-column ``list.extend``
+    over the partials' value arrays (aligned by column name) — no per-row
+    dict copies, which is what makes the merge points of large parallel
+    plans cheap.
     """
     parts = list(parts)
     if not parts:
@@ -121,10 +202,17 @@ def union_partials(parts: Sequence[Relation], name: str) -> Relation:
                             break
             columns.append(ColumnDef(name=column.name, data_type=data_type))
         schema = Schema(columns)
-    rows: List[dict] = []
+    merged: List[List] = [[] for _ in schema.columns]
     for part in parts:
-        rows.extend(dict(row) for row in part.rows)
-    return Relation(schema=schema, rows=rows, name=name)
+        if not len(part):
+            continue
+        for position, column_def in enumerate(schema.columns):
+            source = part.column_array(column_def.name)
+            if source is not None:
+                merged[position].extend(source)
+            else:
+                merged[position].extend([None] * len(part))
+    return Relation.from_columns(schema, merged, name=name)
 
 
 class ExecutionContext:
@@ -660,7 +748,11 @@ def build_execution_dag(
                     )
                 )
             remaining = fragments[1:]
-        elif partial_aggregation and first.decomposable:
+        elif (
+            partial_aggregation
+            and first.decomposable
+            and partial_aggregation_pays(network, holders, first, base_table)
+        ):
             # The bottom fragment is itself a decomposable aggregation:
             # partial-aggregate every leaf chunk in place, combine states
             # up the tree, finalize at the assigned node.
@@ -771,7 +863,14 @@ def build_execution_dag(
                 )
             partitions = in_place
             continue
-        if len(partitions) > 1 and partial_aggregation and fragment.decomposable:
+        if (
+            len(partitions) > 1
+            and partial_aggregation
+            and fragment.decomposable
+            and partial_aggregation_pays(
+                network, [task.node for task in partitions], fragment, base_table
+            )
+        ):
             # Decomposable aggregation: keep the partition, aggregate each
             # chunk into mergeable states where it lives, combine states
             # per tree level, finalize at the assigned node.  Only group

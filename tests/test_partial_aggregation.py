@@ -259,6 +259,46 @@ def test_partial_disabled_knob_still_identical():
     assert parallel.runtime.partial_count == 0
 
 
+def test_high_cardinality_groups_fall_back_to_global_merge():
+    """Cardinality heuristic: unique-per-row keys make states pointless.
+
+    When a leaf's observed group count approaches its chunk size, one state
+    row per group would cross every hop anyway — and each state is larger
+    than the raw row it summarizes — so the builder must use the
+    global-merge path instead of partial aggregation.
+    """
+    rows = [{"device": i, "z": float(i % 7), "t": i} for i in range(320)]
+    processor = make_processor(Relation.from_rows(rows, name="d"), n_sensors=8)
+    sql = "SELECT device, COUNT(*) AS n, SUM(z) AS sz FROM d GROUP BY device"
+    plan = processor.fragmenter.fragment(parse(sql))
+    dag = build_execution_dag(plan, processor.topology, processor.network)
+    kinds = [task.kind for task in dag.tasks]
+    assert kinds.count("partial") == 0
+    assert kinds.count("merge") >= 1
+    serial, parallel = run_both(processor, sql)
+    assert_identical(serial, parallel)
+    assert parallel.runtime.partial_count == 0
+
+
+def test_low_cardinality_groups_keep_partial_aggregation():
+    """The same shape with few groups still takes the partial path."""
+    rows = [{"device": i % 3, "z": float(i % 7), "t": i} for i in range(320)]
+    processor = make_processor(Relation.from_rows(rows, name="d"), n_sensors=8)
+    sql = "SELECT device, COUNT(*) AS n, SUM(z) AS sz FROM d GROUP BY device"
+    serial, parallel = run_both(processor, sql)
+    assert_identical(serial, parallel)
+    assert parallel.runtime.partial_count == 8
+
+
+def test_global_aggregation_ignores_cardinality_fallback():
+    """No GROUP BY means one state row per leaf — always worthwhile."""
+    rows = [{"device": i, "z": float(i), "t": i} for i in range(320)]
+    processor = make_processor(Relation.from_rows(rows, name="d"), n_sensors=8)
+    serial, parallel = run_both(processor, GLOBAL_AGG_SQL)
+    assert_identical(serial, parallel)
+    assert parallel.runtime.partial_count == 8
+
+
 def test_non_decomposable_aggregation_falls_back_to_global_merge():
     processor = make_processor(mixed_relation(200))
     sql = "SELECT device, MEDIAN(z) AS mz, COUNT(DISTINCT t) AS nt FROM d GROUP BY device"

@@ -1,0 +1,130 @@
+"""Tests for the compact partial-state wire format (repro.engine.wire)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.engine.aggregates import make_accumulator
+from repro.engine.schema import Schema
+from repro.engine.table import Relation
+from repro.engine.wire import WireFormatError, pack_value, packed_size, unpack_value
+
+
+def _acc(name, values, **kwargs):
+    accumulator = make_accumulator(
+        name,
+        is_star=kwargs.pop("is_star", False),
+        distinct=kwargs.pop("distinct", False),
+        arg_count=1,
+    )
+    for value in values:
+        accumulator.add((value,))
+    return accumulator
+
+
+REAL_STATES = [
+    _acc("COUNT", [1, None, 3]).partial(),
+    _acc("SUM", [1, 2, 3]).partial(),  # exact all-int path
+    _acc("SUM", [2**70, -5, 1]).partial(),  # bigint beyond float range
+    _acc("SUM", [0.1, 0.2, 1e300, -1e300]).partial(),  # Shewchuk expansion
+    _acc("SUM", [math.inf, 1.0, math.nan]).partial(),  # specials flags
+    _acc("AVG", [0.5, None, 2.25]).partial(),
+    _acc("MIN", ["alpha", "beta"]).partial(),
+    _acc("MAX", [None]).partial(),
+    _acc("STDDEV", [0.1, 0.7, 1.3]).partial(),  # exact rational moments
+    _acc("VAR_POP", [1e-12, 3.5]).partial(),
+    make_accumulator("COUNT", is_star=True, distinct=False, arg_count=1).partial(),
+]
+
+
+@pytest.mark.parametrize("state", REAL_STATES, ids=range(len(REAL_STATES)))
+def test_roundtrip_real_accumulator_states(state):
+    payload = pack_value(state)
+    decoded = unpack_value(payload)
+    assert decoded == state
+    # Bit-for-bit on the types too (True != 1 semantically for merge()).
+    assert repr(decoded) == repr(state)
+
+
+@pytest.mark.parametrize("state", REAL_STATES, ids=range(len(REAL_STATES)))
+def test_packed_size_matches_encoding(state):
+    assert packed_size(state) == len(pack_value(state))
+
+
+def test_roundtrip_scalars_and_nesting():
+    values = [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**63 - 1,
+        -(2**63),
+        2**63,  # first bigint
+        -(2**64) - 7,
+        1.5,
+        -0.0,
+        math.inf,
+        "state",
+        "ünïcode",
+        Fraction(-3, 7),
+        Fraction(10**40, 3),
+        ((1, (2.5, None)), Fraction(1, 3), "x"),
+        (),
+    ]
+    for value in values:
+        assert unpack_value(pack_value(value)) == value
+        assert packed_size(value) == len(pack_value(value))
+
+
+def test_nan_roundtrip():
+    decoded = unpack_value(pack_value(math.nan))
+    assert math.isnan(decoded)
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(WireFormatError):
+        pack_value([1, 2])
+    with pytest.raises(WireFormatError):
+        packed_size(object())
+
+
+def test_truncated_payload_raises():
+    payload = pack_value((1, 2.5))
+    with pytest.raises(WireFormatError):
+        unpack_value(payload + b"\x00")
+
+
+@pytest.mark.parametrize(
+    "value", [12345, "ab", 2**70, Fraction(1, 3), (1, "x")], ids=repr
+)
+def test_every_truncation_point_raises_wire_format_error(value):
+    """No struct.error leaks and no bogus trailing-bytes messages."""
+    payload = pack_value(value)
+    for cut in range(len(payload)):
+        with pytest.raises(WireFormatError):
+            unpack_value(payload[:cut])
+
+
+def test_estimated_bytes_uses_packed_state_sizes():
+    """State relations are charged at packed size, not repr-text length."""
+    states = [
+        {"device": 1, "__agg0": _acc("SUM", [0.123456789, 2.5, None]).partial()},
+        {"device": 2, "__agg0": _acc("SUM", [7.25]).partial()},
+    ]
+    relation = Relation.from_rows(states, name="partials")
+    text_estimate = sum(
+        8 + len(str(row["__agg0"])) for row in states
+    )
+    packed_estimate = sum(8 + packed_size(row["__agg0"]) for row in states)
+    assert relation.estimated_bytes() == packed_estimate
+    assert relation.estimated_bytes() < text_estimate
+
+
+def test_moment_states_shrink_versus_text():
+    """The Fraction moments of STDDEV states benefit the most."""
+    state = _acc("STDDEV", [0.1, 0.7, 1.3, 2.9]).partial()
+    assert packed_size(state) < len(str(state))
