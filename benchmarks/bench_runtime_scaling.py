@@ -214,6 +214,13 @@ def run_runtime_scaling(
         # serial vs global-merge vs partial, wall clock and bytes per hop.
         "groupby_pushdown": measure_groupby_pushdown(rows=rows, repeats=repeats),
     }
+    # Fault-tolerance recovery overhead (PR 6): seeded random node kills at
+    # 8/16 sensors, each recovered run differentially checked in-loop.
+    from benchmarks.bench_chaos import run_chaos
+
+    report["chaos"] = run_chaos(
+        rows=min(rows, 1200), repeats=max(2, repeats - 1), cost_model=cost_model
+    )
     if out is not None:
         out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out}")

@@ -232,6 +232,13 @@ def main(argv: List[str] | None = None) -> int:
             "groupby_pushdown_speedup_vs_global_merge": pushdown.get(
                 "speedup_vs_global_merge"
             ),
+            "chaos_recovery_overheads": {
+                f"fanout{entry['n_sensors']}_failures{entry['injected_failures']}": entry[
+                    "overhead_vs_healthy"
+                ]
+                for entry in runtime_report.get("chaos", {}).get("entries", [])
+                if entry["injected_failures"] > 0
+            },
         }
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")

@@ -179,3 +179,52 @@ def packed_size(value: Any) -> int:
     if isinstance(value, tuple):
         return 5 + sum(packed_size(element) for element in value)
     raise WireFormatError(f"Cannot pack value of type {type(value).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# whole-relation codec (checkpoints)
+# ---------------------------------------------------------------------------
+#
+# The fault-tolerant runtime checkpoints partial-state relations at combine
+# boundaries so recovery after a node death replays only the lost leaves.  A
+# checkpoint must be *exactly* the relation it replaces — merging a restored
+# state must be indistinguishable from merging the original — so the codec
+# reuses :func:`pack_value`'s bit-exact vocabulary: the whole relation
+# (name, schema, column arrays) becomes one nested tuple.  Relations whose
+# cells fall outside that vocabulary raise :class:`WireFormatError`; callers
+# treat that as "not checkpointable" and simply re-execute.
+
+
+def pack_state_relation(relation: "Any") -> bytes:
+    """Encode a relation (name, schema, columnar data) bit-exactly."""
+    schema_spec = tuple(
+        (column.name, column.data_type.value) for column in relation.schema.columns
+    )
+    columns = tuple(
+        tuple(relation.column_array(column.name) or ())
+        for column in relation.schema.columns
+    )
+    return pack_value((relation.name, schema_spec, columns))
+
+
+def unpack_state_relation(data: bytes) -> "Any":
+    """Decode a payload from :func:`pack_state_relation` into a Relation."""
+    from repro.engine.schema import ColumnDef, Schema
+    from repro.engine.table import Relation
+    from repro.engine.types import DataType
+
+    decoded = unpack_value(data)
+    if not isinstance(decoded, tuple) or len(decoded) != 3:
+        raise WireFormatError("Malformed state-relation payload")
+    name, schema_spec, columns = decoded
+    if len(schema_spec) != len(columns):
+        raise WireFormatError("State-relation schema/data column count mismatch")
+    schema = Schema(
+        [
+            ColumnDef(name=column_name, data_type=DataType(type_value))
+            for column_name, type_value in schema_spec
+        ]
+    )
+    return Relation.from_columns(
+        schema, [list(column) for column in columns], name=name
+    )

@@ -17,6 +17,8 @@ and merges the partials at their common ancestor.
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -80,6 +82,12 @@ class Topology:
         for name, parent in self._parents.items():
             if parent is not None:
                 self._children[parent].append(name)
+        # Liveness: nodes declared dead by the fault-tolerant runtime, in
+        # death order.  Structure (parents/children) is immutable; liveness
+        # is the only mutable state, guarded by its own lock because the
+        # scheduler marks nodes dead from worker threads.
+        self._dead: List[str] = []
+        self._liveness_lock = threading.Lock()
 
     def _resolve_parents(self) -> Dict[str, Optional[str]]:
         """Validate explicit parent links and derive the rest chain-style."""
@@ -217,6 +225,82 @@ class Topology:
                 ),
             ]
         )
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def mark_dead(self, name: str) -> None:
+        """Declare ``name`` dead for scheduling (idempotent).
+
+        The root cannot die — it is the query's origin and the place results
+        are returned; a dead root is simply a failed session.
+        """
+        self.node(name)
+        if name == self.cloud.name:
+            raise ValueError(f"Cannot mark the root node {name!r} dead")
+        with self._liveness_lock:
+            if name not in self._dead:
+                self._dead.append(name)
+
+    def revive_all(self) -> None:
+        """Bring every dead node back (used between independent runs)."""
+        with self._liveness_lock:
+            self._dead.clear()
+
+    def is_alive(self, name: str) -> bool:
+        """True unless ``name`` has been marked dead."""
+        self.node(name)
+        with self._liveness_lock:
+            return name not in self._dead
+
+    @property
+    def dead_nodes(self) -> List[str]:
+        """Names of dead nodes, in the order they died."""
+        with self._liveness_lock:
+            return list(self._dead)
+
+    @property
+    def live_nodes(self) -> List[Node]:
+        """All live nodes, least powerful first."""
+        with self._liveness_lock:
+            dead = set(self._dead)
+        return [node for node in self._nodes if node.name not in dead]
+
+    def nearest_live_ancestor(self, name: str) -> Node:
+        """The closest live strict ancestor of ``name`` (root worst case)."""
+        for ancestor in self.path_to_root(name)[1:]:
+            if self.is_alive(ancestor.name):
+                return ancestor
+        raise ValueError(f"Node {name!r} has no live ancestor")
+
+    def without(self, names: Sequence[str]) -> "Topology":
+        """A new topology with ``names`` removed (the re-plan input).
+
+        Children of a removed node re-parent to its nearest surviving
+        ancestor, so the tree stays connected and data still flows towards
+        the root; surviving-node order (and with it the partition/merge
+        order of the parallel runtime) is preserved.  The returned topology
+        starts fully alive.
+        """
+        removed = set(names)
+        if self.cloud.name in removed:
+            raise ValueError("Cannot remove the root node from a topology")
+        unknown = removed - set(self._by_name)
+        if unknown:
+            raise KeyError(f"Unknown nodes: {sorted(unknown)}")
+
+        def live_parent(name: str) -> Optional[str]:
+            current = self._parents[name]
+            while current is not None and current in removed:
+                current = self._parents[current]
+            return current
+
+        survivors = [
+            dataclasses.replace(node, parent=live_parent(node.name))
+            for node in self._nodes
+            if node.name not in removed
+        ]
+        return Topology(survivors)
 
     # ------------------------------------------------------------------
     # lookup

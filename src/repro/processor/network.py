@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.database import Database
 from repro.engine.table import Relation
@@ -154,6 +154,12 @@ class NetworkSimulator:
         self.cost_model = cost_model
         #: table name (lower-case) -> ordered node names holding its chunks.
         self._partitions: Dict[str, List[str]] = {}
+        #: (node name, table name) -> placement epoch.  Bumped whenever a
+        #: chunk of the table moves onto or off the node (node failure
+        #: re-placement), so task signatures built over the old placement
+        #: stop matching and stale checkpoints are never restored.
+        self._epochs: Dict[Tuple[str, str], int] = {}
+        self._placement_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # data placement
@@ -237,6 +243,132 @@ class NetworkSimulator:
         return total
 
     # ------------------------------------------------------------------
+    # failures and re-placement
+    # ------------------------------------------------------------------
+    def data_epoch(self, node_name: str, table_name: str) -> int:
+        """Placement epoch of ``table_name``'s chunk on ``node_name``.
+
+        Part of every leaf task's signature: a re-placed chunk bumps the
+        epoch, which invalidates checkpoints computed over the old chunk.
+        """
+        with self._placement_lock:
+            return self._epochs.get((node_name, table_name.lower()), 0)
+
+    def _bump_epoch(self, node_name: str, table_name: str) -> None:
+        with self._placement_lock:
+            key = (node_name, table_name.lower())
+            self._epochs[key] = self._epochs.get(key, 0) + 1
+
+    @staticmethod
+    def _concat_chunks(first: Relation, second: Relation, name: str) -> Relation:
+        """Concatenate two same-schema chunks preserving row order."""
+        merged = [
+            list(first.column_array(column.name) or [])
+            + list(second.column_array(column.name) or [])
+            for column in first.schema.columns
+        ]
+        return Relation.from_columns(first.schema, merged, name=name)
+
+    def fail_node(self, node_name: str, lose_data: bool = False) -> List:
+        """Take ``node_name`` out of service and re-place its base chunks.
+
+        Process-crash semantics (``lose_data=False``): the node's chunk of
+        every partitioned base table is still readable and merges into an
+        *adjacent* holder in partition order — into the previous holder's
+        chunk tail, or ahead of the next holder's chunk, or (sole holder)
+        onto the nearest live ancestor.  Concatenation order is preserved in
+        every case, which is what keeps recovered parallel runs
+        byte-identical to the healthy serial oracle.
+
+        Device-destroyed semantics (``lose_data=True``): the chunk is gone;
+        it is removed from the partition map and reported as a
+        :class:`~repro.runtime.faults.LostPartition` (returned in partition
+        order) for the completeness report.
+
+        Either way the dead node's database drops its copies so nothing can
+        silently read stale data, and placement epochs bump for every
+        affected (node, table) pair.
+        """
+        from repro.runtime.faults import LostPartition
+
+        self.topology.node(node_name)  # raise on unknown names
+        lost: List[LostPartition] = []
+        dead_database = self.database(node_name)
+        for table_name, holders in self._partitions.items():
+            if node_name not in holders:
+                continue
+            index = holders.index(node_name)
+            chunk = (
+                dead_database.table(table_name)
+                if table_name in dead_database
+                else None
+            )
+            if lose_data or chunk is None:
+                lost.append(
+                    LostPartition(
+                        table=table_name,
+                        node=node_name,
+                        index=index,
+                        rows=len(chunk) if chunk is not None else 0,
+                    )
+                )
+            elif index > 0:
+                # Append the dead chunk after its predecessor's chunk.
+                heir = holders[index - 1]
+                heir_database = self.database(heir)
+                merged = self._concat_chunks(
+                    heir_database.table(table_name), chunk, name=table_name
+                )
+                self._register_stream(heir_database, table_name, merged)
+                self._bump_epoch(heir, table_name)
+            elif len(holders) > 1:
+                # First holder: prepend the dead chunk to its successor's.
+                heir = holders[index + 1]
+                heir_database = self.database(heir)
+                merged = self._concat_chunks(
+                    chunk, heir_database.table(table_name), name=table_name
+                )
+                self._register_stream(heir_database, table_name, merged)
+                self._bump_epoch(heir, table_name)
+            else:
+                # Sole holder: move the chunk up to the nearest live ancestor.
+                heir = self.topology.nearest_live_ancestor(node_name).name
+                self._register_stream(self.database(heir), table_name, chunk)
+                holders[index] = heir
+                self._bump_epoch(heir, table_name)
+                self._bump_epoch(node_name, table_name)
+                self._drop_node_table(dead_database, table_name)
+                continue
+            holders.remove(node_name)
+            self._bump_epoch(node_name, table_name)
+            self._drop_node_table(dead_database, table_name)
+        return lost
+
+    @staticmethod
+    def _drop_node_table(database: Database, table_name: str) -> None:
+        """Drop a failed node's chunk plus its ``stream`` alias."""
+        if table_name in database:
+            database.drop_table(table_name)
+        if table_name != "stream" and "stream" in database:
+            database.drop_table("stream")
+
+    def drop_namespace(self, namespace: str) -> int:
+        """Drop every namespaced intermediate (``x__ns``) from every node.
+
+        Failed or retried parallel runs call this so a re-plan (or the next
+        session recycling the namespace) never reads a half-written
+        intermediate; returns the number of tables dropped.
+        """
+        suffix = f"__{namespace}".lower()
+        dropped = 0
+        for database in self._databases.values():
+            for table_name in database.table_names:
+                if table_name.lower().endswith(suffix):
+                    database.drop_table(table_name)
+                    dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
     # shipping
     # ------------------------------------------------------------------
     def ship(
@@ -247,6 +379,7 @@ class NetworkSimulator:
         target: str,
         log: Optional[TransferLog] = None,
         register: bool = True,
+        injector: Optional[object] = None,
     ) -> None:
         """Ship ``relation`` from ``source`` to ``target`` and register it there.
 
@@ -256,6 +389,11 @@ class NetworkSimulator:
         ``register=False`` logs the shipment without registering the relation
         at the target (merge tasks register the union once instead of every
         partial, keeping the target's catalog shape stable).
+        ``injector`` (duck-typed — anything with an
+        ``on_ship(source, target) -> extra delay seconds`` method, see
+        :class:`repro.runtime.faults.FailureInjector`) may delay the
+        shipment or fail it with :class:`repro.runtime.faults.LinkDown`;
+        nothing is logged or registered for a dropped shipment.
         """
         if source == target:
             if register:
@@ -263,10 +401,13 @@ class NetworkSimulator:
             return
         source_node = self.topology.node(source)
         target_node = self.topology.node(target)
+        extra_delay = 0.0
+        if injector is not None:
+            extra_delay = injector.on_ship(source, target)  # may raise LinkDown
         if self.cost_model is not None:
-            delay = self.cost_model.transfer_delay(relation.estimated_bytes())
-            if delay > 0:
-                time.sleep(delay)
+            extra_delay += self.cost_model.transfer_delay(relation.estimated_bytes())
+        if extra_delay > 0:
+            time.sleep(extra_delay)
         leaves = source_node.inside_apartment and not target_node.inside_apartment
         (log if log is not None else self.log).record(
             Transfer(

@@ -36,8 +36,23 @@ from repro.processor.result import FragmentExecution, ProcessingResult, RuntimeS
 from repro.rewrite.analyzer import NodeCapacity, PolicyAnalyzer
 from repro.rewrite.rewriter import QueryRewriter
 from repro.rlang.sqlable import RQueryExtraction, extract_sql_from_r
-from repro.runtime.cost import CostModel
-from repro.runtime.dag import ExecutionContext, build_execution_dag, last_inside_node, union_partials
+from repro.runtime.cost import DEFAULT_TASK_TIMEOUT, CostModel
+from repro.runtime.dag import (
+    ExecutionContext,
+    build_execution_dag,
+    last_inside_node,
+    replan_without,
+    union_partials,
+)
+from repro.runtime.faults import (
+    CheckpointStore,
+    CompletenessReport,
+    DataLossError,
+    FailureInjector,
+    LostPartition,
+    NodeDeath,
+    RetryPolicy,
+)
 from repro.runtime.scheduler import Scheduler
 from repro.sql import ast
 from repro.sql.parser import parse
@@ -60,6 +75,8 @@ class ParadiseProcessor:
         execution: str = "serial",
         cost_model: Optional[CostModel] = None,
         partial_aggregation: bool = True,
+        allow_partial_results: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if execution not in _EXECUTION_MODES:
             raise ValueError(
@@ -91,6 +108,14 @@ class ParadiseProcessor:
         #: aggregation plus per-level combines when possible; ``False``
         #: restores the global-merge baseline (benchmark ablation knob).
         self.partial_aggregation = partial_aggregation
+        #: Default data-loss policy for parallel runs: ``False`` raises
+        #: :class:`~repro.runtime.faults.DataLossError` when base data is
+        #: unrecoverable, ``True`` degrades to a partial result with a
+        #: :class:`~repro.runtime.faults.CompletenessReport` (per-query
+        #: override via ``process(on_data_loss=...)``).
+        self.allow_partial_results = allow_partial_results
+        #: Bounds in-place retries of transient task failures.
+        self.retry_policy = retry_policy or RetryPolicy()
         self._scheduler: Optional[Scheduler] = None
         self._scheduler_lock = threading.Lock()
 
@@ -132,6 +157,9 @@ class ParadiseProcessor:
         apply_rewriting: bool = True,
         execution: Optional[str] = None,
         namespace: Optional[str] = None,
+        faults: Optional[FailureInjector] = None,
+        on_data_loss: Optional[str] = None,
+        task_timeout: Optional[float] = None,
     ) -> ProcessingResult:
         """Process a SQL query end to end.
 
@@ -149,12 +177,27 @@ class ParadiseProcessor:
             namespace: Suffix for intermediate relation names (parallel runs
                 only); concurrent sessions pass a unique one each so shared
                 per-node databases never collide.
+            faults: Failure-injection harness for this run (parallel only);
+                the chaos tests and the recovery benchmark pass one.
+            on_data_loss: ``"fail"`` raises on unrecoverable base-data loss,
+                ``"partial"`` degrades to a partial result plus completeness
+                report; ``None`` uses the processor's
+                ``allow_partial_results`` default.
+            task_timeout: Per-task deadline in seconds (parallel only);
+                ``None`` derives a generous one from the cost model.
         """
         strategy = execution or self.execution
         if strategy not in _EXECUTION_MODES:
             raise ValueError(
                 f"Unknown execution mode: {strategy!r} (expected one of {_EXECUTION_MODES})"
             )
+        if on_data_loss not in (None, "fail", "partial"):
+            raise ValueError(
+                f"Unknown data-loss policy: {on_data_loss!r} "
+                "(expected 'fail' or 'partial')"
+            )
+        if faults is not None and strategy != "parallel":
+            raise ValueError("Failure injection requires execution='parallel'")
         started = time.perf_counter()
         parsed = parse(query) if isinstance(query, str) else query
         raw_rows = self._raw_input_rows()
@@ -203,7 +246,13 @@ class ParadiseProcessor:
         # 4. distributed execution + 5. anonymization + 6. remainder
         if strategy == "parallel" and plan.fragments:
             final = self._execute_plan_parallel(
-                plan, result, anonymize=anonymize, namespace=namespace
+                plan,
+                result,
+                anonymize=anonymize,
+                namespace=namespace,
+                faults=faults,
+                on_data_loss=on_data_loss,
+                task_timeout=task_timeout,
             )
         else:
             with execution_mode(self.engine_mode):
@@ -373,30 +422,116 @@ class ParadiseProcessor:
         result: ProcessingResult,
         anonymize: bool,
         namespace: Optional[str],
+        faults: Optional[FailureInjector] = None,
+        on_data_loss: Optional[str] = None,
+        task_timeout: Optional[float] = None,
     ) -> Relation:
-        run_log = self.network.new_log()
-        dag = build_execution_dag(
-            plan,
-            self.topology,
-            self.network,
-            anonymize=anonymize,
-            namespace=namespace,
-            partial_aggregation=self.partial_aggregation,
+        """Run ``plan`` on the parallel runtime, recovering from node deaths.
+
+        The recovery loop: build and run the execution DAG; when the
+        scheduler escalates a failure to
+        :class:`~repro.runtime.faults.NodeDeath` (injected kill, exhausted
+        retries, hung-node deadline), mark the node dead, re-place its base
+        chunks onto live siblings (:meth:`NetworkSimulator.fail_node`),
+        re-plan the DAG without it (:func:`repro.runtime.dag.replan_without`)
+        and run again — checkpointed aggregate states survive across
+        attempts, so only work the failure invalidated replays.  Chunks that
+        are truly lost either abort the query
+        (:class:`~repro.runtime.faults.DataLossError`) or, when policy
+        allows, degrade it to a partial result whose
+        :class:`~repro.runtime.faults.CompletenessReport` names exactly what
+        is missing.
+        """
+        loss_policy = on_data_loss or (
+            "partial" if self.allow_partial_results else "fail"
         )
+        if task_timeout is None:
+            if self.cost_model is not None:
+                weakest = min(node.cpu_power or 1.0 for node in self.topology)
+                task_timeout = self.cost_model.task_timeout(
+                    self._raw_input_rows(), weakest
+                )
+            else:
+                task_timeout = DEFAULT_TASK_TIMEOUT
+
+        run_log = self.network.new_log()
         context = ExecutionContext(
             network=self.network,
             log=run_log,
             engine_mode=self.engine_mode,
             cost_model=self.cost_model,
             anonymizer=self.anonymizer,
+            checkpoints=CheckpointStore(),
+            injector=faults,
         )
-        report = self.scheduler.run(dag, context)
+
+        current_plan, current_topology = plan, self.topology
+        dead: List[str] = []
+        lost: List[LostPartition] = []
+        max_replans = max(1, len(self.topology) - 1)
+        while True:
+            dag = build_execution_dag(
+                current_plan,
+                current_topology,
+                self.network,
+                anonymize=anonymize,
+                namespace=namespace,
+                partial_aggregation=self.partial_aggregation,
+            )
+            try:
+                report = self.scheduler.run(
+                    dag,
+                    context,
+                    retry_policy=self.retry_policy,
+                    task_timeout=task_timeout,
+                )
+                break
+            except NodeDeath as death:
+                # Failure hygiene: this attempt's intermediates must never
+                # leak into the re-plan (or the next session recycling the
+                # namespace).
+                if namespace:
+                    self.network.drop_namespace(namespace)
+                if death.node in dead or len(dead) >= max_replans:
+                    raise
+                dead.append(death.node)
+                self.topology.mark_dead(death.node)
+                newly_lost = self.network.fail_node(
+                    death.node, lose_data=death.lose_data
+                )
+                lost.extend(newly_lost)
+                if newly_lost and loss_policy != "partial":
+                    raise DataLossError(lost) from death
+                current_plan, current_topology = replan_without(
+                    plan, self.topology, dead
+                )
+                # Old task ids may collide with the new DAG's; checkpointed
+                # states are re-keyed by signature, everything else re-runs.
+                context.outputs.clear()
+                context.attempt += 1
+            except Exception:
+                if namespace:
+                    self.network.drop_namespace(namespace)
+                raise
 
         final = context.outputs[dag.final_task_id]
         final.name = "d_prime"
         result.executions.extend(context.ordered_executions())
         result.anonymization = context.anonymization
         result.transfers = run_log
+        leaves_lost: List[str] = []
+        for partition in lost:
+            if partition.node not in leaves_lost:
+                leaves_lost.append(partition.node)
+        result.completeness = CompletenessReport(
+            complete=not lost,
+            lost_partitions=list(lost),
+            rows_lost=sum(partition.rows for partition in lost),
+            leaves_lost=leaves_lost,
+            aggregates_exact=not lost,
+            dead_nodes=list(dead),
+            failures=faults.fired if faults is not None else [],
+        )
         result.runtime = RuntimeStats(
             partition_width=dag.partition_width,
             task_count=len(dag.tasks),
@@ -408,6 +543,11 @@ class ParadiseProcessor:
             combine_count=sum(
                 1 for task in dag.tasks if task.kind in ("combine", "finalize_agg")
             ),
+            replans=len(dead),
+            retried_attempts=report.retried_attempts,
+            restored_tasks=report.restored_tasks,
+            checkpoints_saved=context.checkpoints.saved,
+            checkpoint_bytes=context.checkpoints.total_bytes,
         )
         return final
 

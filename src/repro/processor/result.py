@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.anonymize.anonymizer import AnonymizationOutcome
 from repro.engine.table import Relation
@@ -11,6 +11,9 @@ from repro.fragment.plan import FragmentPlan
 from repro.processor.network import TransferLog
 from repro.rewrite.analyzer import AdmissionDecision
 from repro.rewrite.rewriter import RewriteResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> result)
+    from repro.runtime.faults import CompletenessReport
 
 
 @dataclass
@@ -54,6 +57,16 @@ class RuntimeStats:
     partial_count: int = 0
     #: Per-level combine tasks plus the final merge-and-finalize task.
     combine_count: int = 0
+    #: Node deaths this run recovered from by re-planning the DAG.
+    replans: int = 0
+    #: In-place retry attempts transient task failures cost.
+    retried_attempts: int = 0
+    #: Tasks satisfied from aggregate-state checkpoints instead of re-running.
+    restored_tasks: int = 0
+    #: Aggregate-state checkpoints taken at partial/combine boundaries.
+    checkpoints_saved: int = 0
+    #: Total wire-packed size of the stored checkpoints.
+    checkpoint_bytes: int = 0
 
     @property
     def overlap_factor(self) -> float:
@@ -82,6 +95,9 @@ class ProcessingResult:
     remainder_call: Optional[str] = None
     #: Parallel-runtime statistics (``None`` for serial runs).
     runtime: Optional[RuntimeStats] = None
+    #: What the result does and does not cover (``None`` for serial runs;
+    #: ``complete=True`` unless base data was unrecoverably lost).
+    completeness: Optional["CompletenessReport"] = None
 
     # ------------------------------------------------------------------
     # derived measures used by benchmarks and examples
@@ -136,6 +152,17 @@ class ProcessingResult:
                 f"{self.runtime.partition_width} partitions, "
                 f"overlap x{self.runtime.overlap_factor:.1f}"
             )
+            if self.runtime.replans or self.runtime.retried_attempts:
+                lines.append(
+                    f"  fault recovery: {self.runtime.replans} re-plan(s), "
+                    f"{self.runtime.retried_attempts} retried attempt(s), "
+                    f"{self.runtime.restored_tasks} task(s) restored from "
+                    f"{self.runtime.checkpoints_saved} checkpoint(s)"
+                )
+        if self.completeness is not None and (
+            not self.completeness.complete or self.completeness.dead_nodes
+        ):
+            lines.append("  " + self.completeness.summary().replace("\n", "\n  "))
         if self.anonymization is not None:
             lines.append("  " + self.anonymization.summary().replace("\n", "\n  "))
         if self.remainder_call:

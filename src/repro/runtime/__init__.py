@@ -36,14 +36,29 @@ query the environment at once.  This package closes that gap:
     speeds of Table 1 and link latency with GIL-releasing sleeps, so the
     runtime-scaling benchmark measures genuine wall-clock overlap.
 
+``faults``
+    The fault-tolerance layer (PR 6): a deterministic
+    :class:`~repro.runtime.faults.FailureInjector` (kill a node at a task
+    boundary, drop/delay a link, inject transient errors or hangs),
+    :class:`~repro.runtime.faults.RetryPolicy` for bounded in-place
+    retries, :class:`~repro.runtime.faults.CheckpointStore` for
+    wire-packed aggregate-state checkpoints at combine boundaries, and
+    :class:`~repro.runtime.faults.CompletenessReport` — the contract for
+    gracefully degraded partial results.  The scheduler escalates
+    unrecoverable task failures to
+    :class:`~repro.runtime.faults.NodeDeath`; the processor's recovery
+    loop marks the node dead, re-places its chunks onto live siblings and
+    re-plans the DAG (:func:`~repro.runtime.dag.replan_without`).
+
 The serial executor remains in place as the *differential oracle*
 (``ParadiseProcessor(execution="serial")``, mirroring PR 1's
 ``engine_mode`` pattern): the parallel runtime must return byte-identical
-relations on every workload, which ``tests/test_runtime.py`` enforces over
-the fig2 and use-case query corpora and a range of tree shapes.
+relations on every workload — including every workload under every
+*recoverable* injected failure, which ``tests/test_chaos.py`` enforces on
+top of the healthy differentials of ``tests/test_runtime.py``.
 """
 
-from repro.runtime.cost import CostModel
+from repro.runtime.cost import DEFAULT_TASK_TIMEOUT, CostModel
 from repro.runtime.dag import (
     CombinePartialsTask,
     ExecutionContext,
@@ -53,25 +68,54 @@ from repro.runtime.dag import (
     build_execution_dag,
     last_inside_node,
     partial_aggregation_pays,
+    replan_without,
     union_partials,
+)
+from repro.runtime.faults import (
+    CheckpointStore,
+    CompletenessReport,
+    DataLossError,
+    FailureInjector,
+    Fault,
+    FaultError,
+    InjectedTaskError,
+    LinkDown,
+    LostPartition,
+    NodeDeath,
+    RetryPolicy,
+    TransientTaskError,
 )
 from repro.runtime.scheduler import DagRunReport, Scheduler, TaskTiming
 from repro.runtime.session import QueryRequest, SessionFrontEnd
 
 __all__ = [
+    "CheckpointStore",
     "CombinePartialsTask",
+    "CompletenessReport",
     "CostModel",
+    "DEFAULT_TASK_TIMEOUT",
     "DagRunReport",
+    "DataLossError",
     "ExecutionContext",
     "ExecutionDag",
+    "FailureInjector",
+    "Fault",
+    "FaultError",
     "FinalizeAggregationTask",
+    "InjectedTaskError",
+    "LinkDown",
+    "LostPartition",
+    "NodeDeath",
     "PartialAggregateTask",
     "QueryRequest",
+    "RetryPolicy",
     "Scheduler",
     "SessionFrontEnd",
     "TaskTiming",
+    "TransientTaskError",
     "build_execution_dag",
     "last_inside_node",
     "partial_aggregation_pays",
+    "replan_without",
     "union_partials",
 ]

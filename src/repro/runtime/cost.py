@@ -23,6 +23,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+#: Fallback per-task deadline (seconds) when no cost estimate is available.
+#: Generous on purpose: a timeout declares the node dead and triggers a
+#: re-plan, so it must only ever fire for genuinely hung devices.
+DEFAULT_TASK_TIMEOUT = 30.0
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -61,3 +66,20 @@ class CostModel:
         if delay > 0.0:
             time.sleep(delay)
         return delay
+
+    def task_timeout(
+        self,
+        rows: int,
+        cpu_power: float,
+        floor: float = DEFAULT_TASK_TIMEOUT,
+        slack: float = 10.0,
+    ) -> float:
+        """A generous per-task deadline for the fault-tolerant scheduler.
+
+        ``slack`` times the simulated compute cost of the task's worst-case
+        input (its node is also paying transfer and queueing time), but
+        never below ``floor`` — timeouts exist to catch *hung* nodes, not to
+        race healthy slow ones, so false positives must be essentially
+        impossible.
+        """
+        return max(floor, slack * self.compute_delay(rows, cpu_power))

@@ -35,6 +35,8 @@ differential tests in ``tests/test_runtime.py`` enforce this.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -48,6 +50,7 @@ from repro.fragment.topology import Topology
 from repro.processor.network import NetworkSimulator, TransferLog
 from repro.processor.result import FragmentExecution
 from repro.runtime.cost import CostModel
+from repro.runtime.faults import CheckpointStore, FailureInjector
 from repro.sql import ast
 from repro.sql.visitor import clone
 
@@ -225,29 +228,50 @@ class ExecutionContext:
         engine_mode: str = "compiled",
         cost_model: Optional[CostModel] = None,
         anonymizer: Optional[object] = None,
+        checkpoints: Optional[CheckpointStore] = None,
+        injector: Optional[FailureInjector] = None,
     ) -> None:
         self.network = network
         self.log = log
         self.engine_mode = engine_mode
         self.cost_model = cost_model
         self.anonymizer = anonymizer
+        #: Signature-keyed aggregate-state checkpoints; shared across the
+        #: re-plan attempts of one processing run (``None`` disables).
+        self.checkpoints = checkpoints
+        #: The run's failure-injection harness (``None`` outside chaos runs).
+        self.injector = injector
+        #: Which re-plan attempt is executing (0 = the healthy first plan);
+        #: bumped by the processor's recovery loop before each re-run.
+        self.attempt = 0
         #: task id -> output relation; each task writes only its own key.
         self.outputs: Dict[str, Relation] = {}
-        #: (task order, record) pairs; completion order is scheduling noise,
-        #: so reports read :meth:`ordered_executions` instead.
-        self._executions: List[Tuple[int, FragmentExecution]] = []
+        #: ((attempt, task order), record) pairs; completion order is
+        #: scheduling noise, so reports read :meth:`ordered_executions`.
+        self._executions: List[Tuple[Tuple[int, int], FragmentExecution]] = []
         self.capacity_warnings: List[str] = []
         self.anonymization = None
         self._lock = threading.Lock()
 
     def record_execution(self, order: int, execution: FragmentExecution) -> None:
         with self._lock:
-            self._executions.append((order, execution))
+            self._executions.append(((self.attempt, order), execution))
 
     def ordered_executions(self) -> List[FragmentExecution]:
-        """Execution records in deterministic DAG build order."""
+        """Execution records in deterministic attempt-then-build order."""
         with self._lock:
             return [record for _, record in sorted(self._executions, key=lambda e: e[0])]
+
+    def save_checkpoint(self, task: "Task", relation: Relation) -> None:
+        """Checkpoint an aggregate-state task's output (partial/combine)."""
+        if self.checkpoints is not None and task.kind in ("partial", "combine"):
+            self.checkpoints.save(task.signature, relation)
+
+    def restore_checkpoint(self, task: "Task") -> Optional[Relation]:
+        """The checkpointed output for ``task``'s signature, if any."""
+        if self.checkpoints is None or task.kind not in ("partial", "combine"):
+            return None
+        return self.checkpoints.restore(task.signature)
 
     def warn_capacity(self, message: str) -> None:
         with self._lock:
@@ -270,6 +294,12 @@ class Task:
     order: int
     deps: List[str] = field(default_factory=list)
     kind: str = "task"
+    #: Content identity: a Merkle-style hash over the task's kind,
+    #: placement, relation names, dependency signatures and (for leaves)
+    #: the input chunk's placement epoch — *not* the task id, which shifts
+    #: between re-plans.  Equal signatures mean "produces the identical
+    #: output", which is what checkpoint restoration keys on.
+    signature: str = ""
 
     def execute(self, context: ExecutionContext) -> Relation:  # pragma: no cover
         raise NotImplementedError
@@ -297,7 +327,13 @@ class Task:
                 context.network.database(self.node).register(name, relation)
             return
         context.network.ship(
-            relation, name, source_node, self.node, log=context.log, register=register
+            relation,
+            name,
+            source_node,
+            self.node,
+            log=context.log,
+            register=register,
+            injector=context.injector,
         )
 
 
@@ -1064,9 +1100,79 @@ def build_execution_dag(
         )
     )
 
+    _assign_signatures(tasks, network)
     return ExecutionDag(
         tasks=tasks, final_task_id=final.task_id, partition_width=partition_width
     )
+
+
+def _assign_signatures(tasks: Sequence[Task], network: NetworkSimulator) -> None:
+    """Give every task its content signature (Merkle-style, leaves up).
+
+    Tasks are in build order, so every dependency's signature exists by the
+    time its dependents hash it.  Leaf tasks (no deps, reading a resident
+    chunk) fold in the chunk's placement epoch: after a failure re-places a
+    chunk, the tasks over the *moved* data get fresh signatures while
+    untouched subtrees keep theirs — exactly the distinction checkpoint
+    restoration needs.
+    """
+    by_id: Dict[str, str] = {}
+    for task in tasks:
+        parts = [task.kind, task.node]
+        for attr in ("display_name", "out_name", "in_name", "table_name", "result_name"):
+            parts.append(str(getattr(task, attr, "")))
+        if not task.deps:
+            chunk_name = getattr(task, "in_name", "") or getattr(task, "table_name", "")
+            if chunk_name:
+                parts.append(f"epoch={network.data_epoch(task.node, chunk_name)}")
+        parts.extend(by_id[dep] for dep in task.deps)
+        task.signature = hashlib.sha1("\x1f".join(parts).encode("utf-8")).hexdigest()
+        by_id[task.task_id] = task.signature
+
+
+def replan_without(
+    plan: FragmentPlan, topology: Topology, dead_names: Sequence[str]
+) -> Tuple[FragmentPlan, Topology]:
+    """Re-map ``plan`` onto ``topology`` minus the dead nodes.
+
+    Returns the remapped plan plus the pruned topology to rebuild the
+    execution DAG over (``build_execution_dag`` then re-derives the leaf
+    fan-out from the network's updated partition map and re-lifts sibling
+    groups with the same machinery as the healthy plan).  Fragments whose
+    assigned node died re-root to the nearest live ancestor — except that a
+    fragment placed *inside the apartment* never re-roots outside it: the
+    privacy boundary outranks placement economics, so it falls back to the
+    most powerful surviving in-apartment node instead.
+
+    ``topology`` must be the original (healthy) topology and ``dead_names``
+    the full accumulated death list, so repeated re-plans are independent of
+    the order nodes died in.
+    """
+    pruned = topology.without(dead_names)
+    dead = set(dead_names)
+    live_inside = [node for node in pruned.nodes if node.inside_apartment]
+
+    def replacement(name: str) -> str:
+        original = topology.node(name)
+        heir = next(
+            (
+                ancestor
+                for ancestor in topology.path_to_root(name)[1:]
+                if ancestor.name not in dead
+            ),
+            topology.cloud,
+        )
+        if original.inside_apartment and not heir.inside_apartment and live_inside:
+            heir = live_inside[-1]
+        return heir.name
+
+    fragments = [
+        dataclasses.replace(fragment, assigned_node=replacement(fragment.assigned_node))
+        if fragment.assigned_node in dead
+        else fragment
+        for fragment in plan.fragments
+    ]
+    return dataclasses.replace(plan, fragments=fragments), pruned
 
 
 def _next_blocker_decomposable(fragments: Sequence[QueryFragment], index: int) -> bool:

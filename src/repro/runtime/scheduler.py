@@ -1,4 +1,4 @@
-"""Concurrent scheduler for fragment-execution DAGs.
+"""Concurrent, fault-tolerant scheduler for fragment-execution DAGs.
 
 The :class:`Scheduler` runs the tasks of an
 :class:`~repro.runtime.dag.ExecutionDag` on a thread pool, dispatching every
@@ -16,6 +16,37 @@ environment:
   their own locks (see :class:`~repro.engine.database.Database`), so the
   compiled executor's single-threaded plan state is never entered twice.
 
+Failure semantics (PR 6): task failures are classified by the taxonomy of
+:mod:`repro.runtime.faults` —
+
+* :class:`~repro.runtime.faults.TransientTaskError` (injected errors, link
+  drops) retries the task *in place* under the run's
+  :class:`~repro.runtime.faults.RetryPolicy`, releasing the node's worker
+  slot between attempts.  Tasks are idempotent by construction — they
+  recompute their output from their dependencies' outputs and re-register
+  under the same name — so a retry can never double-count.  A task that
+  exhausts its budget escalates to
+  :class:`~repro.runtime.faults.NodeDeath`: a device that keeps failing *is*
+  dead for scheduling purposes.
+* A task exceeding its **deadline** (``task_timeout``, derived from the
+  cost model by the processor) is a hung node: the scheduler abandons the
+  run and raises :class:`~repro.runtime.faults.NodeDeath` for it instead of
+  blocking the DAG forever.
+* Every other exception is a *genuine* query error and propagates
+  unchanged — the serial/parallel error-parity contract.
+
+On any failure the scheduler cancels all not-yet-started tasks and (except
+for the hung-node case, where the stuck worker is abandoned) drains in-flight
+ones before raising, so per-node slots are released and no zombie task writes
+into a later attempt's context.  Recovery itself — marking the node dead,
+re-placing its data, re-planning the DAG — is the processor's job
+(:meth:`~repro.processor.paradise.ParadiseProcessor._execute_plan_parallel`);
+the scheduler supports it by **restoring checkpoints**: before running, any
+task whose signature has a checkpointed output (see
+:class:`~repro.runtime.faults.CheckpointStore`) is satisfied from the store
+and its entire dependency subtree is pruned, so a re-plan replays only work
+the failure actually invalidated.
+
 Determinism: the result of a DAG run does not depend on scheduling order —
 merges concatenate partials in fixed partition order and every task writes
 only its own output slot — so repeated concurrent runs return identical
@@ -28,12 +59,13 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.engine.executor import execution_mode
 from repro.engine.table import Relation
 from repro.fragment.topology import Topology
 from repro.runtime.dag import ExecutionContext, ExecutionDag, Task
+from repro.runtime.faults import NodeDeath, RetryPolicy, TransientTaskError
 
 
 @dataclass
@@ -45,6 +77,8 @@ class TaskTiming:
     node: str
     started: float
     finished: float
+    #: 1-based attempt number that succeeded (retries bump this).
+    attempt: int = 1
 
     @property
     def elapsed(self) -> float:
@@ -57,6 +91,12 @@ class DagRunReport:
 
     wall_seconds: float
     timings: List[TaskTiming] = field(default_factory=list)
+    #: Tasks satisfied from the checkpoint store instead of executing.
+    restored_tasks: int = 0
+    #: Tasks pruned entirely (their only consumers were restored).
+    skipped_tasks: int = 0
+    #: Total in-place retry attempts that transient failures cost.
+    retried_attempts: int = 0
 
     @property
     def busy_seconds(self) -> float:
@@ -85,55 +125,171 @@ class Scheduler:
             max_workers = min(32, len(topology) + 4)
         self.max_workers = max_workers
 
-    def run(self, dag: ExecutionDag, context: ExecutionContext) -> DagRunReport:
-        """Execute ``dag`` to completion; returns the run report.
+    def _slot_for(self, node_name: str) -> threading.Semaphore:
+        slot = self._slots.get(node_name)
+        if slot is None:
+            # Replanned DAGs only ever use nodes of the original topology,
+            # but stay safe for schedulers built over a pruned one.
+            slot = self._slots.setdefault(node_name, threading.Semaphore(1))
+        return slot
 
-        Raises the first task exception after letting in-flight tasks drain
-        (pending tasks are abandoned).
+    # ------------------------------------------------------------------
+    # checkpoint restoration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _restore_satisfied(
+        dag: ExecutionDag, context: ExecutionContext
+    ) -> tuple[Set[str], int]:
+        """Satisfy checkpointed tasks from the store; return (needed, restored).
+
+        Walks the DAG from the final task towards the leaves; a task whose
+        signature has a stored output is satisfied in place and its
+        dependency subtree never enters ``needed`` (unless another live
+        consumer pulls it in) — recovery replays only lost work.
         """
         by_id = dag.by_id()
+        needed: Set[str] = set()
+        restored = 0
+        stack = [dag.final_task_id]
+        while stack:
+            task_id = stack.pop()
+            if task_id in needed or task_id in context.outputs:
+                continue
+            task = by_id[task_id]
+            output = context.restore_checkpoint(task)
+            if output is not None:
+                context.outputs[task_id] = output
+                restored += 1
+                continue
+            needed.add(task_id)
+            stack.extend(task.deps)
+        return needed, restored
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        dag: ExecutionDag,
+        context: ExecutionContext,
+        retry_policy: Optional[RetryPolicy] = None,
+        task_timeout: Optional[float] = None,
+    ) -> DagRunReport:
+        """Execute ``dag`` to completion; returns the run report.
+
+        ``retry_policy`` bounds in-place retries of transient task failures
+        (defaults to :class:`~repro.runtime.faults.RetryPolicy`);
+        ``task_timeout`` is the per-task deadline in seconds (``None``
+        disables deadline checking).  Raises the first non-recovered task
+        exception after cancelling pending tasks and letting in-flight ones
+        drain; a deadline violation raises
+        :class:`~repro.runtime.faults.NodeDeath` for the hung node without
+        draining (the stuck worker is abandoned).
+        """
+        policy = retry_policy or RetryPolicy()
+        by_id = dag.by_id()
+        needed, restored_count = self._restore_satisfied(dag, context)
+        skipped_count = len(dag.tasks) - len(needed) - restored_count
         waiting: Dict[str, int] = {
-            task.task_id: len(task.deps) for task in dag.tasks
+            task_id: sum(1 for dep in by_id[task_id].deps if dep in needed)
+            for task_id in needed
         }
-        dependents: Dict[str, List[str]] = {task.task_id: [] for task in dag.tasks}
-        for task in dag.tasks:
-            for dep in task.deps:
-                dependents[dep].append(task.task_id)
+        dependents: Dict[str, List[str]] = {task_id: [] for task_id in needed}
+        for task_id in needed:
+            for dep in by_id[task_id].deps:
+                if dep in needed:
+                    dependents[dep].append(task_id)
 
         timings: List[TaskTiming] = []
-        timings_lock = threading.Lock()
+        stats_lock = threading.Lock()
+        retried_attempts = [0]
         started_at = time.perf_counter()
 
         def run_task(task: Task) -> Relation:
-            slot = self._slots[task.node]
-            with slot:
-                task_started = time.perf_counter()
-                with execution_mode(context.engine_mode):
-                    output = task.execute(context)
-                task_finished = time.perf_counter()
-            with timings_lock:
-                timings.append(
-                    TaskTiming(
-                        task_id=task.task_id,
-                        kind=task.kind,
-                        node=task.node,
-                        started=task_started - started_at,
-                        finished=task_finished - started_at,
+            slot = self._slot_for(task.node)
+            for attempt in range(1, policy.max_attempts + 1):
+                try:
+                    with slot:
+                        if context.injector is not None:
+                            context.injector.before_task(task)
+                        task_started = time.perf_counter()
+                        with execution_mode(context.engine_mode):
+                            output = task.execute(context)
+                        task_finished = time.perf_counter()
+                        if context.injector is not None:
+                            # A "finish"-boundary kill: the node did the work
+                            # but died before reporting back, so the output
+                            # is discarded with the raised NodeDeath.
+                            context.injector.after_task(task)
+                except TransientTaskError as error:
+                    if attempt >= policy.max_attempts:
+                        raise NodeDeath(
+                            task.node,
+                            cause=f"{attempt} failed attempts at {task.task_id}: {error}",
+                        ) from error
+                    with stats_lock:
+                        retried_attempts[0] += 1
+                    delay = policy.delay(attempt)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                context.save_checkpoint(task, output)
+                with stats_lock:
+                    timings.append(
+                        TaskTiming(
+                            task_id=task.task_id,
+                            kind=task.kind,
+                            node=task.node,
+                            started=task_started - started_at,
+                            finished=task_finished - started_at,
+                            attempt=attempt,
+                        )
                     )
-                )
-            return output
+                return output
+            raise AssertionError("unreachable")  # pragma: no cover
 
-        ready = [task.task_id for task in dag.tasks if waiting[task.task_id] == 0]
+        ready = [task_id for task_id in needed if waiting[task_id] == 0]
+        # Deterministic dispatch order (ties broken by build order).
+        ready.sort(key=lambda task_id: by_id[task_id].order)
         in_flight: Dict[Future, str] = {}
+        deadlines: Dict[Future, float] = {}
         first_error: Optional[BaseException] = None
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+        abandoned = False
+        pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        try:
             while (ready or in_flight) and first_error is None:
                 for task_id in ready:
-                    in_flight[pool.submit(run_task, by_id[task_id])] = task_id
+                    future = pool.submit(run_task, by_id[task_id])
+                    in_flight[future] = task_id
+                    if task_timeout is not None:
+                        deadlines[future] = time.monotonic() + task_timeout
                 ready = []
-                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                poll: Optional[float] = None
+                if deadlines:
+                    poll = max(
+                        0.01, min(deadlines.values()) - time.monotonic()
+                    )
+                done, _ = wait(
+                    set(in_flight), timeout=poll, return_when=FIRST_COMPLETED
+                )
+                if not done and deadlines:
+                    now = time.monotonic()
+                    for future, deadline in deadlines.items():
+                        if now >= deadline and not future.done():
+                            hung = by_id[in_flight[future]]
+                            first_error = NodeDeath(
+                                hung.node,
+                                cause=(
+                                    f"{hung.task_id} exceeded its "
+                                    f"{task_timeout:.1f}s deadline (hung node)"
+                                ),
+                            )
+                            abandoned = True
+                            break
+                    continue
                 for future in done:
                     task_id = in_flight.pop(future)
+                    deadlines.pop(future, None)
                     error = future.exception()
                     if error is not None:
                         first_error = error
@@ -143,13 +299,27 @@ class Scheduler:
                         waiting[dependent] -= 1
                         if waiting[dependent] == 0:
                             ready.append(dependent)
-            # Let in-flight tasks drain before surfacing an error.
+                ready.sort(key=lambda task_id: by_id[task_id].order)
             if first_error is not None:
-                wait(set(in_flight))
+                # Failure hygiene: nothing queued may start once the run is
+                # lost, and (unless a worker is known hung) every in-flight
+                # task drains so its node slot is released and no zombie
+                # write can leak into a later re-plan attempt.
+                for future in in_flight:
+                    future.cancel()
+                if not abandoned:
+                    wait(set(in_flight))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         if first_error is not None:
             raise first_error
 
+        timings.sort(key=lambda timing: timing.started)
         timings.sort(key=lambda timing: by_id[timing.task_id].order)
         return DagRunReport(
-            wall_seconds=time.perf_counter() - started_at, timings=timings
+            wall_seconds=time.perf_counter() - started_at,
+            timings=timings,
+            restored_tasks=restored_count,
+            skipped_tasks=skipped_count,
+            retried_attempts=retried_attempts[0],
         )

@@ -98,13 +98,32 @@ class SessionFrontEnd:
         """Queue one query; returns a future with its :class:`ProcessingResult`."""
         return self._pool.submit(self._run, query, module_id, options)
 
-    def run_batch(self, requests: Sequence[QueryRequest]) -> List[ProcessingResult]:
-        """Execute ``requests`` concurrently; results come back in order."""
+    def run_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        return_exceptions: bool = False,
+    ) -> List[Union[ProcessingResult, BaseException]]:
+        """Execute ``requests`` concurrently; results come back in order.
+
+        ``return_exceptions=True`` keeps one failed session (a dead node the
+        runtime could not recover, a
+        :class:`~repro.runtime.faults.DataLossError` the policy refused to
+        degrade) from poisoning the whole batch: the exception object takes
+        the failed request's slot and every other result still comes back.
+        Degraded-but-successful sessions are ordinary results — check
+        ``result.completeness`` for what they cover.
+        """
         futures = [
             self.submit(request.query, request.module_id, **request.options)
             for request in requests
         ]
-        return [future.result() for future in futures]
+        if not return_exceptions:
+            return [future.result() for future in futures]
+        outcomes: List[Union[ProcessingResult, BaseException]] = []
+        for future in futures:
+            error = future.exception()
+            outcomes.append(future.result() if error is None else error)
+        return outcomes
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -1,0 +1,527 @@
+"""Chaos differential tests for the fault-tolerant runtime (PR 6).
+
+The contract under test extends the serial/parallel differential to injected
+failures:
+
+* every *recoverable* failure (a node crash whose data a sibling can
+  re-read, a transient task error, a flaky link, a hung device caught by the
+  deadline) yields a relation **byte-identical** to the healthy serial
+  oracle — rows, row order and schema;
+* every *unrecoverable* failure (a destroyed device whose chunk is gone)
+  either aborts with :class:`~repro.runtime.faults.DataLossError` (the
+  default policy) or, under ``on_data_loss="partial"``, returns a result
+  whose :class:`~repro.runtime.faults.CompletenessReport` exactly
+  enumerates the lost partitions;
+* retries are idempotent: a re-run task recomputes its output from its
+  inputs, so no state is ever double-counted;
+* genuine query errors keep propagating identically in both execution
+  modes (fault tolerance must not swallow them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.test_runtime import RAW_WORKLOADS, build_tree_processor
+
+from repro.engine.errors import ExecutionError
+from repro.fragment.topology import Topology
+from repro.runtime import (
+    DataLossError,
+    Fault,
+    FailureInjector,
+    QueryRequest,
+    SessionFrontEnd,
+)
+from repro.runtime.faults import (
+    DELAY_LINK,
+    DROP_LINK,
+    HANG,
+    KILL_NODE,
+    TASK_ERROR,
+    CheckpointStore,
+    LinkDown,
+    NodeDeath,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.chaos
+
+ROWS = 160
+
+#: All non-root nodes of the 8-sensor tree (the cloud cannot die).
+VICTIMS = [f"sensor_{i}" for i in range(8)] + ["appliance_0", "appliance_1", "pc"]
+
+#: One workload per DAG shape: distributive-only, partial aggregation,
+#: ordering (global merge), window-over-subquery.
+CHAOS_WORKLOADS = [
+    RAW_WORKLOADS[0],
+    RAW_WORKLOADS[2],
+    RAW_WORKLOADS[3],
+    RAW_WORKLOADS[4],
+]
+
+
+def serial_oracle(query: str):
+    processor = build_tree_processor(n_sensors=8, rows=ROWS)
+    return processor.process(query, "fig4", execution="serial", apply_rewriting=False)
+
+
+def run_with_faults(query: str, injector: FailureInjector, **options):
+    processor = build_tree_processor(n_sensors=8, rows=ROWS)
+    return processor.process(
+        query,
+        "fig4",
+        execution="parallel",
+        apply_rewriting=False,
+        faults=injector,
+        **options,
+    )
+
+
+def assert_same_relation(expected, actual):
+    """Byte-identity: schema names, rows, and row order all equal."""
+    assert expected is not None and actual is not None
+    assert expected.schema.names == actual.schema.names
+    assert expected.rows == actual.rows
+
+
+# ---------------------------------------------------------------------------
+# the kill grid: node k at task boundary t, over every DAG shape
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("query", CHAOS_WORKLOADS)
+@pytest.mark.parametrize("victim", VICTIMS)
+def test_kill_any_node_stays_byte_identical(query, victim):
+    """A recoverable kill of any node leaves the result byte-identical."""
+    oracle = serial_oracle(query)
+    injector = FailureInjector([Fault(kind=KILL_NODE, node=victim)])
+    result = run_with_faults(query, injector)
+    assert_same_relation(oracle.result, result.result)
+    assert result.completeness is not None and result.completeness.complete
+    if injector.fired:
+        assert result.runtime.replans == 1
+        assert result.completeness.dead_nodes == [victim]
+    else:
+        # The plan placed no task on the victim: its death is a no-op.
+        assert result.runtime.replans == 0
+
+
+@pytest.mark.parametrize("when", ["start", "finish"])
+@pytest.mark.parametrize(
+    "at_task,victim",
+    [
+        ("~partial[sensor_2]", "sensor_2"),
+        ("~combine[appliance_0]", "appliance_0"),
+        ("~combine[pc]", "pc"),
+        ("~finalize", "appliance_0"),
+    ],
+)
+def test_kill_at_specific_task_boundaries(at_task, victim, when):
+    """Kills at every stage of the partial-aggregation protocol recover."""
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    injector = FailureInjector(
+        [Fault(kind=KILL_NODE, node=victim, at_task=at_task, when=when)]
+    )
+    result = run_with_faults(query, injector)
+    assert injector.fired, f"fault for {at_task}@{when} never matched"
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.replans == 1
+
+
+@pytest.mark.parametrize("n_failures", [1, 2])
+def test_seeded_random_kills_recover(n_failures):
+    """Seeded multi-kill runs recover and replay deterministically."""
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    for seed in (3, 11):
+        first = run_with_faults(
+            query,
+            FailureInjector.random_node_kills(
+                Topology.smart_home_tree(n_sensors=8), n_failures, seed=seed
+            ),
+        )
+        second = run_with_faults(
+            query,
+            FailureInjector.random_node_kills(
+                Topology.smart_home_tree(n_sensors=8), n_failures, seed=seed
+            ),
+        )
+        assert_same_relation(oracle.result, first.result)
+        assert_same_relation(oracle.result, second.result)
+        # Reproducible: the same seed kills the same nodes.
+        assert first.completeness.dead_nodes == second.completeness.dead_nodes
+
+
+# ---------------------------------------------------------------------------
+# transient faults: retries, link failures, hangs
+# ---------------------------------------------------------------------------
+
+
+def test_transient_error_retries_in_place():
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    injector = FailureInjector([Fault(kind=TASK_ERROR, node="sensor_1", times=2)])
+    result = run_with_faults(query, injector)
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.retried_attempts == 2
+    assert result.runtime.replans == 0
+
+
+def test_exhausted_retries_escalate_to_replan():
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    injector = FailureInjector([Fault(kind=TASK_ERROR, node="sensor_1", times=99)])
+    result = run_with_faults(query, injector)
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.replans == 1
+    assert result.completeness.dead_nodes == ["sensor_1"]
+    # Checkpoints made the re-plan replay only lost work.
+    assert result.runtime.restored_tasks > 0
+
+
+def test_link_drop_retries_then_succeeds():
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    injector = FailureInjector(
+        [Fault(kind=DROP_LINK, node="sensor_2", target="appliance_0", times=2)]
+    )
+    result = run_with_faults(query, injector)
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.retried_attempts == 2
+    assert result.runtime.replans == 0
+
+
+def test_permanently_down_link_replans():
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    injector = FailureInjector(
+        [Fault(kind=DROP_LINK, node="sensor_2", target="appliance_0", times=999)]
+    )
+    result = run_with_faults(query, injector)
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.replans >= 1
+
+
+def test_link_delay_changes_nothing_but_time():
+    query = RAW_WORKLOADS[0]
+    oracle = serial_oracle(query)
+    injector = FailureInjector(
+        [Fault(kind=DELAY_LINK, node="sensor_0", delay_seconds=0.02, times=3)]
+    )
+    result = run_with_faults(query, injector)
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.replans == 0
+
+
+def test_hung_node_detected_by_deadline():
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    injector = FailureInjector(
+        [Fault(kind=HANG, node="sensor_4", delay_seconds=1.2)]
+    )
+    result = run_with_faults(query, injector, task_timeout=0.25)
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.replans == 1
+    assert result.completeness.dead_nodes == ["sensor_4"]
+
+
+# ---------------------------------------------------------------------------
+# unrecoverable loss: policy + completeness report
+# ---------------------------------------------------------------------------
+
+
+def test_data_loss_fails_by_default():
+    injector = FailureInjector(
+        [Fault(kind=KILL_NODE, node="sensor_3", lose_data=True)]
+    )
+    with pytest.raises(DataLossError) as excinfo:
+        run_with_faults(RAW_WORKLOADS[2], injector)
+    (partition,) = excinfo.value.lost
+    assert partition.node == "sensor_3"
+    assert partition.table == "d"
+    assert partition.rows == ROWS // 8
+
+
+@pytest.mark.parametrize("query", CHAOS_WORKLOADS)
+def test_data_loss_partial_policy_reports_exactly(query):
+    injector = FailureInjector(
+        [Fault(kind=KILL_NODE, node="sensor_3", lose_data=True)]
+    )
+    result = run_with_faults(query, injector, on_data_loss="partial")
+    report = result.completeness
+    assert report is not None and not report.complete
+    assert report.leaves_lost == ["sensor_3"]
+    assert report.rows_lost == ROWS // 8
+    assert [p.index for p in report.lost_partitions] == [3]
+    assert not report.aggregates_exact
+    assert "PARTIAL" in report.summary()
+    assert "sensor_3" in report.summary()
+    # The degraded result covers only surviving chunks: same schema, never
+    # more rows than the healthy run.
+    oracle = serial_oracle(query)
+    assert result.result.schema.names == oracle.result.schema.names
+    assert len(result.result) <= len(oracle.result)
+
+
+def test_processor_level_partial_default():
+    """``allow_partial_results=True`` makes degradation the default policy."""
+    topology = Topology.smart_home_tree(n_sensors=8)
+    from repro.policy.presets import figure4_policy
+    from repro.processor.paradise import ParadiseProcessor
+    from tests.conftest import make_sensor_relation
+
+    processor = ParadiseProcessor(
+        figure4_policy(), topology=topology, allow_partial_results=True
+    )
+    processor.load_data(make_sensor_relation(ROWS))
+    injector = FailureInjector(
+        [Fault(kind=KILL_NODE, node="sensor_0", lose_data=True)]
+    )
+    result = processor.process(
+        RAW_WORKLOADS[0],
+        "fig4",
+        execution="parallel",
+        apply_rewriting=False,
+        faults=injector,
+    )
+    assert not result.completeness.complete
+    assert result.completeness.leaves_lost == ["sensor_0"]
+
+
+# ---------------------------------------------------------------------------
+# retry idempotence and checkpoint exactness
+# ---------------------------------------------------------------------------
+
+
+def test_retry_does_not_double_count_states():
+    """A retried partial-aggregation task must not inflate counts.
+
+    The injected error fires *after* several retries on the same leaf; if a
+    retry accumulated into shared state instead of recomputing, COUNT/AVG
+    would drift — byte-identity to the oracle proves it did not.
+    """
+    query = "SELECT x, COUNT(*) AS n, SUM(z) AS s FROM d GROUP BY x"
+    oracle = serial_oracle(query)
+    injector = FailureInjector(
+        [Fault(kind=TASK_ERROR, node="sensor_6", at_task="~partial", times=2)]
+    )
+    result = run_with_faults(query, injector)
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.retried_attempts == 2
+
+
+def test_checkpoint_restore_is_exact():
+    """A kill mid-protocol restores sibling states from checkpoints, and the
+    restored run is still byte-identical (checkpoints round-trip bit for
+    bit through the wire codec)."""
+    query = (
+        "SELECT x, AVG(z) AS za, STDDEV(z) AS zs, COUNT(*) AS n "
+        "FROM d GROUP BY x"
+    )
+    oracle = serial_oracle(query)
+    injector = FailureInjector(
+        [
+            Fault(
+                kind=KILL_NODE,
+                node="appliance_1",
+                at_task="~combine[appliance_1]",
+                when="start",
+            )
+        ]
+    )
+    result = run_with_faults(query, injector)
+    assert injector.fired
+    assert result.runtime.replans == 1
+    assert_same_relation(oracle.result, result.result)
+    assert result.runtime.checkpoints_saved > 0
+    assert result.runtime.restored_tasks > 0
+    assert result.runtime.checkpoint_bytes > 0
+
+
+def test_checkpoint_store_skips_unpackable_relations():
+    store = CheckpointStore()
+    from repro.engine.table import Relation
+
+    packable = Relation.from_rows(
+        [{"x": 1, "s": (2, 3.5, True)}, {"x": 2, "s": (4, 0.5, False)}], name="ok"
+    )
+    assert store.save("sig-a", packable)
+    restored = store.restore("sig-a")
+    assert restored.rows == packable.rows
+    assert restored.schema.names == packable.schema.names
+
+    unpackable = Relation.from_rows([{"x": object()}], name="bad")
+    assert not store.save("sig-b", unpackable)
+    assert store.restore("sig-b") is None
+    assert store.skipped == 1
+
+
+# ---------------------------------------------------------------------------
+# error parity and hygiene under failure
+# ---------------------------------------------------------------------------
+
+
+def test_genuine_errors_still_propagate_identically():
+    """Fault tolerance must not retry or swallow real query errors."""
+    bad_query = "SELECT no_such_column FROM d WHERE z < 1.0"
+    serial_processor = build_tree_processor(n_sensors=8, rows=ROWS)
+    parallel_processor = build_tree_processor(n_sensors=8, rows=ROWS)
+    with pytest.raises(ExecutionError) as serial_error:
+        serial_processor.process(
+            bad_query, "fig4", execution="serial", apply_rewriting=False
+        )
+    with pytest.raises(ExecutionError) as parallel_error:
+        parallel_processor.process(
+            bad_query, "fig4", execution="parallel", apply_rewriting=False
+        )
+    assert str(serial_error.value) == str(parallel_error.value)
+
+
+def test_failed_run_leaves_no_namespaced_intermediates():
+    """Satellite: failure hygiene — a lost session leaks no intermediates."""
+    processor = build_tree_processor(n_sensors=8, rows=ROWS)
+    injector = FailureInjector(
+        [Fault(kind=KILL_NODE, node="sensor_3", lose_data=True)]
+    )
+    with pytest.raises(DataLossError):
+        processor.process(
+            RAW_WORKLOADS[2],
+            "fig4",
+            execution="parallel",
+            apply_rewriting=False,
+            namespace="chaos1",
+            faults=injector,
+        )
+    for node in processor.topology:
+        for table in processor.network.database(node.name).table_names:
+            assert not table.endswith("__chaos1"), (node.name, table)
+
+
+def test_recovered_session_then_healthy_sessions_share_topology():
+    """After one session loses a node, later sessions on the same processor
+    keep working on the degraded topology (and stay byte-identical)."""
+    query = RAW_WORKLOADS[2]
+    oracle = serial_oracle(query)
+    processor = build_tree_processor(n_sensors=8, rows=ROWS)
+    injector = FailureInjector([Fault(kind=KILL_NODE, node="sensor_2")])
+    first = processor.process(
+        query, "fig4", execution="parallel", apply_rewriting=False, faults=injector
+    )
+    assert_same_relation(oracle.result, first.result)
+    assert processor.topology.dead_nodes == ["sensor_2"]
+    # A fresh healthy run on the degraded environment: sensor_2's chunk now
+    # lives with a sibling, so the result is still complete and identical.
+    second = processor.process(
+        query, "fig4", execution="parallel", apply_rewriting=False
+    )
+    assert_same_relation(oracle.result, second.result)
+    assert second.runtime.replans == 0
+
+
+def test_session_front_end_surfaces_partial_and_errors():
+    """Graceful degradation through the concurrent front-end."""
+    processor = build_tree_processor(n_sensors=8, rows=ROWS)
+    requests = [
+        QueryRequest(query=RAW_WORKLOADS[0], module_id="fig4",
+                     options={"apply_rewriting": False}),
+        QueryRequest(
+            query=RAW_WORKLOADS[2],
+            module_id="fig4",
+            options={
+                "apply_rewriting": False,
+                "faults": FailureInjector(
+                    [Fault(kind=KILL_NODE, node="sensor_1", lose_data=True)]
+                ),
+                "on_data_loss": "partial",
+            },
+        ),
+        QueryRequest(
+            query=RAW_WORKLOADS[0],
+            module_id="fig4",
+            options={
+                "apply_rewriting": False,
+                "faults": FailureInjector(
+                    [Fault(kind=KILL_NODE, node="sensor_4", lose_data=True)]
+                ),
+                "on_data_loss": "fail",
+            },
+        ),
+    ]
+    with SessionFrontEnd(processor, max_concurrent=1) as front_end:
+        outcomes = front_end.run_batch(requests, return_exceptions=True)
+    assert outcomes[0].completeness.complete
+    assert not outcomes[1].completeness.complete
+    assert outcomes[1].completeness.leaves_lost == ["sensor_1"]
+    assert isinstance(outcomes[2], DataLossError)
+
+
+# ---------------------------------------------------------------------------
+# unit coverage for the building blocks
+# ---------------------------------------------------------------------------
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault(kind="explode")
+    with pytest.raises(ValueError):
+        Fault(kind=KILL_NODE, when="midway")
+    with pytest.raises(ValueError):
+        Fault(kind=KILL_NODE, times=0)
+
+
+def test_retry_policy_backoff_grows():
+    policy = RetryPolicy(max_attempts=4, backoff_seconds=0.01, backoff_multiplier=2.0)
+    assert policy.delay(1) == pytest.approx(0.01)
+    assert policy.delay(2) == pytest.approx(0.02)
+    assert policy.delay(3) == pytest.approx(0.04)
+    assert RetryPolicy(backoff_seconds=0.0).delay(5) == 0.0
+
+
+def test_topology_liveness_and_pruning():
+    topology = Topology.smart_home_tree(n_sensors=8)
+    with pytest.raises(ValueError):
+        topology.mark_dead("cloud")
+    topology.mark_dead("appliance_0")
+    assert not topology.is_alive("appliance_0")
+    assert topology.dead_nodes == ["appliance_0"]
+    assert topology.nearest_live_ancestor("sensor_0").name == "pc"
+    pruned = topology.without(["appliance_0"])
+    assert "appliance_0" not in [node.name for node in pruned.nodes]
+    # Orphaned sensors re-parent to the dead appliance's parent.
+    assert pruned.parent_of("sensor_0").name == "pc"
+    # Surviving order (the partition/merge order) is preserved.
+    survivors = [node.name for node in pruned.nodes]
+    originals = [node.name for node in topology.nodes if node.name != "appliance_0"]
+    assert survivors == originals
+    topology.revive_all()
+    assert topology.is_alive("appliance_0")
+
+
+def test_injector_link_faults_raise_and_delay():
+    injector = FailureInjector(
+        [
+            Fault(kind=DROP_LINK, node="a", target="b"),
+            Fault(kind=DELAY_LINK, node="a", target="c", delay_seconds=0.5),
+        ]
+    )
+    with pytest.raises(LinkDown):
+        injector.on_ship("a", "b")
+    assert injector.on_ship("a", "b") == 0.0  # consumed
+    assert injector.on_ship("a", "c") == pytest.approx(0.5)
+    assert injector.on_ship("x", "y") == 0.0
+
+
+def test_injector_node_death_is_sticky():
+    class FakeTask:
+        task_id = "t001:frag[n1]"
+        node = "n1"
+
+    injector = FailureInjector([Fault(kind=KILL_NODE, node="n1")])
+    with pytest.raises(NodeDeath):
+        injector.before_task(FakeTask())
+    # Sticky: the dead node keeps dying even though the fault is consumed.
+    with pytest.raises(NodeDeath):
+        injector.before_task(FakeTask())
