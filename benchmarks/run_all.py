@@ -18,6 +18,10 @@ Three jobs in one entry point:
 3. **Runtime scaling baseline** — run ``bench_runtime_scaling.py`` in quick
    mode (parallel DAG execution vs. the serial oracle over sensor fan-outs,
    plus concurrent sessions) and write ``BENCH_runtime.json``.
+4. **Observability guardrail** — run ``bench_obs_overhead.py`` (the ``obs``
+   section): asserts tracing-disabled overhead stays under 2% on the fig2
+   workload, that concurrent profiled sessions never leak spans, and records
+   the achieved runtime overlap plus vectorized fast-path hit counts.
 
 Usage::
 
@@ -184,6 +188,9 @@ def main(argv: List[str] | None = None) -> int:
         "--skip-columnar", action="store_true", help="skip the columnar scan section"
     )
     parser.add_argument(
+        "--skip-obs", action="store_true", help="skip the observability overhead section"
+    )
+    parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output path"
     )
     parser.add_argument(
@@ -210,6 +217,19 @@ def main(argv: List[str] | None = None) -> int:
         from benchmarks.bench_columnar import run_columnar
 
         report["columnar"] = run_columnar([10_000, 100_000], repeats=args.repeats)
+
+    if not args.skip_obs:
+        from benchmarks.bench_obs_overhead import run_obs_overhead
+
+        # Asserts tracing-disabled overhead < 2% on the fig2 workload and
+        # that concurrent profiled sessions never leak spans; also records
+        # the parallel run's achieved overlap and vectorized fast-path hits.
+        report["obs"] = run_obs_overhead(repeats=max(3, args.repeats // 2))
+        print(
+            f"obs: disabled overhead {report['obs']['disabled_overhead']:+.1%}, "
+            f"enabled {report['obs']['enabled_overhead']:+.1%}, "
+            f"overlap x{report['obs']['overlap']:.2f}"
+        )
 
     if not args.skip_runtime:
         from benchmarks.bench_runtime_scaling import run_runtime_scaling

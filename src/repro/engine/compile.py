@@ -36,6 +36,20 @@ from repro.sql.render import render_expression
 #: A compiled expression: evaluates one row given its evaluation context.
 CompiledExpr = Callable[[EvaluationContext], Any]
 
+#: [hits, misses] of the constant-subquery epoch caches, as plain ints —
+#: the closures run per row, so no lock; advisory under concurrency.
+_SUBQUERY_CACHE_STATS = [0, 0]
+
+from repro.obs.metrics import registry as _obs_registry  # noqa: E402
+
+_obs_registry.probe(
+    "engine.subquery_cache",
+    lambda: {
+        "hits": _SUBQUERY_CACHE_STATS[0],
+        "misses": _SUBQUERY_CACHE_STATS[1],
+    },
+)
+
 
 class ExpressionCompiler:
     """Compile :mod:`repro.sql.ast` expressions into evaluation closures.
@@ -360,7 +374,10 @@ class ExpressionCompiler:
 
         def scalar(context: EvaluationContext) -> Any:
             if constant and cache[0] == compiler.generation:
+                _SUBQUERY_CACHE_STATS[0] += 1
                 return cache[1]
+            if constant:
+                _SUBQUERY_CACHE_STATS[1] += 1
             relation = _run_subquery(context, query)
             if len(relation) == 0:
                 value = None
@@ -390,8 +407,11 @@ class ExpressionCompiler:
             if value is None:
                 return None
             if constant and cache[0] == compiler.generation:
+                _SUBQUERY_CACHE_STATS[0] += 1
                 values = cache[1]
             else:
+                if constant:
+                    _SUBQUERY_CACHE_STATS[1] += 1
                 relation = _run_subquery(context, query)
                 if len(relation.schema) != 1:
                     raise ExecutionError("IN subquery must return exactly one column")
@@ -414,8 +434,11 @@ class ExpressionCompiler:
 
         def exists(context: EvaluationContext) -> Any:
             if constant and cache[0] == compiler.generation:
+                _SUBQUERY_CACHE_STATS[0] += 1
                 result = cache[1]
             else:
+                if constant:
+                    _SUBQUERY_CACHE_STATS[1] += 1
                 result = len(_run_subquery(context, query)) > 0
                 if constant:
                     cache[0] = compiler.generation

@@ -250,6 +250,17 @@ def _evaluate_between(expression: ast.Between, context: EvaluationContext) -> An
 _LIKE_REGEX_CACHE: Dict[Tuple[str, bool], re.Pattern] = {}
 _LIKE_REGEX_LOCK = threading.Lock()
 
+#: [hits, misses] as plain ints — this sits on the per-row interpreted LIKE
+#: path, so it must not take a lock; advisory under concurrency.
+_LIKE_CACHE_STATS = [0, 0]
+
+from repro.obs.metrics import registry as _obs_registry  # noqa: E402
+
+_obs_registry.probe(
+    "engine.like_cache",
+    lambda: {"hits": _LIKE_CACHE_STATS[0], "misses": _LIKE_CACHE_STATS[1]},
+)
+
 
 def _like_to_regex(pattern: str, case_insensitive: bool = False) -> re.Pattern:
     """Compile a SQL LIKE pattern.
@@ -262,7 +273,9 @@ def _like_to_regex(pattern: str, case_insensitive: bool = False) -> re.Pattern:
     key = (pattern, case_insensitive)
     cached = _LIKE_REGEX_CACHE.get(key)
     if cached is not None:
+        _LIKE_CACHE_STATS[0] += 1
         return cached
+    _LIKE_CACHE_STATS[1] += 1
     escaped = re.escape(pattern)
     # ``re.escape`` leaves % and _ untouched on recent Python versions but
     # escaped them historically; handle both spellings.

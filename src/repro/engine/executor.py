@@ -65,6 +65,16 @@ Scope = Dict[str, Any]
 _EMPTY_AGGREGATES: Dict[str, Any] = {}
 _STAR_ROW = (1,)
 
+#: [SELECT executions, partial-aggregation executions] — plain ints on the
+#: per-query path; read via pull-based probes so fast-path hit *rates*
+#: (vectorized hits / executions) can be derived from metric snapshots.
+_exec_counts = [0, 0]
+
+from repro.obs.metrics import registry as _obs_registry  # noqa: E402
+
+_obs_registry.probe("engine.executor.selects", lambda: _exec_counts[0])
+_obs_registry.probe("engine.executor.partial_aggregations", lambda: _exec_counts[1])
+
 _MODES = ("compiled", "interpreted")
 _default_mode = "compiled"
 
@@ -376,6 +386,7 @@ class QueryExecutor:
         # aggregate scans over a single catalog table evaluate directly on
         # the column arrays — no row scopes at all.  Ineligible shapes
         # return None and fall through to the row-at-a-time path below.
+        _exec_counts[0] += 1
         if self._use_compiled and vectorized_enabled():
             vectorized = try_execute_select(self, query, parent)
             if vectorized is not None:
@@ -1241,6 +1252,7 @@ class QueryExecutor:
         if self._compiler is not None:
             self._compiler.new_execution()
         plan = self._partial_plan(query)
+        _exec_counts[1] += 1
         if self._use_compiled and vectorized_enabled():
             vectorized = try_execute_partial(self, query)
             if vectorized is not None:

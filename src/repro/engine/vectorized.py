@@ -49,6 +49,7 @@ from __future__ import annotations
 import operator
 import threading
 from contextlib import contextmanager
+from enum import Enum
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.errors import ExecutionError
@@ -94,10 +95,34 @@ def vectorized_scans(enabled: bool) -> Iterator[None]:
         _thread_state.enabled = previous
 
 
-class ScanStats:
-    """Counters of fast-path hits (advisory; used by tests and benchmarks)."""
+class BailReason(str, Enum):
+    """Why a query fell back to the row-at-a-time path.
 
-    __slots__ = ("flat", "grouped", "partial")
+    Plan-time reasons are recorded on *every* bailing call (cache hits
+    included), so the counters measure fallback executions, not distinct
+    queries; runtime reasons (``COLUMN_DRIFT``, ``SCAN_ABANDONED``) fire
+    when an eligible plan could not finish over the column arrays.
+    """
+
+    NOT_SELECT = "not_select"
+    COMPOUND_SOURCE = "compound_source"  # join / subquery / derived table
+    QUALIFIED_SCOPES = "qualified_scopes"
+    UNKNOWN_TABLE = "unknown_table"
+    COMPLEX_PREDICATE = "complex_predicate"
+    STAR_IN_GROUP_BY = "star_in_group_by"
+    EXPRESSION_GROUP_KEY = "expression_group_key"
+    AGGREGATE_ARGS = "aggregate_args"
+    DISTINCT_OR_ORDER_BY = "distinct_or_order_by"
+    EXPRESSION_ITEM = "expression_item"
+    COLUMN_DRIFT = "column_drift"
+    SCAN_ABANDONED = "scan_abandoned"
+
+
+class ScanStats:
+    """Counters of fast-path hits and bail reasons (advisory; plain-int
+    increments so the per-query hot path stays lock-free)."""
+
+    __slots__ = ("flat", "grouped", "partial", "bails")
 
     def __init__(self) -> None:
         self.reset()
@@ -106,10 +131,19 @@ class ScanStats:
         self.flat = 0
         self.grouped = 0
         self.partial = 0
+        self.bails: Dict[str, int] = {}
+
+    def bail(self, reason: "BailReason") -> None:
+        key = reason.value
+        self.bails[key] = self.bails.get(key, 0) + 1
 
     @property
     def total(self) -> int:
         return self.flat + self.grouped + self.partial
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(self.bails.values())
 
 
 stats = ScanStats()
@@ -542,9 +576,6 @@ class GroupedScanPlan:
                 self.required.update(spec.arg_columns)
 
 
-_BAIL = object()  #: plan-cache sentinel for queries proven ineligible
-
-
 def _resolve_vector_specs(
     calls: Sequence[ast.FunctionCall],
     source_specs: Sequence[Any],
@@ -598,42 +629,50 @@ def _plan_predicates(query: ast.SelectQuery) -> Optional[List[Any]]:
 
 
 def plan_select(executor, query: ast.Query):
-    """Build (and cache) a scan plan for ``query``, or None when ineligible."""
+    """Build (and cache) a scan plan for ``query``, or None when ineligible.
+
+    Bail reasons are recorded on every bailing call — cached verdicts
+    included — so :data:`stats` counts fallback executions.
+    """
     memo = executor._vector_plans
     cached = memo.get(id(query))
     if cached is not None and cached[0] is query:
-        plan = cached[1]
-        return None if plan is _BAIL else plan
-    plan = _plan_select_uncached(executor, query)
-    executor._store_plan(memo, id(query), (query, _BAIL if plan is None else plan))
+        plan, reason = cached[1], cached[2]
+    else:
+        plan, reason = _plan_select_uncached(executor, query)
+        executor._store_plan(memo, id(query), (query, plan, reason))
+    if plan is None:
+        stats.bail(reason)
     return plan
 
 
 def _plan_select_uncached(executor, query: ast.Query):
     if not isinstance(query, ast.SelectQuery):
-        return None
+        return None, BailReason.NOT_SELECT
     if not isinstance(query.from_clause, ast.TableRef):
-        return None
+        return None, BailReason.COMPOUND_SOURCE
     if executor._needs_qualified_scopes(query):
-        return None
+        return None, BailReason.QUALIFIED_SCOPES
     try:
         table = executor.lookup_table(query.from_clause.name)
     except ExecutionError:
-        return None  # the row path raises the same "Unknown table"
+        # The row path raises the same "Unknown table".
+        return None, BailReason.UNKNOWN_TABLE
     table_columns = {name.lower() for name in table.schema.names}
     predicates = _plan_predicates(query)
     if predicates is None:
-        return None
+        return None, BailReason.COMPLEX_PREDICATE
     table_name = query.from_clause.name
 
     if query.group_by or executor._select_has_aggregates(query):
         if any(isinstance(item.expression, ast.Star) for item in query.items):
-            return None  # the row path raises the star/GROUP BY error
+            # The row path raises the star/GROUP BY error.
+            return None, BailReason.STAR_IN_GROUP_BY
         key_columns: List[str] = []
         for expression in query.group_by:
             column = _plain_column(expression)
             if column is None or column not in table_columns:
-                return None
+                return None, BailReason.EXPRESSION_GROUP_KEY
             key_columns.append(column)
         group_plan = executor._group_plan(query)
         specs = _resolve_vector_specs(
@@ -643,22 +682,23 @@ def _plan_select_uncached(executor, query: ast.Query):
             allow_multi_arg=True,
         )
         if specs is None:
-            return None
-        return GroupedScanPlan(query, table_name, predicates, key_columns, specs)
+            return None, BailReason.AGGREGATE_ARGS
+        return GroupedScanPlan(query, table_name, predicates, key_columns, specs), None
 
     # Flat projection: plain columns only, no DISTINCT/ORDER BY (the row
     # path owns reordering and dedup of full-width outputs).
     if query.distinct or query.order_by:
-        return None
+        return None, BailReason.DISTINCT_OR_ORDER_BY
     items = executor._expand_star_items(query.items, list(table.schema.names))
     out_columns: List[str] = []
     for item in items:
         column = _plain_column(item.expression)
         if column is None or column not in table_columns:
-            return None
+            return None, BailReason.EXPRESSION_ITEM
         out_columns.append(column)
     out_names = executor._output_names(items)
-    return FlatScanPlan(query, query.from_clause.name, predicates, out_names, out_columns)
+    plan = FlatScanPlan(query, query.from_clause.name, predicates, out_names, out_columns)
+    return plan, None
 
 
 # ---------------------------------------------------------------------------
@@ -678,14 +718,19 @@ def try_execute_select(executor, query: ast.Query, parent) -> Optional[Relation]
         return None
     relation = executor.lookup_table(plan.table_name)
     if any(relation.column_array(name) is None for name in plan.required):
+        stats.bail(BailReason.COLUMN_DRIFT)
         return None  # catalog shape drifted from the planned columns
     try:
         sel = _apply_predicates(plan.predicates, relation)
     except _SCAN_ABANDON_ERRORS:
+        stats.bail(BailReason.SCAN_ABANDONED)
         return None
     if isinstance(plan, FlatScanPlan):
         return _execute_flat(plan, relation, sel)
-    return _execute_grouped(executor, plan, relation, parent, sel)
+    result = _execute_grouped(executor, plan, relation, parent, sel)
+    if result is None:
+        stats.bail(BailReason.SCAN_ABANDONED)
+    return result
 
 
 def _execute_flat(
@@ -897,30 +942,32 @@ def plan_partial(executor, query: ast.SelectQuery):
     memo = executor._vector_partial_plans
     cached = memo.get(id(query))
     if cached is not None and cached[0] is query:
-        plan = cached[1]
-        return None if plan is _BAIL else plan
-    plan = _plan_partial_uncached(executor, query)
-    executor._store_plan(memo, id(query), (query, _BAIL if plan is None else plan))
+        plan, reason = cached[1], cached[2]
+    else:
+        plan, reason = _plan_partial_uncached(executor, query)
+        executor._store_plan(memo, id(query), (query, plan, reason))
+    if plan is None:
+        stats.bail(reason)
     return plan
 
 
 def _plan_partial_uncached(executor, query: ast.SelectQuery):
     if not isinstance(query.from_clause, ast.TableRef):
-        return None
+        return None, BailReason.COMPOUND_SOURCE
     if executor._needs_qualified_scopes(query):
-        return None
+        return None, BailReason.QUALIFIED_SCOPES
     try:
         table = executor.lookup_table(query.from_clause.name)
     except ExecutionError:
-        return None
+        return None, BailReason.UNKNOWN_TABLE
     table_columns = {name.lower() for name in table.schema.names}
     predicates = _plan_predicates(query)
     if predicates is None:
-        return None
+        return None, BailReason.COMPLEX_PREDICATE
     partial_plan = executor._partial_plan(query)
     key_columns = [name.lower() for name in partial_plan.key_names]
     if any(name not in table_columns for name in key_columns):
-        return None
+        return None, BailReason.EXPRESSION_GROUP_KEY
     specs = _resolve_vector_specs(
         executor._collect_aggregate_calls(query),
         partial_plan.specs,
@@ -928,8 +975,9 @@ def _plan_partial_uncached(executor, query: ast.SelectQuery):
         allow_multi_arg=False,  # decomposable aggregates are single-argument
     )
     if specs is None:
-        return None
-    return PartialScanPlan(query, query.from_clause.name, predicates, key_columns, specs)
+        return None, BailReason.AGGREGATE_ARGS
+    plan = PartialScanPlan(query, query.from_clause.name, predicates, key_columns, specs)
+    return plan, None
 
 
 def try_execute_partial(executor, query: ast.SelectQuery) -> Optional[Relation]:
@@ -939,11 +987,13 @@ def try_execute_partial(executor, query: ast.SelectQuery) -> Optional[Relation]:
         return None
     relation = executor.lookup_table(plan.table_name)
     if any(relation.column_array(name) is None for name in plan.required):
+        stats.bail(BailReason.COLUMN_DRIFT)
         return None
     partial_plan = executor._partial_plan(query)
     try:
         sel = _apply_predicates(plan.predicates, relation)
     except _SCAN_ABANDON_ERRORS:
+        stats.bail(BailReason.SCAN_ABANDONED)
         return None
 
     if plan.key_columns:
@@ -967,9 +1017,22 @@ def try_execute_partial(executor, query: ast.SelectQuery) -> Optional[Relation]:
                 relation, plan.specs, groups_indices[key], whole
             )
     except _SCAN_ABANDON_ERRORS:
+        stats.bail(BailReason.SCAN_ABANDONED)
         return None
     if not query.group_by and not groups:
         groups[()] = [spec.make() for spec in plan.specs]
         order.append(())
     stats.partial += 1
     return executor._partial_state_relation(partial_plan, groups, order)
+
+
+# ---------------------------------------------------------------------------
+# metrics probes: pull-based, so the scan counters stay plain integers
+# ---------------------------------------------------------------------------
+
+from repro.obs.metrics import registry as _registry  # noqa: E402
+
+_registry.probe("engine.vectorized.flat", lambda: stats.flat)
+_registry.probe("engine.vectorized.grouped", lambda: stats.grouped)
+_registry.probe("engine.vectorized.partial", lambda: stats.partial)
+_registry.probe("engine.vectorized.bails", lambda: dict(stats.bails))

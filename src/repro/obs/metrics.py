@@ -1,0 +1,250 @@
+"""Process-wide metrics registry: counters, gauges, histograms, probes.
+
+Design constraints (ISSUE 7):
+
+* **Cheap.**  The registry is lock-striped — metric lookup/creation takes a
+  short-lived creation lock, but each metric object carries one of a small
+  pool of stripe locks, so unrelated metrics never contend.  For the truly
+  hot paths (per-row LIKE evaluation, per-query plan-cache lookups) even a
+  striped lock is too much: those sites keep plain module-local integers and
+  register a pull-based **probe** here instead, which ``snapshot()`` invokes
+  at read time.  Plain ``int`` increments are atomic enough under the GIL to
+  be advisory-exact, and exactly correct single-threaded.
+* **Stdlib only.**  Anything in the stack (``sql``, ``engine``, ``runtime``,
+  ``processor``) may import this module without creating a cycle.
+* **Resettable.**  Benchmarks and tests take before/after snapshots via
+  :meth:`MetricsRegistry.snapshot` and diff them with :func:`delta`; global
+  state never needs to be zeroed between measurements (but ``reset()``
+  exists for test hygiene).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "delta",
+    "registry",
+]
+
+_N_STRIPES = 16
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """Point-in-time value that can move both ways (e.g. busy slots)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Running count/total/min/max over observed samples.
+
+    Full sample retention is deliberately avoided — a histogram that is fed
+    from the scheduler's per-task path must stay O(1) in memory.
+    """
+
+    __slots__ = ("name", "_lock", "count", "total", "min", "max")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "mean": self.mean,
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
+            }
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+
+Metric = Union[Counter, Gauge, Histogram]
+ProbeFn = Callable[[], Union[float, int, Dict[str, Union[float, int]]]]
+
+
+class MetricsRegistry:
+    """Named metrics plus pull-based probes, shared process-wide."""
+
+    def __init__(self, stripes: int = _N_STRIPES):
+        self._creation_lock = threading.Lock()
+        self._stripes: List[threading.Lock] = [threading.Lock() for _ in range(stripes)]
+        self._metrics: Dict[str, Metric] = {}
+        self._probes: Dict[str, ProbeFn] = {}
+
+    def _stripe(self, name: str) -> threading.Lock:
+        return self._stripes[hash(name) % len(self._stripes)]
+
+    def _get_or_create(self, name: str, cls: type) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._creation_lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, self._stripe(name))
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)  # type: ignore[return-value]
+
+    def probe(self, name: str, fn: ProbeFn) -> None:
+        """Register (or replace) a pull-based readout.
+
+        ``fn`` returns either a scalar or a flat dict; dict results are
+        flattened into ``name.key`` entries in :meth:`snapshot`.
+        """
+        with self._creation_lock:
+            self._probes[name] = fn
+
+    def value(self, name: str) -> Any:
+        """Current value of a metric or probe (None if unknown)."""
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if isinstance(metric, Histogram):
+                return metric.summary()
+            return metric.value
+        fn = self._probes.get(name)
+        if fn is not None:
+            return fn()
+        return None
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, Any]:
+        """Flat name -> value view over every metric and probe.
+
+        Probes returning dicts are flattened as ``probe_name.key``.  The
+        result is a plain dict safe to diff with :func:`delta` or dump to
+        JSON.
+        """
+        out: Dict[str, Any] = {}
+        with self._creation_lock:
+            metrics = list(self._metrics.values())
+            probes = list(self._probes.items())
+        for metric in metrics:
+            if prefix and not metric.name.startswith(prefix):
+                continue
+            if isinstance(metric, Histogram):
+                for key, value in metric.summary().items():
+                    out[f"{metric.name}.{key}"] = value
+            else:
+                out[metric.name] = metric.value
+        for name, fn in probes:
+            if prefix and not name.startswith(prefix):
+                continue
+            result = fn()
+            if isinstance(result, dict):
+                for key, value in result.items():
+                    out[f"{name}.{key}"] = value
+            else:
+                out[name] = result
+        return out
+
+    def reset(self) -> None:
+        """Zero every registered metric (probes are left untouched)."""
+        with self._creation_lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric._reset()
+
+
+def delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """Numeric difference of two snapshots (keys only in ``after`` kept)."""
+    out: Dict[str, Any] = {}
+    for key, value in after.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = value - before.get(key, 0)
+        else:
+            out[key] = value
+    return out
+
+
+#: The process-wide registry every subsystem instruments against.
+registry = MetricsRegistry()

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.engine.database import Database
 from repro.engine.table import Relation
 from repro.fragment.topology import Node, Topology
+from repro.obs.metrics import registry as _metrics
+from repro.obs.trace import current_span
 
 
 @dataclass(frozen=True)
@@ -404,8 +406,9 @@ class NetworkSimulator:
         extra_delay = 0.0
         if injector is not None:
             extra_delay = injector.on_ship(source, target)  # may raise LinkDown
+        nbytes = relation.estimated_bytes()
         if self.cost_model is not None:
-            extra_delay += self.cost_model.transfer_delay(relation.estimated_bytes())
+            extra_delay += self.cost_model.transfer_delay(nbytes)
         if extra_delay > 0:
             time.sleep(extra_delay)
         leaves = source_node.inside_apartment and not target_node.inside_apartment
@@ -415,10 +418,30 @@ class NetworkSimulator:
                 target=target,
                 relation_name=relation_name,
                 rows=len(relation),
-                bytes=relation.estimated_bytes(),
+                bytes=nbytes,
                 leaves_apartment=leaves,
             )
         )
+        _metrics.counter("network.transfers").inc()
+        _metrics.counter("network.bytes").inc(nbytes)
+        if leaves:
+            _metrics.counter("network.bytes_leaving_apartment").inc(nbytes)
+        # Ambient trace attribution: whichever span is executing on this
+        # thread (the scheduler's task span, or the serial path's stage
+        # span) gets the shipment as an instant event.  One thread-local
+        # read when tracing is off.
+        span = current_span()
+        if span is not None:
+            span.trace.add_event(
+                span,
+                "transfer",
+                source=source,
+                target=target,
+                relation=relation_name,
+                rows=len(relation),
+                bytes=nbytes,
+                leaves_apartment=leaves,
+            )
         if register:
             self.database(target).register(relation_name, relation)
 

@@ -30,6 +30,9 @@ from repro.engine.table import Relation
 from repro.fragment.fragmenter import VerticalFragmenter
 from repro.fragment.plan import FragmentPlan
 from repro.fragment.topology import Topology
+from repro.obs.metrics import registry as _metrics
+from repro.obs.profile import CalibrationLog, build_profile_report
+from repro.obs.trace import QueryTrace, maybe_span
 from repro.policy.model import PrivacyPolicy
 from repro.processor.network import NetworkSimulator
 from repro.processor.result import FragmentExecution, ProcessingResult, RuntimeStats
@@ -77,6 +80,7 @@ class ParadiseProcessor:
         partial_aggregation: bool = True,
         allow_partial_results: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        profile: bool = False,
     ) -> None:
         if execution not in _EXECUTION_MODES:
             raise ValueError(
@@ -116,6 +120,17 @@ class ParadiseProcessor:
         self.allow_partial_results = allow_partial_results
         #: Bounds in-place retries of transient task failures.
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Default profiling switch: ``True`` attaches a
+        #: :class:`~repro.obs.trace.QueryTrace` and an EXPLAIN-ANALYZE-style
+        #: :class:`~repro.obs.profile.ProfileReport` to every result
+        #: (per-query override via ``process(profile=...)``).
+        self.profile = profile
+        #: Predicted-vs-observed task costs accumulated across profiled
+        #: runs; shared with the cost model so
+        #: ``cost_model.calibration_report()`` sees the same samples.
+        self.calibration: CalibrationLog = (
+            cost_model.calibration if cost_model is not None else CalibrationLog()
+        )
         self._scheduler: Optional[Scheduler] = None
         self._scheduler_lock = threading.Lock()
 
@@ -160,6 +175,7 @@ class ParadiseProcessor:
         faults: Optional[FailureInjector] = None,
         on_data_loss: Optional[str] = None,
         task_timeout: Optional[float] = None,
+        profile: Optional[bool] = None,
     ) -> ProcessingResult:
         """Process a SQL query end to end.
 
@@ -185,6 +201,9 @@ class ParadiseProcessor:
                 ``allow_partial_results`` default.
             task_timeout: Per-task deadline in seconds (parallel only);
                 ``None`` derives a generous one from the cost model.
+            profile: Collect a :class:`~repro.obs.trace.QueryTrace` and
+                build an EXPLAIN-ANALYZE-style profile report for this run;
+                ``None`` uses the processor's ``profile`` default.
         """
         strategy = execution or self.execution
         if strategy not in _EXECUTION_MODES:
@@ -198,6 +217,9 @@ class ParadiseProcessor:
             )
         if faults is not None and strategy != "parallel":
             raise ValueError("Failure injection requires execution='parallel'")
+        profiling = self.profile if profile is None else profile
+        trace = QueryTrace(query_id=module_id) if profiling else None
+        metrics_before = _metrics.snapshot() if profiling else None
         started = time.perf_counter()
         parsed = parse(query) if isinstance(query, str) else query
         raw_rows = self._raw_input_rows()
@@ -253,14 +275,113 @@ class ParadiseProcessor:
                 faults=faults,
                 on_data_loss=on_data_loss,
                 task_timeout=task_timeout,
+                trace=trace,
             )
         else:
             with execution_mode(self.engine_mode):
-                final = self._execute_plan(plan, result, anonymize=anonymize)
+                with maybe_span(trace, "serial_plan", kind="dag_run", epoch=0):
+                    final = self._execute_plan(
+                        plan, result, anonymize=anonymize, trace=trace
+                    )
             result.transfers = self.network.log
         result.result = final
         result.elapsed_seconds = time.perf_counter() - started
+        if trace is not None:
+            result.trace = trace
+            result.profile = build_profile_report(
+                trace,
+                runtime_wall_seconds=(
+                    result.runtime.wall_seconds if result.runtime is not None else 0.0
+                ),
+                calibration=self.calibration,
+                metrics_before=metrics_before,
+                metrics_after=_metrics.snapshot(),
+            )
         return result
+
+    # ------------------------------------------------------------------
+    # EXPLAIN (plan + placement without executing)
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: Union[str, ast.Query],
+        module_id: str,
+        pushdown: bool = True,
+        apply_rewriting: bool = True,
+        anonymize: bool = True,
+        execution: Optional[str] = None,
+        namespace: Optional[str] = None,
+    ) -> str:
+        """Render the fragment plan and DAG placement without executing.
+
+        Runs admission, rewriting, fragmentation and (for parallel
+        strategies) the DAG build — all side-effect-free — and returns a
+        human-readable plan: which fragment lands on which node, and how
+        the parallel runtime would decompose it into tasks.
+        """
+        strategy = execution or self.execution
+        if strategy not in _EXECUTION_MODES:
+            raise ValueError(
+                f"Unknown execution mode: {strategy!r} (expected one of {_EXECUTION_MODES})"
+            )
+        parsed = parse(query) if isinstance(query, str) else query
+        lines = [f"EXPLAIN (module {module_id!r}, execution={strategy})"]
+        working_query = parsed
+        if apply_rewriting:
+            sensor_node = self.topology.nodes[0]
+            admission = self.analyzer.admit(
+                parsed,
+                module_id,
+                estimated_rows=self._raw_input_rows(),
+                capacity=NodeCapacity(
+                    cpu_power=sensor_node.cpu_power or 1.0,
+                    free_memory_mb=self.topology.cloud.free_memory_mb,
+                ),
+                enforce_interval=self.enforce_query_interval,
+            )
+            if not admission.admitted:
+                lines.append("admission: REJECTED")
+                for reason in admission.reasons:
+                    lines.append(f"  - {reason}")
+                return "\n".join(lines)
+            lines.append("admission: ok")
+            rewrite = self.rewriter.rewrite(parsed, module_id)
+            if not rewrite.compliant:
+                lines.append("rewriting: NOT COMPLIANT")
+                if rewrite.report.rejection_reason:
+                    lines.append(f"  - {rewrite.report.rejection_reason}")
+                return "\n".join(lines)
+            lines.append(f"rewritten: {rewrite.sql}")
+            working_query = rewrite.query
+
+        if pushdown:
+            plan = self.fragmenter.fragment(working_query)
+        else:
+            plan = self.fragmenter.cloud_only_plan(working_query)
+        lines.append("")
+        lines.append(plan.pretty())
+
+        if strategy == "parallel" and plan.fragments:
+            dag = build_execution_dag(
+                plan,
+                self.topology,
+                self.network,
+                anonymize=anonymize,
+                namespace=namespace,
+                partial_aggregation=self.partial_aggregation,
+            )
+            lines.append("")
+            lines.append(
+                f"parallel DAG: {len(dag.tasks)} tasks over "
+                f"{dag.partition_width} partition(s)"
+            )
+            for task in sorted(dag.tasks, key=lambda t: t.order):
+                deps = f" <- {', '.join(task.deps)}" if task.deps else ""
+                lines.append(
+                    f"  {task.order:3d}. {task.task_id} [{task.kind}] "
+                    f"@ {task.node}{deps}"
+                )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # plan execution (serial oracle)
@@ -271,8 +392,35 @@ class ParadiseProcessor:
             power = self.topology.node(node_name).cpu_power or 1.0
             self.cost_model.charge_compute(rows, power)
 
+    def _observe_serial(
+        self,
+        trace: Optional[QueryTrace],
+        span,
+        kind: str,
+        node: str,
+        input_rows: int,
+        output: Relation,
+        elapsed: float,
+    ) -> None:
+        """Annotate a serial-path span and feed the calibration log."""
+        if trace is None or span is None:
+            return
+        span.attrs["input_rows"] = input_rows
+        span.attrs["output_rows"] = len(output)
+        span.attrs["estimated_bytes"] = output.estimated_bytes()
+        predicted = 0.0
+        if self.cost_model is not None:
+            power = self.topology.node(node).cpu_power or 1.0
+            predicted = self.cost_model.compute_delay(input_rows, power)
+            span.attrs["predicted_seconds"] = predicted
+        self.calibration.observe(kind, predicted, elapsed, rows=input_rows)
+
     def _execute_plan(
-        self, plan: FragmentPlan, result: ProcessingResult, anonymize: bool
+        self,
+        plan: FragmentPlan,
+        result: ProcessingResult,
+        anonymize: bool,
+        trace: Optional[QueryTrace] = None,
     ) -> Relation:
         sensor_name = self.topology.nodes[0].name
         current_node = sensor_name
@@ -281,7 +429,7 @@ class ParadiseProcessor:
         fragments = list(plan.fragments)
         if fragments and self.network.is_partitioned(fragments[0].input_name):
             current_node, current_relation, fragments = self._serial_leaf_stage(
-                plan, result, fragments
+                plan, result, fragments, trace=trace
             )
 
         for fragment in fragments:
@@ -298,9 +446,16 @@ class ParadiseProcessor:
                 else self._raw_input_rows()
             )
             self._charge_compute(input_rows, target_node)
-            fragment_started = time.perf_counter()
-            current_relation = database.query(fragment.query)
-            elapsed = time.perf_counter() - fragment_started
+            with maybe_span(
+                trace, fragment.name, kind="fragment", node=target_node
+            ) as span:
+                fragment_started = time.perf_counter()
+                current_relation = database.query(fragment.query)
+                elapsed = time.perf_counter() - fragment_started
+                self._observe_serial(
+                    trace, span, "fragment", target_node, input_rows,
+                    current_relation, elapsed,
+                )
             current_relation.name = fragment.name
             database.register(fragment.name, current_relation)
             result.executions.append(
@@ -323,10 +478,19 @@ class ParadiseProcessor:
         if anonymize:
             boundary_node = self._last_inside_node(current_node)
             self._charge_compute(len(current_relation), boundary_node)
-            outcome = self.anonymizer.anonymize(
-                current_relation,
-                node_cpu_power=self.topology.node(boundary_node).cpu_power or 1.0,
-            )
+            anonymize_input_rows = len(current_relation)
+            with maybe_span(
+                trace, "anonymize", kind="fragment", node=boundary_node
+            ) as span:
+                anonymize_started = time.perf_counter()
+                outcome = self.anonymizer.anonymize(
+                    current_relation,
+                    node_cpu_power=self.topology.node(boundary_node).cpu_power or 1.0,
+                )
+                self._observe_serial(
+                    trace, span, "anonymize", boundary_node, anonymize_input_rows,
+                    outcome.relation, time.perf_counter() - anonymize_started,
+                )
             result.anonymization = outcome
             current_relation = outcome.relation
 
@@ -340,9 +504,14 @@ class ParadiseProcessor:
             database.register(plan.remainder_input_alias, current_relation)
             remainder_input_rows = len(current_relation)
             self._charge_compute(remainder_input_rows, cloud)
-            remainder_started = time.perf_counter()
-            current_relation = database.query(plan.remainder_query)
-            elapsed = time.perf_counter() - remainder_started
+            with maybe_span(trace, "Q_delta", kind="fragment", node=cloud) as span:
+                remainder_started = time.perf_counter()
+                current_relation = database.query(plan.remainder_query)
+                elapsed = time.perf_counter() - remainder_started
+                self._observe_serial(
+                    trace, span, "remainder", cloud, remainder_input_rows,
+                    current_relation, elapsed,
+                )
             result.executions.append(
                 FragmentExecution(
                     fragment_name="Q_delta",
@@ -362,6 +531,7 @@ class ParadiseProcessor:
         plan: FragmentPlan,
         result: ProcessingResult,
         fragments: List,
+        trace: Optional[QueryTrace] = None,
     ) -> Tuple[str, Relation, List]:
         """Serial oracle over a partitioned base: leaf loop + ordered union.
 
@@ -382,9 +552,15 @@ class ParadiseProcessor:
             chunk_rows = len(database.table(base_table)) if base_table in database else 0
             if run_fragment:
                 self._charge_compute(chunk_rows, holder)
-                fragment_started = time.perf_counter()
-                partial = database.query(first.query)
-                elapsed = time.perf_counter() - fragment_started
+                with maybe_span(
+                    trace, f"{first.name}[{holder}]", kind="fragment", node=holder
+                ) as span:
+                    fragment_started = time.perf_counter()
+                    partial = database.query(first.query)
+                    elapsed = time.perf_counter() - fragment_started
+                    self._observe_serial(
+                        trace, span, "fragment", holder, chunk_rows, partial, elapsed
+                    )
                 partial.name = f"{first.name}[{holder}]"
                 result.executions.append(
                     FragmentExecution(
@@ -425,6 +601,7 @@ class ParadiseProcessor:
         faults: Optional[FailureInjector] = None,
         on_data_loss: Optional[str] = None,
         task_timeout: Optional[float] = None,
+        trace: Optional[QueryTrace] = None,
     ) -> Relation:
         """Run ``plan`` on the parallel runtime, recovering from node deaths.
 
@@ -463,6 +640,8 @@ class ParadiseProcessor:
             anonymizer=self.anonymizer,
             checkpoints=CheckpointStore(),
             injector=faults,
+            trace=trace,
+            calibration=self.calibration if trace is not None else None,
         )
 
         current_plan, current_topology = plan, self.topology
@@ -495,6 +674,7 @@ class ParadiseProcessor:
                 if death.node in dead or len(dead) >= max_replans:
                     raise
                 dead.append(death.node)
+                _metrics.counter("runtime.node_deaths").inc()
                 self.topology.mark_dead(death.node)
                 newly_lost = self.network.fail_node(
                     death.node, lose_data=death.lose_data

@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.anonymize.anonymizer import AnonymizationOutcome
 from repro.engine.table import Relation
 from repro.fragment.plan import FragmentPlan
+from repro.obs.profile import ProfileReport
+from repro.obs.trace import QueryTrace
 from repro.processor.network import TransferLog
 from repro.rewrite.analyzer import AdmissionDecision
 from repro.rewrite.rewriter import RewriteResult
@@ -75,6 +77,18 @@ class RuntimeStats:
             return 1.0
         return self.busy_seconds / self.wall_seconds
 
+    @property
+    def overlap(self) -> float:
+        """Achieved parallelism: ``busy_seconds / wall_seconds``.
+
+        Unlike :attr:`overlap_factor` (which reports the neutral 1.0 for a
+        degenerate run, as its display uses expect), a zero wall clock here
+        yields 0.0 — benchmark JSON wants "no measurement", not "serial".
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.busy_seconds / self.wall_seconds
+
 
 @dataclass
 class ProcessingResult:
@@ -98,6 +112,12 @@ class ProcessingResult:
     #: What the result does and does not cover (``None`` for serial runs;
     #: ``complete=True`` unless base data was unrecoverably lost).
     completeness: Optional["CompletenessReport"] = None
+    #: Span collection of this run (``profile=True`` only); exports to
+    #: Chrome trace JSON via ``result.trace.to_chrome(path)``.
+    trace: Optional[QueryTrace] = None
+    #: EXPLAIN-ANALYZE-style report built from the trace (``profile=True``
+    #: only); render with ``result.profile.render()``.
+    profile: Optional[ProfileReport] = None
 
     # ------------------------------------------------------------------
     # derived measures used by benchmarks and examples

@@ -21,7 +21,9 @@ ordinary processing never sleeps.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.obs.profile import CalibrationLog, CalibrationReport
 
 #: Fallback per-task deadline (seconds) when no cost estimate is available.
 #: Generous on purpose: a timeout declares the node dead and triggers a
@@ -42,6 +44,17 @@ class CostModel:
 
     seconds_per_row: float = 0.0
     seconds_per_kb: float = 0.0
+    #: Predicted-vs-observed task costs, filled by the scheduler during
+    #: profiled runs.  The binding is frozen with the dataclass but the log
+    #: itself is mutable (and thread-safe); it never participates in
+    #: equality or hashing.
+    calibration: CalibrationLog = field(
+        default_factory=CalibrationLog, compare=False, repr=False
+    )
+
+    def calibration_report(self) -> CalibrationReport:
+        """Per-task-kind prediction error accumulated by profiled runs."""
+        return self.calibration.report()
 
     @property
     def is_free(self) -> bool:

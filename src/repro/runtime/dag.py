@@ -47,6 +47,8 @@ from repro.engine.table import Relation
 from repro.engine.types import DataType
 from repro.fragment.plan import FragmentPlan, QueryFragment
 from repro.fragment.topology import Topology
+from repro.obs.profile import CalibrationLog
+from repro.obs.trace import QueryTrace, current_span
 from repro.processor.network import NetworkSimulator, TransferLog
 from repro.processor.result import FragmentExecution
 from repro.runtime.cost import CostModel
@@ -230,6 +232,8 @@ class ExecutionContext:
         anonymizer: Optional[object] = None,
         checkpoints: Optional[CheckpointStore] = None,
         injector: Optional[FailureInjector] = None,
+        trace: Optional[QueryTrace] = None,
+        calibration: Optional[CalibrationLog] = None,
     ) -> None:
         self.network = network
         self.log = log
@@ -241,31 +245,77 @@ class ExecutionContext:
         self.checkpoints = checkpoints
         #: The run's failure-injection harness (``None`` outside chaos runs).
         self.injector = injector
+        #: Per-query span collection (``None`` outside profiled runs; every
+        #: producer guards on that, keeping tracing near-zero-cost off).
+        self.trace = trace
+        #: Predicted-vs-observed task costs, filled by the scheduler.
+        self.calibration = calibration
         #: Which re-plan attempt is executing (0 = the healthy first plan);
         #: bumped by the processor's recovery loop before each re-run.
         self.attempt = 0
         #: task id -> output relation; each task writes only its own key.
         self.outputs: Dict[str, Relation] = {}
-        #: ((attempt, task order), record) pairs; completion order is
-        #: scheduling noise, so reports read :meth:`ordered_executions`.
-        self._executions: List[Tuple[Tuple[int, int], FragmentExecution]] = []
+        #: (attempt, task order) -> record.  Keyed, not appended: a task
+        #: retried in place overwrites its own slot, so a transient failure
+        #: after the engine call no longer double-charges the task's time in
+        #: report sums.  Completion order is scheduling noise, so reports
+        #: read :meth:`ordered_executions`.
+        self._executions: Dict[Tuple[int, int], FragmentExecution] = {}
         self.capacity_warnings: List[str] = []
         self.anonymization = None
         self._lock = threading.Lock()
 
     def record_execution(self, order: int, execution: FragmentExecution) -> None:
         with self._lock:
-            self._executions.append(((self.attempt, order), execution))
+            self._executions[(self.attempt, order)] = execution
 
     def ordered_executions(self) -> List[FragmentExecution]:
         """Execution records in deterministic attempt-then-build order."""
         with self._lock:
-            return [record for _, record in sorted(self._executions, key=lambda e: e[0])]
+            return [record for _, record in sorted(self._executions.items())]
 
-    def save_checkpoint(self, task: "Task", relation: Relation) -> None:
+    def engine_call(self, fn, *args) -> Tuple[Relation, float]:
+        """Run one engine operation, timed.  The single timing site for DAG
+        task work: returns ``(output, elapsed_seconds)`` and, when tracing,
+        accumulates the elapsed time on the current task span."""
+        started = time.perf_counter()
+        output = fn(*args)
+        elapsed = time.perf_counter() - started
+        if self.trace is not None:
+            span = current_span()
+            if span is not None and span.trace is self.trace:
+                span.attrs["engine_seconds"] = (
+                    span.attrs.get("engine_seconds", 0.0) + elapsed
+                )
+        return output, elapsed
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the current task span (no-op untraced)."""
+        if self.trace is None:
+            return
+        span = current_span()
+        if span is not None and span.trace is self.trace:
+            span.attrs.update(attrs)
+
+    def annotate_io(self, input_rows: int, output: Relation) -> None:
+        """Record a task's row counts and output size on its span.
+
+        ``estimated_bytes`` walks every value of the output, so it is only
+        computed when tracing is on.
+        """
+        if self.trace is None:
+            return
+        self.annotate(
+            input_rows=input_rows,
+            output_rows=len(output),
+            estimated_bytes=output.estimated_bytes(),
+        )
+
+    def save_checkpoint(self, task: "Task", relation: Relation) -> bool:
         """Checkpoint an aggregate-state task's output (partial/combine)."""
         if self.checkpoints is not None and task.kind in ("partial", "combine"):
-            self.checkpoints.save(task.signature, relation)
+            return self.checkpoints.save(task.signature, relation)
+        return False
 
     def restore_checkpoint(self, task: "Task") -> Optional[Relation]:
         """The checkpointed output for ``task``'s signature, if any."""
@@ -363,11 +413,10 @@ class FragmentTask(Task):
                 len(database.table(self.in_name)) if self.in_name in database else 0
             )
         context.charge_compute(input_rows, self.node)
-        started = time.perf_counter()
-        output = database.query(self.query)
-        elapsed = time.perf_counter() - started
+        output, elapsed = context.engine_call(database.query, self.query)
         output.name = self.display_name
         database.register(self.out_name, output)
+        context.annotate_io(input_rows, output)
         context.record_execution(
             self.order,
             FragmentExecution(
@@ -390,7 +439,9 @@ class RawScanTask(Task):
     table_name: str = ""
 
     def execute(self, context: ExecutionContext) -> Relation:
-        return context.network.database(self.node).table(self.table_name)
+        output = context.network.database(self.node).table(self.table_name)
+        context.annotate(input_rows=len(output), output_rows=len(output))
+        return output
 
 
 @dataclass
@@ -404,7 +455,6 @@ class MergeTask(Task):
     def execute(self, context: ExecutionContext) -> Relation:
         partials: List[Relation] = []
         total_in = 0
-        started = time.perf_counter()
         for part_id, part_node in self.parts:
             relation = context.outputs[part_id]
             total_in += len(relation)
@@ -419,9 +469,11 @@ class MergeTask(Task):
                 register=False,
             )
             partials.append(relation)
-        merged = union_partials(partials, self.display_name)
+        merged, elapsed = context.engine_call(
+            union_partials, partials, self.display_name
+        )
         context.network.database(self.node).register(self.out_name, merged)
-        elapsed = time.perf_counter() - started
+        context.annotate_io(total_in, merged)
         context.record_execution(
             self.order,
             FragmentExecution(
@@ -469,11 +521,10 @@ class PartialAggregateTask(Task):
                 len(database.table(self.in_name)) if self.in_name in database else 0
             )
         context.charge_compute(input_rows, self.node)
-        started = time.perf_counter()
-        output = database.partial_aggregate(self.query)
-        elapsed = time.perf_counter() - started
+        output, elapsed = context.engine_call(database.partial_aggregate, self.query)
         output.name = self.display_name
         database.register(self.out_name, output)
+        context.annotate_io(input_rows, output)
         context.record_execution(
             self.order,
             FragmentExecution(
@@ -521,11 +572,12 @@ class CombinePartialsTask(Task):
         merged = union_partials(partials, self.display_name)
         context.charge_compute(total_in, self.node)
         database = context.network.database(self.node)
-        started = time.perf_counter()
-        output = database.combine_partials(self.query, merged)
-        elapsed = time.perf_counter() - started
+        output, elapsed = context.engine_call(
+            database.combine_partials, self.query, merged
+        )
         output.name = self.display_name
         database.register(self.out_name, output)
+        context.annotate_io(total_in, output)
         context.record_execution(
             self.order,
             FragmentExecution(
@@ -574,11 +626,12 @@ class FinalizeAggregationTask(Task):
         merged = union_partials(partials, f"{self.display_name}~partial")
         context.charge_compute(total_in, self.node)
         database = context.network.database(self.node)
-        started = time.perf_counter()
-        output = database.finalize_partials(self.query, merged)
-        elapsed = time.perf_counter() - started
+        output, elapsed = context.engine_call(
+            database.finalize_partials, self.query, merged
+        )
         output.name = self.display_name
         database.register(self.out_name, output)
+        context.annotate_io(total_in, output)
         context.record_execution(
             self.order,
             FragmentExecution(
@@ -605,10 +658,13 @@ class AnonymizeTask(Task):
         relation = context.outputs[self.source_id]
         context.charge_compute(len(relation), self.node)
         node = context.network.topology.node(self.node)
-        outcome = context.anonymizer.anonymize(
-            relation, node_cpu_power=node.cpu_power or 1.0
+        outcome, _ = context.engine_call(
+            lambda: context.anonymizer.anonymize(
+                relation, node_cpu_power=node.cpu_power or 1.0
+            )
         )
         context.anonymization = outcome
+        context.annotate_io(len(relation), outcome.relation)
         return outcome.relation
 
 
@@ -628,13 +684,13 @@ class FinalizeTask(Task):
         if self.source_node != self.node:
             self._receive(context, relation, self.result_name, self.source_node)
         if self.remainder_query is None:
+            context.annotate_io(len(relation), relation)
             return relation
         database = context.network.database(self.node)
         database.register(self.remainder_input_alias, relation)
         context.charge_compute(len(relation), self.node)
-        started = time.perf_counter()
-        output = database.query(self.remainder_query)
-        elapsed = time.perf_counter() - started
+        output, elapsed = context.engine_call(database.query, self.remainder_query)
+        context.annotate_io(len(relation), output)
         context.record_execution(
             self.order,
             FragmentExecution(

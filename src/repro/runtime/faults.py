@@ -54,6 +54,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from repro.obs.metrics import registry as _metrics
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.table import Relation
     from repro.fragment.topology import Topology
@@ -250,6 +252,7 @@ class FailureInjector:
             return False
         self._remaining[fault_index] -= 1
         self._fired.append(description)
+        _metrics.counter("chaos.faults_fired").inc()
         return True
 
     def _task_fault(self, task: Any, when: str) -> Optional[Fault]:
@@ -380,6 +383,7 @@ class CheckpointStore:
         with self._lock:
             self._packed[signature] = payload
             self.saved += 1
+        _metrics.counter("chaos.checkpoints_saved").inc()
         return True
 
     def restore(self, signature: str) -> Optional["Relation"]:
@@ -393,6 +397,7 @@ class CheckpointStore:
         relation = unpack_state_relation(payload)
         with self._lock:
             self.restored += 1
+        _metrics.counter("chaos.checkpoints_restored").inc()
         return relation
 
     def __contains__(self, signature: object) -> bool:

@@ -64,6 +64,8 @@ from typing import Dict, List, Optional, Set
 from repro.engine.executor import execution_mode
 from repro.engine.table import Relation
 from repro.fragment.topology import Topology
+from repro.obs.metrics import registry as _metrics
+from repro.obs.trace import activate
 from repro.runtime.dag import ExecutionContext, ExecutionDag, Task
 from repro.runtime.faults import NodeDeath, RetryPolicy, TransientTaskError
 
@@ -203,37 +205,130 @@ class Scheduler:
         timings: List[TaskTiming] = []
         stats_lock = threading.Lock()
         retried_attempts = [0]
+        trace = context.trace
+        # Per-run metric handles: one registry lookup each, then plain
+        # striped-lock increments on the per-task path.
+        tasks_counter = _metrics.counter("runtime.tasks_executed")
+        queue_hist = _metrics.histogram("runtime.queue_wait_seconds")
+        slots_gauge = _metrics.gauge("runtime.slots_busy")
         started_at = time.perf_counter()
+        run_span = None
+        if trace is not None:
+            # One root span per (re-plan) epoch; task spans parent here, so
+            # the trace's run wall time reconciles with the report's.
+            run_span = trace.begin(
+                f"dag_run[epoch={context.attempt}]",
+                kind="dag_run",
+                epoch=context.attempt,
+                tasks=len(needed),
+            )
+            if restored_count or skipped_count:
+                trace.add_event(
+                    run_span,
+                    "checkpoint_restore",
+                    restored=restored_count,
+                    skipped=skipped_count,
+                )
 
-        def run_task(task: Task) -> Relation:
+        def run_task(task: Task, ready_at: float) -> Relation:
             slot = self._slot_for(task.node)
+            previous_span = None
             for attempt in range(1, policy.max_attempts + 1):
+                span = None
                 try:
                     with slot:
-                        if context.injector is not None:
-                            context.injector.before_task(task)
-                        task_started = time.perf_counter()
-                        with execution_mode(context.engine_mode):
-                            output = task.execute(context)
-                        task_finished = time.perf_counter()
-                        if context.injector is not None:
-                            # A "finish"-boundary kill: the node did the work
-                            # but died before reporting back, so the output
-                            # is discarded with the raised NodeDeath.
-                            context.injector.after_task(task)
+                        queue_wait = time.perf_counter() - ready_at
+                        if trace is not None:
+                            attrs = {
+                                "task_id": task.task_id,
+                                "deps": list(task.deps),
+                                "signature": task.signature,
+                                "epoch": context.attempt,
+                                "attempt": attempt,
+                                "order": task.order,
+                                "queue_wait": queue_wait,
+                            }
+                            if previous_span is not None:
+                                attrs["retry_of"] = previous_span.span_id
+                            span = trace.begin(
+                                task.task_id,
+                                kind="task",
+                                node=task.node,
+                                parent=run_span,
+                                **attrs,
+                            )
+                        slots_gauge.inc()
+                        try:
+                            if context.injector is not None:
+                                context.injector.before_task(task)
+                            task_started = time.perf_counter()
+                            with execution_mode(context.engine_mode), activate(span):
+                                output = task.execute(context)
+                            task_finished = time.perf_counter()
+                            if context.injector is not None:
+                                # A "finish"-boundary kill: the node did the
+                                # work but died before reporting back, so the
+                                # output is discarded with the raised
+                                # NodeDeath.
+                                context.injector.after_task(task)
+                        finally:
+                            slots_gauge.dec()
                 except TransientTaskError as error:
+                    if span is not None:
+                        trace.add_event(
+                            span, "fault", error=str(error), transient=True
+                        )
                     if attempt >= policy.max_attempts:
+                        if span is not None:
+                            trace.finish(span, status="aborted")
                         raise NodeDeath(
                             task.node,
                             cause=f"{attempt} failed attempts at {task.task_id}: {error}",
                         ) from error
+                    if span is not None:
+                        trace.finish(span, status="retried")
+                        previous_span = span
                     with stats_lock:
                         retried_attempts[0] += 1
                     delay = policy.delay(attempt)
                     if delay > 0.0:
                         time.sleep(delay)
                     continue
-                context.save_checkpoint(task, output)
+                except BaseException as error:
+                    # Node kills, link-down escalations, genuine query
+                    # errors: the attempt's span aborts either way.
+                    if span is not None:
+                        trace.add_event(
+                            span, "fault", error=str(error), transient=False
+                        )
+                        trace.finish(span, status="aborted")
+                    raise
+                saved = context.save_checkpoint(task, output)
+                tasks_counter.inc()
+                queue_hist.observe(queue_wait)
+                if span is not None:
+                    if saved:
+                        trace.add_event(
+                            span, "checkpoint_save", signature=task.signature[:12]
+                        )
+                    trace.finish(span, status="ok")
+                    if context.calibration is not None:
+                        rows = span.attrs.get("input_rows", 0) or 0
+                        if context.cost_model is not None:
+                            power = (
+                                context.network.topology.node(task.node).cpu_power
+                                or 1.0
+                            )
+                            predicted = context.cost_model.compute_delay(rows, power)
+                            span.attrs["predicted_seconds"] = predicted
+                        else:
+                            predicted = 0.0
+                        context.calibration.observe(
+                            task.kind,
+                            predicted,
+                            task_finished - task_started,
+                            rows=rows,
+                        )
                 with stats_lock:
                     timings.append(
                         TaskTiming(
@@ -259,7 +354,7 @@ class Scheduler:
         try:
             while (ready or in_flight) and first_error is None:
                 for task_id in ready:
-                    future = pool.submit(run_task, by_id[task_id])
+                    future = pool.submit(run_task, by_id[task_id], time.perf_counter())
                     in_flight[future] = task_id
                     if task_timeout is not None:
                         deadlines[future] = time.monotonic() + task_timeout
@@ -312,12 +407,17 @@ class Scheduler:
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         if first_error is not None:
+            if run_span is not None:
+                trace.finish(run_span, status="aborted")
             raise first_error
 
+        wall_seconds = time.perf_counter() - started_at
+        if run_span is not None:
+            trace.finish(run_span, status="ok")
         timings.sort(key=lambda timing: timing.started)
         timings.sort(key=lambda timing: by_id[timing.task_id].order)
         return DagRunReport(
-            wall_seconds=time.perf_counter() - started_at,
+            wall_seconds=wall_seconds,
             timings=timings,
             restored_tasks=restored_count,
             skipped_tasks=skipped_count,

@@ -27,10 +27,12 @@ same requests one at a time (the determinism tests enforce this).
 from __future__ import annotations
 
 import queue
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING, Union
 
+from repro.obs.metrics import registry as _metrics
 from repro.processor.result import ProcessingResult
 from repro.sql import ast
 
@@ -75,18 +77,33 @@ class SessionFrontEnd:
     # submission
     # ------------------------------------------------------------------
     def _run(
-        self, query: Union[str, ast.Query], module_id: str, options: Dict[str, Any]
+        self,
+        query: Union[str, ast.Query],
+        module_id: str,
+        options: Dict[str, Any],
+        submitted_at: float,
     ) -> ProcessingResult:
         namespace = self._namespaces.get()
+        _metrics.histogram("session.queue_wait_seconds").observe(
+            time.perf_counter() - submitted_at
+        )
+        active = _metrics.gauge("session.active")
+        active.inc()
         try:
-            return self.processor.process(
+            result = self.processor.process(
                 query,
                 module_id,
                 execution="parallel",
                 namespace=namespace,
                 **options,
             )
+            _metrics.counter("session.completed").inc()
+            return result
+        except BaseException:
+            _metrics.counter("session.failed").inc()
+            raise
         finally:
+            active.dec()
             self._namespaces.put(namespace)
 
     def submit(
@@ -96,7 +113,10 @@ class SessionFrontEnd:
         **options: Any,
     ) -> "Future[ProcessingResult]":
         """Queue one query; returns a future with its :class:`ProcessingResult`."""
-        return self._pool.submit(self._run, query, module_id, options)
+        _metrics.counter("session.submitted").inc()
+        return self._pool.submit(
+            self._run, query, module_id, options, time.perf_counter()
+        )
 
     def run_batch(
         self,

@@ -593,6 +593,16 @@ _PARSE_CACHE: Dict[str, ast.Query] = {}
 _PARSE_CACHE_LOCK = threading.Lock()
 _PARSE_CACHE_MAX = 256
 
+#: [hits, misses], bumped under the cache lock; exposed as a metrics probe.
+_PARSE_CACHE_STATS = [0, 0]
+
+from repro.obs.metrics import registry as _obs_registry  # noqa: E402
+
+_obs_registry.probe(
+    "sql.parse_cache",
+    lambda: {"hits": _PARSE_CACHE_STATS[0], "misses": _PARSE_CACHE_STATS[1]},
+)
+
 
 def parse(text: str) -> ast.Query:
     """Parse ``text`` into a query AST (memoized on the exact SQL text).
@@ -606,6 +616,10 @@ def parse(text: str) -> ast.Query:
     """
     with _PARSE_CACHE_LOCK:
         cached = _PARSE_CACHE.get(text)
+        if cached is not None:
+            _PARSE_CACHE_STATS[0] += 1
+        else:
+            _PARSE_CACHE_STATS[1] += 1
     if cached is not None:
         return cached
     parsed = Parser(text).parse_query()
