@@ -221,6 +221,13 @@ def run_runtime_scaling(
     report["chaos"] = run_chaos(
         rows=min(rows, 1200), repeats=max(2, repeats - 1), cost_model=cost_model
     )
+    # Process-backend compute overlap (PR 8): cost model disabled, thread
+    # baseline vs 1/2/4 process workers, differential-checked in-loop.  Row
+    # count is fixed independently of ``rows`` so engine compute dominates
+    # the wire/IPC overhead being amortized.
+    from benchmarks.bench_multicore import run_multicore
+
+    report["multicore"] = run_multicore(repeats=max(2, repeats))
     if out is not None:
         out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out}")

@@ -17,7 +17,10 @@ Three jobs in one entry point:
    regressions.
 3. **Runtime scaling baseline** — run ``bench_runtime_scaling.py`` in quick
    mode (parallel DAG execution vs. the serial oracle over sensor fan-outs,
-   plus concurrent sessions) and write ``BENCH_runtime.json``.
+   plus concurrent sessions) and write ``BENCH_runtime.json``.  Its
+   ``multicore`` section (``bench_multicore.py``) compares the thread
+   backend against 1/2/4 process workers on a compute-bound workload with
+   cost-model sleeps disabled, differential-checked in-loop.
 4. **Observability guardrail** — run ``bench_obs_overhead.py`` (the ``obs``
    section): asserts tracing-disabled overhead stays under 2% on the fig2
    workload, that concurrent profiled sessions never leak spans, and records
@@ -252,6 +255,9 @@ def main(argv: List[str] | None = None) -> int:
             "groupby_pushdown_speedup_vs_global_merge": pushdown.get(
                 "speedup_vs_global_merge"
             ),
+            "multicore_best_speedup_vs_threads": runtime_report.get(
+                "multicore", {}
+            ).get("best_speedup_vs_threads"),
             "chaos_recovery_overheads": {
                 f"fanout{entry['n_sensors']}_failures{entry['injected_failures']}": entry[
                     "overhead_vs_healthy"

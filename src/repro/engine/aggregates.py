@@ -29,6 +29,7 @@ import statistics
 from fractions import Fraction
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.columns import TypedColumn
 from repro.engine.errors import ExecutionError
 
 
@@ -424,7 +425,10 @@ class CountAccumulator:
             self.count += 1
 
     def add_many(self, values: Sequence[Any]) -> None:
-        if isinstance(values, list):
+        if isinstance(values, TypedColumn):
+            # O(1): the typed backing tracks its NULL count.
+            self.count += len(values) - values.null_count
+        elif isinstance(values, list):
             self.count += len(values) - values.count(None)
         else:
             self.count += sum(1 for value in values if value is not None)

@@ -37,11 +37,30 @@ from typing import (
     Sequence,
 )
 
+from repro.engine.columns import (
+    FLOAT64,
+    INT64,
+    TypedBackingError,
+    TypedColumn,
+    copy_column,
+    extend_column,
+    take_column,
+    typed_column_from_values,
+)
 from repro.engine.errors import SchemaError
 from repro.engine.schema import ColumnDef, Schema
+from repro.engine.types import DataType
 from repro.engine.wire import WireFormatError, packed_size
 
 Row = Dict[str, Any]
+
+#: Schema types that get a typed backing attempt at construction.  The
+#: values are still verified cell by cell — a declared-INTEGER column
+#: holding a stray string simply keeps the generic list backing.
+_TYPECODES = {
+    DataType.INTEGER: INT64,
+    DataType.FLOAT: FLOAT64,
+}
 
 
 class RowView(MutableMapping):
@@ -66,11 +85,11 @@ class RowView(MutableMapping):
         return column[self._index]
 
     def __setitem__(self, key: str, value: Any) -> None:
-        column = self._relation._column_for(key)
-        if column is None:
+        relation = self._relation
+        position = relation._index_by_name.get(key.lower())
+        if position is None:
             raise KeyError(f"Cannot add column {key!r} through a row view")
-        column[self._index] = value
-        self._relation._bump()
+        relation._set_cell(position, self._index, value)
 
     def __delitem__(self, key: str) -> None:
         raise TypeError("Cannot delete columns through a row view")
@@ -300,9 +319,33 @@ class Relation:
         self._version += 1
         self._scope_cache = None
 
+    def _set_cell(self, position: int, index: int, value: Any) -> None:
+        """Write one cell, degrading a typed column the value does not fit."""
+        column = self._columns[position]
+        if isinstance(column, TypedColumn):
+            try:
+                column[index] = value
+            except TypedBackingError:
+                column = column.to_list()
+                self._columns[position] = column
+                column[index] = value
+        else:
+            column[index] = value
+        self._bump()
+
     def _append_row(self, row: Mapping[str, Any]) -> None:
-        for name, column in zip(self.schema.names, self._columns):
-            column.append(row.get(name))
+        for position, name in enumerate(self.schema.names):
+            column = self._columns[position]
+            value = row.get(name)
+            if isinstance(column, TypedColumn):
+                try:
+                    column.append(value)
+                except TypedBackingError:
+                    column = column.to_list()
+                    self._columns[position] = column
+                    column.append(value)
+            else:
+                column.append(value)
         self._nrows += 1
         self._bump()
 
@@ -311,7 +354,9 @@ class Relation:
         copies: List[List[Any]] = []
         for column_def in schema.columns:
             column = self._column_for(column_def.name)
-            copies.append(list(column) if column is not None else [None] * self._nrows)
+            copies.append(
+                copy_column(column) if column is not None else [None] * self._nrows
+            )
         return copies
 
     def scope_rows(self) -> List[Dict[str, Any]]:
@@ -345,7 +390,7 @@ class Relation:
         """A new relation holding the given rows, in the given order."""
         return Relation.from_columns(
             self.schema,
-            [[column[i] for i in indices] for column in self._columns],
+            [take_column(column, indices) for column in self._columns],
             name=name or self.name,
         )
 
@@ -366,7 +411,7 @@ class Relation:
             column = self._column_for(column_name)
             if column is None:
                 raise SchemaError(f"Unknown column: {column_name}")
-            columns.append(list(column))
+            columns.append(copy_column(column))
         return Relation.from_columns(schema, columns, name=name or self.name)
 
     def drop(self, names: Sequence[str], name: str = "") -> "Relation":
@@ -378,7 +423,7 @@ class Relation:
         """Rename columns according to ``mapping`` (values are shared copies)."""
         schema = self.schema.rename(mapping)
         return Relation.from_columns(
-            schema, [list(column) for column in self._columns], name=name or self.name
+            schema, [copy_column(column) for column in self._columns], name=name or self.name
         )
 
     def limit(self, count: int) -> "Relation":
@@ -401,7 +446,16 @@ class Relation:
     def copy(self) -> "Relation":
         """Copy with fresh column arrays (values shared, structure private)."""
         return Relation.from_columns(
-            self.schema, [list(column) for column in self._columns], name=self.name
+            self.schema, [copy_column(column) for column in self._columns], name=self.name
+        )
+
+    def __reduce__(self):
+        # Relations must never cross a process boundary through pickle —
+        # the wire codec (repro.engine.wire.pack_relation) is the only
+        # sanctioned transport, and a guard test enforces this.
+        raise TypeError(
+            "Relation is not picklable; serialize with repro.engine.wire "
+            "pack_relation/unpack_relation"
         )
 
     def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
@@ -418,30 +472,26 @@ class Relation:
         return self._nrows * len(self.schema)
 
     def estimated_bytes(self) -> int:
-        """Rough wire-size estimate used for the data-transfer benchmarks.
+        """Per-cell wire-size estimate used for the transfer cost model.
 
-        Numbers count as 8 bytes, booleans as 1, strings/timestamps as their
-        textual length.  Partial aggregate states — tuples and Fractions —
-        count at their packed-struct size (:mod:`repro.engine.wire`), not
-        their repr text, so the cost model charges shipped group states
-        realistically.  Absolute values do not matter; the benchmarks
-        compare ratios between configurations.
+        Every cell is charged at its :func:`repro.engine.wire.packed_size` —
+        the exact encoded size of the codec that real shipments now pay —
+        so size accounting, the link-latency cost model and checkpoints all
+        agree.  Cells outside the wire vocabulary fall back to their
+        textual length.  Typed columns are charged in O(1) per column
+        (9 bytes per value, 1 per NULL, matching the generic cell tags).
         """
-        sizes = {type(None): 1, bool: 1, int: 8, float: 8}
         total = 0
         for column in self._columns:
+            if isinstance(column, TypedColumn):
+                total += column.packed_cells_size()
+                continue
             for value in column:
-                size = sizes.get(type(value))
-                if size is not None:
-                    total += size
-                elif isinstance(value, tuple):
-                    try:
-                        total += packed_size(value)
-                    except WireFormatError:
-                        # Tuples holding values outside the state vocabulary
-                        # (not aggregate states) keep the textual estimate.
-                        total += len(str(value))
-                else:
+                try:
+                    total += packed_size(value)
+                except WireFormatError:
+                    # Cells outside the wire vocabulary (exotic objects)
+                    # keep the textual estimate.
                     total += len(str(value))
         return total
 
@@ -492,14 +542,26 @@ class Relation:
 def _columns_from_rows(
     schema: Schema, rows: Iterable[Mapping[str, Any]]
 ) -> tuple:
-    """Materialize mapping rows into per-column lists, in schema order."""
+    """Materialize mapping rows into per-column arrays, in schema order.
+
+    Columns whose declared type maps to a typed backing (INTEGER/FLOAT)
+    get an ``array``-backed :class:`TypedColumn` when every value fits;
+    mixed or mistyped columns keep the generic list backing.
+    """
     names = schema.names
-    columns: List[List[Any]] = [[] for _ in names]
+    columns: List[Any] = [[] for _ in names]
     count = 0
     for row in rows:
         count += 1
         for position, name in enumerate(names):
             columns[position].append(row.get(name))
+    for position, column_def in enumerate(schema.columns):
+        typecode = _TYPECODES.get(column_def.data_type)
+        if typecode is None:
+            continue
+        typed = typed_column_from_values(columns[position], typecode)
+        if typed is not None:
+            columns[position] = typed
     return columns, count
 
 
@@ -523,10 +585,10 @@ def concat(relations: Sequence[Relation], name: str = "") -> Relation:
         raise SchemaError("Cannot concatenate zero relations")
     first = relations[0]
     expected = [n.lower() for n in first.schema.names]
-    columns: List[List[Any]] = [[] for _ in expected]
-    for relation in relations:
+    columns: List[Any] = [copy_column(column) for column in first.columns()]
+    for relation in relations[1:]:
         if [n.lower() for n in relation.schema.names] != expected:
             raise SchemaError("Relations have different schemas")
         for position, column in enumerate(relation.columns()):
-            columns[position].extend(column)
+            columns[position] = extend_column(columns[position], column)
     return Relation.from_columns(first.schema, columns, name=name or first.name)

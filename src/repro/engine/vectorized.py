@@ -52,11 +52,12 @@ from contextlib import contextmanager
 from enum import Enum
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.engine.columns import INT64, TypedColumn, take_column
 from repro.engine.errors import ExecutionError
 from repro.engine.evaluator import _like_to_regex
 from repro.engine.schema import ColumnDef, Schema
 from repro.engine.table import Relation
-from repro.engine.types import infer_type
+from repro.engine.types import DataType, infer_type
 from repro.sql import ast
 from repro.sql.render import render_expression
 
@@ -116,13 +117,19 @@ class BailReason(str, Enum):
     EXPRESSION_ITEM = "expression_item"
     COLUMN_DRIFT = "column_drift"
     SCAN_ABANDONED = "scan_abandoned"
+    #: A consumed column is declared int/float but its backing degraded to
+    #: a generic Python list, forcing the boxed per-cell path through an
+    #: otherwise vectorized scan.  Unlike the other reasons this does not
+    #: mean the scan fell back to the row path — it measures lost typed
+    #: throughput (surfaced in the profile report's scan-path section).
+    UNTYPED_BACKING = "untyped_backing"
 
 
 class ScanStats:
     """Counters of fast-path hits and bail reasons (advisory; plain-int
     increments so the per-query hot path stays lock-free)."""
 
-    __slots__ = ("flat", "grouped", "partial", "bails")
+    __slots__ = ("flat", "grouped", "partial", "typed", "bails")
 
     def __init__(self) -> None:
         self.reset()
@@ -131,6 +138,8 @@ class ScanStats:
         self.flat = 0
         self.grouped = 0
         self.partial = 0
+        #: Completed scans that consumed at least one typed-backed column.
+        self.typed = 0
         self.bails: Dict[str, int] = {}
 
     def bail(self, reason: "BailReason") -> None:
@@ -175,6 +184,12 @@ def distinct_rows(rows: List[Dict[str, Any]], names: List[str]) -> List[Dict[str
 
 def _first_non_null_type(values) -> Any:
     """The shared inference rule: first non-null value decides, else FLOAT."""
+    if isinstance(values, TypedColumn):
+        # The backing decides in O(1): typed columns hold exactly ints or
+        # floats (never bools), matching what per-value inference returns.
+        if values.null_count == len(values):
+            return infer_type(0.0)
+        return DataType.INTEGER if values.typecode == INT64 else DataType.FLOAT
     for value in values:
         if value is not None:
             return infer_type(value)
@@ -248,6 +263,11 @@ class _IsNullPred:
 
     def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
         array = relation.column_array(self.column)
+        if isinstance(array, TypedColumn):
+            isnull = array.null_map()
+            if self.negated:
+                return [i for i in sel if not isnull[i]]
+            return [i for i in sel if isnull[i]]
         if self.negated:
             return [i for i in sel if array[i] is not None]
         return [i for i in sel if array[i] is None]
@@ -275,6 +295,36 @@ class _ComparePred:
         const = self.value
         out: List[int] = []
         add_null = nulls.add
+        if isinstance(array, TypedColumn):
+            # Typed backing: read the unboxed buffer directly and test NULL
+            # through the byte map — no per-cell boxing or None sentinel.
+            isnull = array.null_map()
+            data = array.data_array()
+            if self.invert is not None:
+                wanted = not self.invert
+                for i in sel:
+                    if isnull[i]:
+                        out.append(i)
+                        add_null(i)
+                    elif (data[i] == const) is wanted:
+                        out.append(i)
+                return out
+            op = self.order_op
+            if self.swapped:
+                for i in sel:
+                    if isnull[i]:
+                        out.append(i)
+                        add_null(i)
+                    elif op(const, data[i]):
+                        out.append(i)
+            else:
+                for i in sel:
+                    if isnull[i]:
+                        out.append(i)
+                        add_null(i)
+                    elif op(data[i], const):
+                        out.append(i)
+            return out
         if self.invert is not None:  # = / <> / != : never raises
             wanted = not self.invert
             for i in sel:
@@ -710,6 +760,34 @@ def _plan_select_uncached(executor, query: ast.Query):
 #: path can re-raise its own row-major error (see "Error identity" above).
 _SCAN_ABANDON_ERRORS = (TypeError, ValueError, OverflowError)
 
+#: Schema types whose columns are expected to carry a typed backing.
+_TYPEABLE = (DataType.INTEGER, DataType.FLOAT)
+
+
+def _note_backing(relation: Relation, names) -> None:
+    """Account a completed scan's column backings.
+
+    Bumps ``stats.typed`` when the scan consumed a typed-backed column and
+    records :attr:`BailReason.UNTYPED_BACKING` when a consumed column is
+    declared int/float but its backing degraded to a generic list.
+    """
+    if not names or not len(relation):
+        return
+    touched_typed = False
+    degraded = False
+    lowered = {name.lower() for name in names}
+    for column_def, column in zip(relation.schema.columns, relation.columns()):
+        if column_def.name.lower() not in lowered:
+            continue
+        if isinstance(column, TypedColumn):
+            touched_typed = True
+        elif column_def.data_type in _TYPEABLE:
+            degraded = True
+    if touched_typed:
+        stats.typed += 1
+    if degraded:
+        stats.bail(BailReason.UNTYPED_BACKING)
+
 
 def try_execute_select(executor, query: ast.Query, parent) -> Optional[Relation]:
     """Execute ``query`` over column arrays, or None to use the row path."""
@@ -726,10 +804,13 @@ def try_execute_select(executor, query: ast.Query, parent) -> Optional[Relation]
         stats.bail(BailReason.SCAN_ABANDONED)
         return None
     if isinstance(plan, FlatScanPlan):
-        return _execute_flat(plan, relation, sel)
-    result = _execute_grouped(executor, plan, relation, parent, sel)
-    if result is None:
-        stats.bail(BailReason.SCAN_ABANDONED)
+        result = _execute_flat(plan, relation, sel)
+    else:
+        result = _execute_grouped(executor, plan, relation, parent, sel)
+        if result is None:
+            stats.bail(BailReason.SCAN_ABANDONED)
+    if result is not None:
+        _note_backing(relation, plan.required)
     return result
 
 
@@ -752,8 +833,9 @@ def _execute_flat(
         if limit is not None:
             sel = sel[:limit]
         for name in plan.out_columns:
-            array = relation.column_array(name)
-            columns.append([array[i] for i in sel])
+            # Typed backings gather into typed columns (and slices above
+            # stay typed), so projections preserve unboxed storage.
+            columns.append(take_column(relation.column_array(name), sel))
 
     stats.flat += 1
     schema = build_schema_from_columns(plan.out_names, columns)
@@ -836,7 +918,9 @@ def _feed_accumulators(
             if whole_relation:
                 accumulator.add_many(array)
             else:
-                accumulator.add_many([array[i] for i in indices])
+                # Typed backings gather through the unboxed buffer so
+                # add_many sees a typed column (see aggregates.add_many).
+                accumulator.add_many(take_column(array, indices))
         else:
             arrays = [relation.column_array(name) for name in arg_columns]
             for i in indices:
@@ -1023,6 +1107,7 @@ def try_execute_partial(executor, query: ast.SelectQuery) -> Optional[Relation]:
         groups[()] = [spec.make() for spec in plan.specs]
         order.append(())
     stats.partial += 1
+    _note_backing(relation, plan.required)
     return executor._partial_state_relation(partial_plan, groups, order)
 
 
@@ -1035,4 +1120,5 @@ from repro.obs.metrics import registry as _registry  # noqa: E402
 _registry.probe("engine.vectorized.flat", lambda: stats.flat)
 _registry.probe("engine.vectorized.grouped", lambda: stats.grouped)
 _registry.probe("engine.vectorized.partial", lambda: stats.partial)
+_registry.probe("engine.vectorized.typed", lambda: stats.typed)
 _registry.probe("engine.vectorized.bails", lambda: dict(stats.bails))

@@ -25,8 +25,13 @@ length-prefixed element count.
 from __future__ import annotations
 
 import struct
+import sys
+from array import array
+from datetime import datetime
 from fractions import Fraction
 from typing import Any, Tuple
+
+from repro.engine.columns import FLOAT64, INT64, TypedColumn
 
 _TAG_NONE = b"\x00"
 _TAG_FALSE = b"\x01"
@@ -37,6 +42,7 @@ _TAG_FLOAT = b"\x05"
 _TAG_STR = b"\x06"
 _TAG_FRACTION = b"\x07"
 _TAG_TUPLE = b"\x08"
+_TAG_DATETIME = b"\x09"
 
 _INT64 = struct.Struct("<q")
 _FLOAT = struct.Struct("<d")
@@ -89,6 +95,11 @@ def pack_value(value: Any) -> bytes:
         parts = [_TAG_TUPLE, _LENGTH.pack(len(value))]
         parts.extend(pack_value(element) for element in value)
         return b"".join(parts)
+    if isinstance(value, datetime):
+        # CAST(... AS TIMESTAMP) results; isoformat() round-trips exactly
+        # through fromisoformat() (the fold attribute is not preserved).
+        payload = value.isoformat().encode("utf-8")
+        return _TAG_DATETIME + _LENGTH.pack(len(payload)) + payload
     raise WireFormatError(f"Cannot pack value of type {type(value).__name__}")
 
 
@@ -142,6 +153,14 @@ def _unpack(data: bytes, offset: int) -> Tuple[Any, int]:
             element, offset = _unpack(data, offset)
             elements.append(element)
         return tuple(elements), offset
+    if tag == _TAG_DATETIME:
+        payload, offset = _take(data, offset, 4)
+        (length,) = _LENGTH.unpack(payload)
+        payload, offset = _take(data, offset, length)
+        try:
+            return datetime.fromisoformat(payload.decode("utf-8")), offset
+        except ValueError as error:
+            raise WireFormatError(f"Malformed datetime payload: {error}")
     raise WireFormatError(f"Unknown tag byte: {tag!r}")
 
 
@@ -178,53 +197,143 @@ def packed_size(value: Any) -> int:
         )
     if isinstance(value, tuple):
         return 5 + sum(packed_size(element) for element in value)
+    if isinstance(value, datetime):
+        return 5 + len(value.isoformat().encode("utf-8"))
     raise WireFormatError(f"Cannot pack value of type {type(value).__name__}")
 
 
 # ---------------------------------------------------------------------------
-# whole-relation codec (checkpoints)
+# whole-relation codec (shipments, checkpoints, process-boundary transport)
 # ---------------------------------------------------------------------------
 #
-# The fault-tolerant runtime checkpoints partial-state relations at combine
-# boundaries so recovery after a node death replays only the lost leaves.  A
-# checkpoint must be *exactly* the relation it replaces — merging a restored
-# state must be indistinguishable from merging the original — so the codec
-# reuses :func:`pack_value`'s bit-exact vocabulary: the whole relation
-# (name, schema, column arrays) becomes one nested tuple.  Relations whose
-# cells fall outside that vocabulary raise :class:`WireFormatError`; callers
-# treat that as "not checkpointable" and simply re-execute.
+# Every inter-node shipment, every checkpoint and every task that crosses a
+# process-pool boundary moves relations through this codec, so the transfer
+# log, the link-latency cost model and the recovery machinery all see the
+# same real bytes.  A decoded relation must be *exactly* the relation that
+# was encoded — merging a restored state must be indistinguishable from
+# merging the original.
+#
+# Layout: a 4-byte magic (versioned), the name and schema through
+# :func:`pack_value`, a row count, then one backing tag per column.  Typed
+# int64/float64 columns travel as a bit-packed NULL bitmap plus their raw
+# little-endian buffer (a memcpy on both ends); generic columns fall back
+# to one tagged cell at a time.  Relations whose cells fall outside the
+# wire vocabulary raise :class:`WireFormatError`; checkpoint callers treat
+# that as "not checkpointable" and simply re-execute.
+
+#: Magic prefix of a packed relation.  0x50 ('P') is not a value tag, so a
+#: relation payload can never be confused with a ``pack_value`` payload.
+_RELATION_MAGIC = b"PRL1"
+
+_COL_GENERIC = b"\x00"
+_COL_INT64 = b"\x01"
+_COL_FLOAT64 = b"\x02"
+
+_COL_TYPECODES = {_COL_INT64: INT64, _COL_FLOAT64: FLOAT64}
+_COL_TAGS = {INT64: _COL_INT64, FLOAT64: _COL_FLOAT64}
 
 
-def pack_state_relation(relation: "Any") -> bytes:
+def _pack_bitmap(nulls) -> bytes:
+    """Bit-pack a byte-per-row NULL map, LSB-first."""
+    packed = bytearray((len(nulls) + 7) // 8)
+    for index, flag in enumerate(nulls):
+        if flag:
+            packed[index >> 3] |= 1 << (index & 7)
+    return bytes(packed)
+
+
+def _unpack_bitmap(bitmap: bytes, count: int) -> bytearray:
+    nulls = bytearray(count)
+    if any(bitmap):
+        for index in range(count):
+            if bitmap[index >> 3] & (1 << (index & 7)):
+                nulls[index] = 1
+    return nulls
+
+
+def pack_relation(relation: "Any") -> bytes:
     """Encode a relation (name, schema, columnar data) bit-exactly."""
     schema_spec = tuple(
         (column.name, column.data_type.value) for column in relation.schema.columns
     )
-    columns = tuple(
-        tuple(relation.column_array(column.name) or ())
-        for column in relation.schema.columns
-    )
-    return pack_value((relation.name, schema_spec, columns))
+    parts = [
+        _RELATION_MAGIC,
+        pack_value(relation.name),
+        pack_value(schema_spec),
+        _LENGTH.pack(len(relation)),
+    ]
+    for column in relation.columns():
+        if isinstance(column, TypedColumn):
+            parts.append(_COL_TAGS[column.typecode])
+            parts.append(_pack_bitmap(column.null_map()))
+            data = column.data_array()
+            if sys.byteorder != "little":  # pragma: no cover - exotic hosts
+                data = data[:]
+                data.byteswap()
+            parts.append(data.tobytes())
+        else:
+            parts.append(_COL_GENERIC)
+            parts.extend(pack_value(cell) for cell in column)
+    return b"".join(parts)
 
 
-def unpack_state_relation(data: bytes) -> "Any":
-    """Decode a payload from :func:`pack_state_relation` into a Relation."""
+def unpack_relation(data: bytes) -> "Any":
+    """Decode a payload from :func:`pack_relation` into a Relation."""
     from repro.engine.schema import ColumnDef, Schema
     from repro.engine.table import Relation
     from repro.engine.types import DataType
 
-    decoded = unpack_value(data)
-    if not isinstance(decoded, tuple) or len(decoded) != 3:
+    magic, offset = _take(data, 0, len(_RELATION_MAGIC))
+    if magic != _RELATION_MAGIC:
+        raise WireFormatError("Malformed state-relation payload (bad magic)")
+    name, offset = _unpack(data, offset)
+    schema_spec, offset = _unpack(data, offset)
+    if not isinstance(name, str) or not isinstance(schema_spec, tuple):
         raise WireFormatError("Malformed state-relation payload")
-    name, schema_spec, columns = decoded
-    if len(schema_spec) != len(columns):
-        raise WireFormatError("State-relation schema/data column count mismatch")
-    schema = Schema(
-        [
-            ColumnDef(name=column_name, data_type=DataType(type_value))
-            for column_name, type_value in schema_spec
-        ]
-    )
+    payload, offset = _take(data, offset, 4)
+    (nrows,) = _LENGTH.unpack(payload)
+    column_defs = []
+    try:
+        for column_name, type_value in schema_spec:
+            column_defs.append(
+                ColumnDef(name=column_name, data_type=DataType(type_value))
+            )
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"Malformed relation schema: {error}")
+    columns = []
+    for _ in column_defs:
+        tag, offset = _take(data, offset, 1)
+        typecode = _COL_TYPECODES.get(tag)
+        if typecode is not None:
+            bitmap, offset = _take(data, offset, (nrows + 7) // 8)
+            raw, offset = _take(data, offset, nrows * 8)
+            values = array(typecode)
+            values.frombytes(raw)
+            if sys.byteorder != "little":  # pragma: no cover - exotic hosts
+                values.byteswap()
+            columns.append(
+                TypedColumn(typecode, values, _unpack_bitmap(bitmap, nrows))
+            )
+        elif tag == _COL_GENERIC:
+            cells = []
+            for _ in range(nrows):
+                cell, offset = _unpack(data, offset)
+                cells.append(cell)
+            columns.append(cells)
+        else:
+            raise WireFormatError(f"Unknown column backing tag: {tag!r}")
+    if offset != len(data):
+        raise WireFormatError(f"{len(data) - offset} trailing bytes after relation")
     return Relation.from_columns(
-        schema, [list(column) for column in columns], name=name
+        Schema(column_defs), columns, name=name
     )
+
+
+def pack_state_relation(relation: "Any") -> bytes:
+    """Encode a relation bit-exactly (checkpoint-facing alias)."""
+    return pack_relation(relation)
+
+
+def unpack_state_relation(data: bytes) -> "Any":
+    """Decode a payload from :func:`pack_state_relation` into a Relation."""
+    return unpack_relation(data)

@@ -288,10 +288,19 @@ def build_profile_report(
         for key, value in metrics_after.items():
             if not key.startswith("engine.vectorized."):
                 continue
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                diff = value - metrics_before.get(key, 0)
-                if diff:
-                    scan_paths[key.replace("engine.vectorized.", "")] = diff
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            diff = value - metrics_before.get(key, 0)
+            if not diff:
+                continue
+            short = key.replace("engine.vectorized.", "")
+            if short.startswith("bails."):
+                # Per-reason bail counters (scan fallbacks plus backing
+                # diagnostics like ``untyped_backing``) group under one
+                # nested dict so the report names every reason this run hit.
+                scan_paths.setdefault("bails", {})[short[len("bails.") :]] = diff
+            else:
+                scan_paths[short] = diff
 
     return ProfileReport(
         query_id=trace.query_id,

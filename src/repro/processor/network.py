@@ -29,8 +29,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine.columns import copy_column, extend_column
 from repro.engine.database import Database
 from repro.engine.table import Relation
+from repro.engine.wire import WireFormatError, pack_relation, unpack_relation
 from repro.fragment.topology import Node, Topology
 from repro.obs.metrics import registry as _metrics
 from repro.obs.trace import current_span
@@ -263,12 +265,19 @@ class NetworkSimulator:
 
     @staticmethod
     def _concat_chunks(first: Relation, second: Relation, name: str) -> Relation:
-        """Concatenate two same-schema chunks preserving row order."""
-        merged = [
-            list(first.column_array(column.name) or [])
-            + list(second.column_array(column.name) or [])
-            for column in first.schema.columns
-        ]
+        """Concatenate two same-schema chunks preserving row order.
+
+        Typed column backings are preserved (an int64 chunk glued to an
+        int64 chunk stays one contiguous typed buffer).
+        """
+        merged = []
+        for column in first.schema.columns:
+            head = first.column_array(column.name)
+            tail = second.column_array(column.name)
+            destination = copy_column(head) if head is not None else []
+            merged.append(
+                extend_column(destination, tail if tail is not None else [])
+            )
         return Relation.from_columns(first.schema, merged, name=name)
 
     def fail_node(self, node_name: str, lose_data: bool = False) -> List:
@@ -382,8 +391,17 @@ class NetworkSimulator:
         log: Optional[TransferLog] = None,
         register: bool = True,
         injector: Optional[object] = None,
-    ) -> None:
+    ) -> Relation:
         """Ship ``relation`` from ``source`` to ``target`` and register it there.
+
+        The relation genuinely crosses the link: it is serialized through
+        the wire codec (:func:`repro.engine.wire.pack_relation`), the
+        *encoded payload's* byte count drives the transfer log, the metrics
+        and the cost model's link latency, and the relation registered at
+        the target — also returned to the caller — is the **deserialized**
+        copy.  Relations whose cells fall outside the wire vocabulary ship
+        by reference with the estimated size instead (counted by the
+        ``network.unserializable_shipments`` metric).
 
         ``log`` selects the transfer log to record into; ``None`` uses the
         simulator's shared log (the serial processor path).  Concurrent
@@ -400,13 +418,23 @@ class NetworkSimulator:
         if source == target:
             if register:
                 self.database(target).register(relation_name, relation)
-            return
+            return relation
         source_node = self.topology.node(source)
         target_node = self.topology.node(target)
         extra_delay = 0.0
         if injector is not None:
             extra_delay = injector.on_ship(source, target)  # may raise LinkDown
-        nbytes = relation.estimated_bytes()
+        try:
+            payload = pack_relation(relation)
+        except WireFormatError:
+            payload = None
+            _metrics.counter("network.unserializable_shipments").inc()
+        if payload is not None:
+            nbytes = len(payload)
+            received = unpack_relation(payload)
+        else:
+            nbytes = relation.estimated_bytes()
+            received = relation
         if self.cost_model is not None:
             extra_delay += self.cost_model.transfer_delay(nbytes)
         if extra_delay > 0:
@@ -443,7 +471,8 @@ class NetworkSimulator:
                 leaves_apartment=leaves,
             )
         if register:
-            self.database(target).register(relation_name, relation)
+            self.database(target).register(relation_name, received)
+        return received
 
     def new_log(self) -> TransferLog:
         """A fresh transfer log carrying this topology's hop order."""

@@ -62,6 +62,8 @@ from repro.sql.parser import parse
 
 _EXECUTION_MODES = ("serial", "parallel")
 
+_WORKER_BACKENDS = ("threads", "processes")
+
 
 class ParadiseProcessor:
     """End-to-end privacy-aware query processing over a simulated environment."""
@@ -81,10 +83,20 @@ class ParadiseProcessor:
         allow_partial_results: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         profile: bool = False,
+        workers: str = "threads",
+        process_workers: int = 2,
     ) -> None:
         if execution not in _EXECUTION_MODES:
             raise ValueError(
                 f"Unknown execution mode: {execution!r} (expected one of {_EXECUTION_MODES})"
+            )
+        if workers not in _WORKER_BACKENDS:
+            raise ValueError(
+                f"Unknown worker backend: {workers!r} (expected one of {_WORKER_BACKENDS})"
+            )
+        if process_workers < 1:
+            raise ValueError(
+                f"Process backend needs at least 1 worker, got {process_workers}"
             )
         self.policy = policy
         self.topology = topology or Topology.default_chain()
@@ -118,6 +130,16 @@ class ParadiseProcessor:
         #: :class:`~repro.runtime.faults.CompletenessReport` (per-query
         #: override via ``process(on_data_loss=...)``).
         self.allow_partial_results = allow_partial_results
+        #: Compute backend for parallel DAG runs: ``"threads"`` runs engine
+        #: operations in the scheduler's threads (default); ``"processes"``
+        #: dispatches them to a spawned worker pool where every input and
+        #: output crosses the process boundary as wire bytes
+        #: (:mod:`repro.runtime.procs`) — true multi-core execution with
+        #: remote-node visibility semantics.
+        self.workers = workers
+        #: Pool size for the process backend.
+        self.process_workers = process_workers
+        self._dispatcher = None
         #: Bounds in-place retries of transient task failures.
         self.retry_policy = retry_policy or RetryPolicy()
         #: Default profiling switch: ``True`` attaches a
@@ -497,7 +519,9 @@ class ParadiseProcessor:
         # 6. ship d' to the cloud and run the remainder there.
         cloud = self.topology.cloud.name
         if current_node != cloud:
-            self.network.ship(current_relation, plan.result_name, current_node, cloud)
+            current_relation = self.network.ship(
+                current_relation, plan.result_name, current_node, cloud
+            )
             current_node = cloud
         if plan.remainder_query is not None:
             database = self.network.database(cloud)
@@ -579,12 +603,14 @@ class ParadiseProcessor:
 
         merge_name = first.name if run_fragment else base_table
         ancestor = self.topology.common_ancestor(holders).name
+        received = []
         for holder, partial in zip(holders, partials):
             if holder != ancestor:
-                self.network.ship(
+                partial = self.network.ship(
                     partial, f"{merge_name}@{holder}", holder, ancestor, register=False
                 )
-        merged = union_partials(partials, merge_name)
+            received.append(partial)
+        merged = union_partials(received, merge_name)
         self.network.database(ancestor).register(merge_name, merged)
         remaining = fragments[1:] if run_fragment else fragments
         return ancestor, merged, remaining
@@ -642,6 +668,7 @@ class ParadiseProcessor:
             injector=faults,
             trace=trace,
             calibration=self.calibration if trace is not None else None,
+            dispatcher=self._process_dispatcher(),
         )
 
         current_plan, current_topology = plan, self.topology
@@ -734,6 +761,20 @@ class ParadiseProcessor:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _process_dispatcher(self):
+        """The shared process dispatcher, or ``None`` on the thread backend.
+
+        Imported lazily so thread-backed processors never touch
+        :mod:`multiprocessing`.
+        """
+        if self.workers != "processes":
+            return None
+        if self._dispatcher is None:
+            from repro.runtime.procs import ProcessDispatcher
+
+            self._dispatcher = ProcessDispatcher(self.process_workers)
+        return self._dispatcher
+
     def _raw_input_rows(self) -> int:
         partitioned = self.network.base_table_rows("d")
         if partitioned:

@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.columns import copy_column, extend_column
 from repro.engine.schema import ColumnDef, Schema
 from repro.engine.table import Relation
 from repro.engine.types import DataType
@@ -180,10 +181,12 @@ def union_partials(parts: Sequence[Relation], name: str) -> Relation:
     explicitly typed (but empty) chunk is not shadowed by the first
     partial's inferred-from-nothing defaults.
 
-    Relations are columnar, so the union is a per-column ``list.extend``
-    over the partials' value arrays (aligned by column name) — no per-row
-    dict copies, which is what makes the merge points of large parallel
-    plans cheap.
+    Relations are columnar, so the union is a per-column ``extend`` over
+    the partials' value arrays (aligned by column name) — no per-row dict
+    copies, which is what makes the merge points of large parallel plans
+    cheap.  Typed column backings are preserved: int64/float64 partials
+    union into one contiguous typed buffer (degrading to a generic list
+    only when a partial carries a different backing).
     """
     parts = list(parts)
     if not parts:
@@ -207,17 +210,23 @@ def union_partials(parts: Sequence[Relation], name: str) -> Relation:
                             break
             columns.append(ColumnDef(name=column.name, data_type=data_type))
         schema = Schema(columns)
-    merged: List[List] = [[] for _ in schema.columns]
+    merged: List[Optional[list]] = [None for _ in schema.columns]
     for part in parts:
         if not len(part):
             continue
         for position, column_def in enumerate(schema.columns):
             source = part.column_array(column_def.name)
-            if source is not None:
-                merged[position].extend(source)
+            if source is None:
+                source = [None] * len(part)
+            if merged[position] is None:
+                merged[position] = copy_column(source)
             else:
-                merged[position].extend([None] * len(part))
-    return Relation.from_columns(schema, merged, name=name)
+                merged[position] = extend_column(merged[position], source)
+    return Relation.from_columns(
+        schema,
+        [column if column is not None else [] for column in merged],
+        name=name,
+    )
 
 
 class ExecutionContext:
@@ -234,10 +243,15 @@ class ExecutionContext:
         injector: Optional[FailureInjector] = None,
         trace: Optional[QueryTrace] = None,
         calibration: Optional[CalibrationLog] = None,
+        dispatcher: Optional[object] = None,
     ) -> None:
         self.network = network
         self.log = log
         self.engine_mode = engine_mode
+        #: Process-pool dispatcher (:class:`repro.runtime.procs.ProcessDispatcher`)
+        #: when the run uses ``workers="processes"``; ``None`` keeps engine
+        #: operations in the scheduler's threads.
+        self.dispatcher = dispatcher
         self.cost_model = cost_model
         self.anonymizer = anonymizer
         #: Signature-keyed aggregate-state checkpoints; shared across the
@@ -364,8 +378,13 @@ class Task:
         name: str,
         source_node: str,
         register: bool = True,
-    ) -> None:
-        """Move a dependency's output to this task's node (ship + register)."""
+    ) -> Relation:
+        """Move a dependency's output to this task's node (ship + register).
+
+        Returns the relation *as received on this node* — for an actual
+        inter-node hop that is the wire-deserialized copy, so downstream
+        work consumes exactly what crossed the link.
+        """
         node = context.network.topology.node(self.node)
         if not node.can_hold_rows(len(relation)):
             context.warn_capacity(
@@ -375,8 +394,8 @@ class Task:
         if source_node == self.node:
             if register:
                 context.network.database(self.node).register(name, relation)
-            return
-        context.network.ship(
+            return relation
+        return context.network.ship(
             relation,
             name,
             source_node,
@@ -385,6 +404,36 @@ class Task:
             register=register,
             injector=context.injector,
         )
+
+    def _engine(
+        self,
+        context: ExecutionContext,
+        database,
+        op: str,
+        query: ast.Query,
+        state: Optional[Relation] = None,
+    ) -> Tuple[Relation, float]:
+        """Run one engine operation on the configured compute backend.
+
+        Thread backend (default): the bound database method runs in this
+        scheduler thread.  Process backend: the operation, its referenced
+        input relations and the optional merged state cross the process
+        boundary as wire bytes (:mod:`repro.runtime.procs`) — the timing
+        then honestly includes serialization and IPC.
+        """
+        dispatcher = context.dispatcher
+        if dispatcher is not None:
+            tables = dispatcher.gather_tables(database, query)
+            return context.engine_call(
+                dispatcher.run, op, context.engine_mode, query, tables, state
+            )
+        if op == "query":
+            return context.engine_call(database.query, query)
+        if op == "partial":
+            return context.engine_call(database.partial_aggregate, query)
+        if op == "combine":
+            return context.engine_call(database.combine_partials, query, state)
+        return context.engine_call(database.finalize_partials, query, state)
 
 
 @dataclass
@@ -413,7 +462,7 @@ class FragmentTask(Task):
                 len(database.table(self.in_name)) if self.in_name in database else 0
             )
         context.charge_compute(input_rows, self.node)
-        output, elapsed = context.engine_call(database.query, self.query)
+        output, elapsed = self._engine(context, database, "query", self.query)
         output.name = self.display_name
         database.register(self.out_name, output)
         context.annotate_io(input_rows, output)
@@ -461,14 +510,14 @@ class MergeTask(Task):
             # Log the shipment of each partial towards the merge point; the
             # union itself is registered once below, so partials are not
             # individually registered (keeps the catalog shape stable).
-            self._receive(
+            received = self._receive(
                 context,
                 relation,
                 f"{self.display_name}@{part_node}",
                 part_node,
                 register=False,
             )
-            partials.append(relation)
+            partials.append(received)
         merged, elapsed = context.engine_call(
             union_partials, partials, self.display_name
         )
@@ -521,7 +570,7 @@ class PartialAggregateTask(Task):
                 len(database.table(self.in_name)) if self.in_name in database else 0
             )
         context.charge_compute(input_rows, self.node)
-        output, elapsed = context.engine_call(database.partial_aggregate, self.query)
+        output, elapsed = self._engine(context, database, "partial", self.query)
         output.name = self.display_name
         database.register(self.out_name, output)
         context.annotate_io(input_rows, output)
@@ -561,19 +610,19 @@ class CombinePartialsTask(Task):
         for part_id, part_node in self.parts:
             relation = context.outputs[part_id]
             total_in += len(relation)
-            self._receive(
+            received = self._receive(
                 context,
                 relation,
                 f"{self.display_name}@{part_node}",
                 part_node,
                 register=False,
             )
-            partials.append(relation)
+            partials.append(received)
         merged = union_partials(partials, self.display_name)
         context.charge_compute(total_in, self.node)
         database = context.network.database(self.node)
-        output, elapsed = context.engine_call(
-            database.combine_partials, self.query, merged
+        output, elapsed = self._engine(
+            context, database, "combine", self.query, state=merged
         )
         output.name = self.display_name
         database.register(self.out_name, output)
@@ -615,19 +664,19 @@ class FinalizeAggregationTask(Task):
         for part_id, part_node in self.parts:
             relation = context.outputs[part_id]
             total_in += len(relation)
-            self._receive(
+            received = self._receive(
                 context,
                 relation,
                 f"{self.display_name}~partial@{part_node}",
                 part_node,
                 register=False,
             )
-            partials.append(relation)
+            partials.append(received)
         merged = union_partials(partials, f"{self.display_name}~partial")
         context.charge_compute(total_in, self.node)
         database = context.network.database(self.node)
-        output, elapsed = context.engine_call(
-            database.finalize_partials, self.query, merged
+        output, elapsed = self._engine(
+            context, database, "finalize", self.query, state=merged
         )
         output.name = self.display_name
         database.register(self.out_name, output)
@@ -682,14 +731,18 @@ class FinalizeTask(Task):
     def execute(self, context: ExecutionContext) -> Relation:
         relation = context.outputs[self.source_id]
         if self.source_node != self.node:
-            self._receive(context, relation, self.result_name, self.source_node)
+            relation = self._receive(
+                context, relation, self.result_name, self.source_node
+            )
         if self.remainder_query is None:
             context.annotate_io(len(relation), relation)
             return relation
         database = context.network.database(self.node)
         database.register(self.remainder_input_alias, relation)
         context.charge_compute(len(relation), self.node)
-        output, elapsed = context.engine_call(database.query, self.remainder_query)
+        output, elapsed = self._engine(
+            context, database, "query", self.remainder_query
+        )
         context.annotate_io(len(relation), output)
         context.record_execution(
             self.order,

@@ -303,6 +303,53 @@ def test_paper_workloads_take_expected_scan_paths():
     assert bail_reasons == {"expression_item"}
 
 
+def test_paper_workloads_take_typed_scan_backing():
+    """The fig2/usecase pipeline consumes typed int64/float64 backings —
+    the typed counter grows and no ``untyped_backing`` bail is recorded."""
+    processor = build_flat_processor(rows=300)
+    before = registry.snapshot(prefix="engine.vectorized.")
+    result = processor.process(PIPELINE_SQL, "ActionFilter")
+    assert result.admitted
+    diff = delta(before, registry.snapshot(prefix="engine.vectorized."))
+    assert diff.get("engine.vectorized.typed", 0) >= 1
+    assert not diff.get("engine.vectorized.bails.untyped_backing", 0)
+
+
+def test_untyped_backing_surfaces_in_profile_report():
+    """A numeric column that lost its typed backing shows up in the profile
+    report's scan-path section as an ``untyped_backing`` bail."""
+    from repro.engine.schema import ColumnDef, Schema
+    from repro.engine.table import Relation
+    from repro.engine.types import DataType
+
+    schema = Schema(
+        [
+            ColumnDef(name="person_id", data_type=DataType.INTEGER),
+            ColumnDef(name="x", data_type=DataType.FLOAT),
+        ]
+    )
+    # from_columns keeps the backing it is given: plain lists here, so the
+    # declared-INTEGER column scans without a typed fast path.
+    degraded = Relation.from_columns(
+        schema,
+        [list(range(50)), [float(i) for i in range(50)]],
+        name="d",
+    )
+    processor = ParadiseProcessor(figure4_policy(), schema=None)
+    processor.load_data(degraded)
+    result = processor.process(
+        "SELECT person_id FROM d WHERE person_id >= 0",
+        "fig4",
+        apply_rewriting=False,
+        anonymize=False,
+        profile=True,
+    )
+    assert result.profile is not None
+    bails = result.profile.scan_paths.get("bails", {})
+    assert bails.get("untyped_backing", 0) >= 1
+    assert "untyped_backing" in result.profile.render()
+
+
 def test_bail_reasons_cover_distinct_causes():
     from repro.engine.vectorized import BailReason, stats
 

@@ -119,9 +119,24 @@ def test_estimated_bytes_uses_packed_state_sizes():
     text_estimate = sum(
         8 + len(str(row["__agg0"])) for row in states
     )
-    packed_estimate = sum(8 + packed_size(row["__agg0"]) for row in states)
+    packed_estimate = sum(
+        packed_size(row["device"]) + packed_size(row["__agg0"]) for row in states
+    )
     assert relation.estimated_bytes() == packed_estimate
     assert relation.estimated_bytes() < text_estimate
+
+
+def test_estimated_bytes_charges_every_cell_at_packed_size():
+    """All cell types — not just states — are charged at codec size."""
+    rows = [
+        {"n": 1, "f": 2.5, "s": "héllo", "b": True, "missing": None},
+        {"n": 2**70, "f": -0.0, "s": "", "b": False, "missing": None},
+    ]
+    relation = Relation.from_rows(rows, name="cells")
+    expected = sum(
+        packed_size(value) for row in rows for value in row.values()
+    )
+    assert relation.estimated_bytes() == expected
 
 
 def test_moment_states_shrink_versus_text():
