@@ -194,6 +194,11 @@ def main(argv: List[str] | None = None) -> int:
         "--skip-obs", action="store_true", help="skip the observability overhead section"
     )
     parser.add_argument(
+        "--skip-optimizer",
+        action="store_true",
+        help="skip the cost-based-optimizer section",
+    )
+    parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output path"
     )
     parser.add_argument(
@@ -220,6 +225,14 @@ def main(argv: List[str] | None = None) -> int:
         from benchmarks.bench_columnar import run_columnar
 
         report["columnar"] = run_columnar([10_000, 100_000], repeats=args.repeats)
+
+    if not args.skip_optimizer:
+        from benchmarks.bench_optimizer import run_optimizer
+
+        # Skewed-conjunct filter, build-side-sensitive join, and adaptive
+        # partial-aggregation placement — each differential-checked in-loop
+        # against the optimizer_mode(False) ablation.
+        report["optimizer"] = run_optimizer(rows=100_000, repeats=args.repeats)
 
     if not args.skip_obs:
         from benchmarks.bench_obs_overhead import run_obs_overhead

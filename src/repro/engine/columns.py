@@ -2,23 +2,26 @@
 
 Relations store one array per column.  Historically every column was a plain
 Python list of boxed values; this module adds an opt-in typed backing for
-int/float columns: a C-level ``array('q')`` / ``array('d')`` of unboxed
-cells plus a NULL map (one byte per row, ``1`` = NULL).  The typed backing
-is chosen per column at construction (guided by the schema's declared type,
-verified against the actual values) and is preserved through slicing,
-copies, gathers and concatenation — all of which run at ``memcpy`` speed on
-the underlying buffers instead of element-by-element through the
-interpreter.
+int/float/bool columns: a C-level ``array('q')`` / ``array('d')`` /
+``array('b')`` of unboxed cells plus a NULL map (one byte per row, ``1`` =
+NULL).  The typed backing is chosen per column at construction (guided by
+the schema's declared type, verified against the actual values) and is
+preserved through slicing, copies, gathers and concatenation — all of which
+run at ``memcpy`` speed on the underlying buffers instead of
+element-by-element through the interpreter.
 
 :class:`TypedColumn` is deliberately list-compatible for the operations the
 engine performs on columns (``len``/iteration/indexing/slicing/``append``/
 ``extend``/``count``/equality), so every existing consumer of
 ``Relation.column_array`` keeps working unchanged.  The one divergence is
 **strictness**: a typed column only accepts ``None`` plus exactly-typed
-values (``int`` within 64 bits for ``'q'``, ``float`` for ``'d'``; ``bool``
-is rejected so round-trips stay type-exact).  A value outside the backing
-raises :class:`TypedBackingError` and the owning relation degrades that
-column to a plain list — writers never observe the error.
+values (``int`` within 64 bits for ``'q'``, ``float`` for ``'d'``,
+``bool`` for ``'b'``; the numeric backings reject ``bool`` — and the bool
+backing rejects ``int`` — so round-trips stay type-exact: bool cells are
+stored as bytes but decode back to real ``bool`` objects on every read).
+A value outside the backing raises :class:`TypedBackingError` and the
+owning relation degrades that column to a plain list — writers never
+observe the error.
 
 The wire codec (:mod:`repro.engine.wire`) serializes typed columns as their
 raw little-endian buffers plus a bit-packed NULL bitmap, which is both the
@@ -32,13 +35,14 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 INT64 = "q"
 FLOAT64 = "d"
+BOOL = "b"
 
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
 
 #: Placeholder stored in the data array at NULL positions.  Always exactly
 #: zero, which lets equality and ``count`` reason about NULL slots cheaply.
-_ZEROS = {INT64: 0, FLOAT64: 0.0}
+_ZEROS = {INT64: 0, FLOAT64: 0.0, BOOL: 0}
 
 
 class TypedBackingError(TypeError):
@@ -75,14 +79,17 @@ class TypedColumn:
     # fitting values into the backing
     # ------------------------------------------------------------------
     def _fit(self, value: Any) -> Any:
-        """Return ``value`` if it fits this backing (or None for NULL)."""
+        """Return the storable cell for ``value`` (or None for NULL)."""
         if value is None:
             return None
         if self.typecode == INT64:
             if type(value) is int and _INT64_MIN <= value <= _INT64_MAX:
                 return value
-        elif type(value) is float:
-            return value
+        elif self.typecode == FLOAT64:
+            if type(value) is float:
+                return value
+        elif type(value) is bool:
+            return 1 if value else 0
         raise TypedBackingError(
             f"{type(value).__name__} value does not fit {self.typecode!r} column"
         )
@@ -104,7 +111,8 @@ class TypedColumn:
             )
         if self._nulls[index]:
             return None
-        return self._data[index]
+        value = self._data[index]
+        return bool(value) if self.typecode == BOOL else value
 
     def __setitem__(self, index: int, value: Any) -> None:
         if isinstance(index, slice):
@@ -157,6 +165,8 @@ class TypedColumn:
         self._null_count += null_count
 
     def __iter__(self) -> Iterator[Any]:
+        if self.typecode == BOOL:
+            return self._iter_bool()
         if not self._null_count:
             return iter(self._data)
         return self._iter_with_nulls()
@@ -164,6 +174,14 @@ class TypedColumn:
     def _iter_with_nulls(self) -> Iterator[Any]:
         for value, is_null in zip(self._data, self._nulls):
             yield None if is_null else value
+
+    def _iter_bool(self) -> Iterator[Any]:
+        if not self._null_count:
+            for value in self._data:
+                yield bool(value)
+        else:
+            for value, is_null in zip(self._data, self._nulls):
+                yield None if is_null else bool(value)
 
     def __contains__(self, value: Any) -> bool:
         return self.count(value) > 0
@@ -212,6 +230,8 @@ class TypedColumn:
 
     def to_list(self) -> List[Any]:
         """The column as a plain Python list (NULLs become ``None``)."""
+        if self.typecode == BOOL:
+            return list(self._iter_bool())
         if not self._null_count:
             return list(self._data)
         return [
@@ -253,7 +273,13 @@ class TypedColumn:
         return self._nulls
 
     def packed_cells_size(self) -> int:
-        """Sum of per-cell wire sizes: 9 bytes per value, 1 per NULL."""
+        """Sum of per-cell wire sizes for this backing.
+
+        Numeric cells cost 9 bytes (tag + fixed64), bool cells 1 byte,
+        NULLs 1 byte.
+        """
+        if self.typecode == BOOL:
+            return len(self._data)
         return 9 * (len(self._data) - self._null_count) + self._null_count
 
 
@@ -283,6 +309,17 @@ def typed_column_from_values(
                 null_count += 1
             elif type(value) is float:
                 data.append(value)
+                nulls.append(0)
+            else:
+                return None
+    elif typecode == BOOL:
+        for value in values:
+            if value is None:
+                data.append(0)
+                nulls.append(1)
+                null_count += 1
+            elif type(value) is bool:
+                data.append(1 if value else 0)
                 nulls.append(0)
             else:
                 return None

@@ -48,7 +48,9 @@ from repro.engine.join import (
 from repro.engine.schema import ColumnDef, Schema
 from repro.engine.table import Relation
 from repro.engine.types import infer_type
+from repro.engine.stats import optimizer_enabled, optimizer_stats
 from repro.engine.vectorized import (
+    _OrderKey,
     build_schema as _build_schema,
     distinct_rows as _distinct_rows,
     freeze_value as _freeze,
@@ -672,6 +674,15 @@ class QueryExecutor:
         right_backing: Optional[Relation] = None,
     ) -> List[Scope]:
         if left_scopes and right_scopes and join_type in {"INNER", "LEFT", "RIGHT", "FULL"}:
+            if optimizer_enabled() and len(left_scopes) * len(right_scopes) <= 64:
+                # Tiny inputs: hash-table setup costs more than the O(n*m)
+                # scan.  Output-identical — the nested loop is the oracle
+                # order the hash join replicates.
+                optimizer_stats.nested_loop_joins += 1
+                return self._nested_loop_join_compiled(
+                    join, join_type, left_scopes, right_scopes,
+                    left_columns, right_columns, parent,
+                )
             try:
                 combined = self._try_hash_join(
                     join, join_type, left_scopes, right_scopes, left_columns, right_columns,
@@ -802,6 +813,12 @@ class QueryExecutor:
                     residual_context.scope = merged
                     return residual_pred(residual_context)
 
+        build_side = "right"
+        if optimizer_enabled() and len(left_scopes) < len(right_scopes):
+            # Build the hash table over the smaller side; purely physical,
+            # the emitted scopes and their order are identical either way.
+            build_side = "left"
+            optimizer_stats.build_side_flips += 1
         return hash_join(
             left_scopes,
             right_scopes,
@@ -813,6 +830,7 @@ class QueryExecutor:
             right_null=_null_scope(right_columns, right_scopes),
             left_keys=left_keys,
             right_keys=right_keys,
+            build_side=build_side,
         )
 
     def _nested_loop_join_compiled(
@@ -1638,30 +1656,9 @@ class QueryExecutor:
 # ---------------------------------------------------------------------------
 
 
-class _OrderKey:
-    """Comparable wrapper handling None values and descending order."""
-
-    __slots__ = ("value", "ascending")
-
-    def __init__(self, value: Any, ascending: bool) -> None:
-        self.value = value
-        self.ascending = ascending
-
-    def __lt__(self, other: "_OrderKey") -> bool:
-        left, right = self.value, other.value
-        if not self.ascending:
-            left, right = right, left
-        if left is None:
-            return right is not None
-        if right is None:
-            return False
-        try:
-            return left < right
-        except TypeError:
-            return str(left) < str(right)
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _OrderKey) and self.value == other.value
+# _OrderKey lives in repro.engine.vectorized (imported above) so the
+# columnar ORDER BY fast path and the row-at-a-time sort share one
+# comparator and can never drift apart.
 
 
 def _relation_scopes(relation: Relation, qualifier: str, allow_reuse: bool) -> List[Scope]:

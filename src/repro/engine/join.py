@@ -179,6 +179,7 @@ def hash_join(
     right_null: Optional[Scope] = None,
     left_keys: Optional[Sequence[Optional[Tuple[Any, ...]]]] = None,
     right_keys: Optional[Sequence[Optional[Tuple[Any, ...]]]] = None,
+    build_side: str = "right",
 ) -> List[Scope]:
     """Hash equi-join producing merged scopes in nested-loop order.
 
@@ -199,11 +200,66 @@ def hash_join(
             straight from the column arrays, skipping per-scope closure
             calls entirely.
         right_keys: Precomputed key tuples aligned with ``right_scopes``.
+        build_side: Which side the hash table is built over (``"right"`` or
+            ``"left"``).  A physical-only choice: output rows, their order
+            and NULL padding are identical either way — the cost-based
+            planner picks the smaller estimated side.
 
     Raises:
         UnhashableJoinKey: When a key value is not hashable.
     """
+    combined: List[Scope] = []
+    matched_right: Set[int] = set()
+    preserve_left = join_type in {"LEFT", "FULL"}
+    right_null = right_null or {}
+    left_null = left_null or {}
     table: Dict[Tuple[Any, ...], List[int]] = {}
+
+    if build_side == "left":
+        # Build over the left side, probe with the right, but buffer the
+        # matching right indices per left row so emission stays left-major
+        # (identical to the nested-loop order the right-build path yields).
+        if left_keys is None:
+            assert left_key is not None
+            left_keys = [left_key(scope) for scope in left_scopes]
+        for index, key in enumerate(left_keys):
+            if key is None:
+                continue
+            try:
+                table.setdefault(key, []).append(index)
+            except TypeError as exc:
+                raise UnhashableJoinKey(str(exc)) from exc
+        matches: List[List[int]] = [[] for _ in left_scopes]
+        table_get = table.get
+        if right_keys is None:
+            assert right_key is not None
+            right_keys = [right_key(scope) for scope in right_scopes]
+        for right_index, key in enumerate(right_keys):
+            if key is None:
+                continue
+            try:
+                bucket = table_get(key, ())
+            except TypeError as exc:
+                raise UnhashableJoinKey(str(exc)) from exc
+            for left_index in bucket:
+                matches[left_index].append(right_index)
+        for left_index, left_scope in enumerate(left_scopes):
+            matched = False
+            for right_index in matches[left_index]:
+                merged = {**left_scope, **right_scopes[right_index]}
+                if residual is not None and not residual(merged):
+                    continue
+                combined.append(merged)
+                matched = True
+                matched_right.add(right_index)
+            if not matched and preserve_left:
+                combined.append({**left_scope, **right_null})
+        if join_type in {"RIGHT", "FULL"}:
+            for right_index, right_scope in enumerate(right_scopes):
+                if right_index not in matched_right:
+                    combined.append({**left_null, **right_scope})
+        return combined
+
     if right_keys is None:
         assert right_key is not None
         right_keys = [right_key(scope) for scope in right_scopes]
@@ -214,12 +270,6 @@ def hash_join(
             table.setdefault(key, []).append(index)
         except TypeError as exc:
             raise UnhashableJoinKey(str(exc)) from exc
-
-    combined: List[Scope] = []
-    matched_right: Set[int] = set()
-    preserve_left = join_type in {"LEFT", "FULL"}
-    right_null = right_null or {}
-    left_null = left_null or {}
 
     table_get = table.get
     for left_index, left_scope in enumerate(left_scopes):

@@ -38,6 +38,7 @@ from typing import (
 )
 
 from repro.engine.columns import (
+    BOOL,
     FLOAT64,
     INT64,
     TypedBackingError,
@@ -49,6 +50,7 @@ from repro.engine.columns import (
 )
 from repro.engine.errors import SchemaError
 from repro.engine.schema import ColumnDef, Schema
+from repro.engine.stats import TableStats
 from repro.engine.types import DataType
 from repro.engine.wire import WireFormatError, packed_size
 
@@ -60,6 +62,7 @@ Row = Dict[str, Any]
 _TYPECODES = {
     DataType.INTEGER: INT64,
     DataType.FLOAT: FLOAT64,
+    DataType.BOOLEAN: BOOL,
 }
 
 
@@ -179,7 +182,17 @@ class RowsView:
 class Relation:
     """A named, schema-carrying bag of rows with columnar backing."""
 
-    __slots__ = ("schema", "name", "_columns", "_index_by_name", "_nrows", "_version", "_scope_cache")
+    __slots__ = (
+        "schema",
+        "name",
+        "_columns",
+        "_index_by_name",
+        "_nrows",
+        "_version",
+        "_scope_cache",
+        "_stats_cache",
+        "_bytes_cache",
+    )
 
     def __init__(
         self,
@@ -194,6 +207,8 @@ class Relation:
         }
         self._version = 0
         self._scope_cache: Optional[tuple] = None
+        self._stats_cache: Optional[tuple] = None
+        self._bytes_cache: Optional[tuple] = None
         if rows is None:
             self._columns: List[List[Any]] = [[] for _ in schema.columns]
             self._nrows = 0
@@ -316,6 +331,9 @@ class Relation:
         return self._columns[position]
 
     def _bump(self) -> None:
+        # Stats and size caches are version-keyed rather than cleared: a
+        # mismatched version simply misses, and _append_row re-keys the
+        # stats cache after folding the new row in.
         self._version += 1
         self._scope_cache = None
 
@@ -347,7 +365,13 @@ class Relation:
             else:
                 column.append(value)
         self._nrows += 1
+        cache = self._stats_cache
         self._bump()
+        if cache is not None and cache[0] == self._version - 1:
+            # Fold the appended row into the cached summaries instead of
+            # invalidating them — appends are the streaming hot path.
+            cache[1].observe_row(row)
+            self._stats_cache = (self._version, cache[1])
 
     def _aligned_column_copies(self, schema: Schema) -> List[List[Any]]:
         """Column copies aligned (by lower-cased name) to ``schema``'s order."""
@@ -377,6 +401,23 @@ class Relation:
             scopes = [dict(zip(lowered, values)) for values in zip(*self._columns)]
         self._scope_cache = (self._version, scopes)
         return scopes
+
+    def stats(self) -> TableStats:
+        """Per-column statistics at the relation's current version (cached).
+
+        Column summaries materialize lazily on first request
+        (:meth:`TableStats.column`), so asking for stats is cheap until a
+        plan actually consults a column.  Row appends fold into cached
+        summaries incrementally; every other mutation (row-view writes,
+        ``rows`` replacement) conservatively invalidates via the version
+        counter and the next request recomputes from the arrays.
+        """
+        cached = self._stats_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        stats = TableStats(self)
+        self._stats_cache = (self._version, stats)
+        return stats
 
     def slice_rows(self, start: int, stop: Optional[int] = None, name: str = "") -> "Relation":
         """A new relation holding the contiguous row range ``[start, stop)``."""
@@ -480,7 +521,14 @@ class Relation:
         agree.  Cells outside the wire vocabulary fall back to their
         textual length.  Typed columns are charged in O(1) per column
         (9 bytes per value, 1 per NULL, matching the generic cell tags).
+
+        The walk is memoized per relation version: the cost model and the
+        transfer log size the same relation repeatedly, and generic
+        columns pay a per-cell ``packed_size`` each time without the memo.
         """
+        cached = self._bytes_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         total = 0
         for column in self._columns:
             if isinstance(column, TypedColumn):
@@ -493,6 +541,7 @@ class Relation:
                     # Cells outside the wire vocabulary (exotic objects)
                     # keep the textual estimate.
                     total += len(str(value))
+        self._bytes_cache = (self._version, total)
         return total
 
     def to_dicts(self) -> List[Row]:

@@ -52,10 +52,11 @@ from contextlib import contextmanager
 from enum import Enum
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.engine.columns import INT64, TypedColumn, take_column
+from repro.engine.columns import BOOL, INT64, TypedColumn, take_column
 from repro.engine.errors import ExecutionError
 from repro.engine.evaluator import _like_to_regex
 from repro.engine.schema import ColumnDef, Schema
+from repro.engine.stats import TableStats, optimizer_enabled, optimizer_stats
 from repro.engine.table import Relation
 from repro.engine.types import DataType, infer_type
 from repro.sql import ast
@@ -185,11 +186,15 @@ def distinct_rows(rows: List[Dict[str, Any]], names: List[str]) -> List[Dict[str
 def _first_non_null_type(values) -> Any:
     """The shared inference rule: first non-null value decides, else FLOAT."""
     if isinstance(values, TypedColumn):
-        # The backing decides in O(1): typed columns hold exactly ints or
-        # floats (never bools), matching what per-value inference returns.
+        # The backing decides in O(1): typed columns hold exactly ints,
+        # floats or bools, matching what per-value inference returns.
         if values.null_count == len(values):
             return infer_type(0.0)
-        return DataType.INTEGER if values.typecode == INT64 else DataType.FLOAT
+        if values.typecode == INT64:
+            return DataType.INTEGER
+        if values.typecode == BOOL:
+            return DataType.BOOLEAN
+        return DataType.FLOAT
     for value in values:
         if value is not None:
             return infer_type(value)
@@ -244,6 +249,9 @@ class _AlwaysNullPred:
 
     __slots__ = ()
     columns: Tuple[str, ...] = ()
+    #: Relative per-row evaluation cost, the tiebreaker when two conjuncts
+    #: estimate equally selective (cheapest-most-selective first).
+    cost = 0.1
 
     def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
         nulls.update(sel)
@@ -252,6 +260,7 @@ class _AlwaysNullPred:
 
 class _IsNullPred:
     __slots__ = ("column", "negated")
+    cost = 0.5
 
     def __init__(self, column: str, negated: bool) -> None:
         self.column = column
@@ -277,6 +286,7 @@ class _ComparePred:
     """``col <op> literal`` (or ``literal <op> col`` when ``swapped``)."""
 
     __slots__ = ("column", "op", "value", "invert", "order_op", "swapped")
+    cost = 1.0
 
     def __init__(self, column: str, op: str, value: Any, swapped: bool) -> None:
         self.column = column
@@ -361,6 +371,7 @@ class _ColumnComparePred:
     """``col <op> col`` between two columns of the scanned relation."""
 
     __slots__ = ("left", "right", "op", "invert", "order_op")
+    cost = 1.2
 
     def __init__(self, left: str, right: str, op: str) -> None:
         self.left = left
@@ -407,6 +418,7 @@ class _BetweenPred:
     """
 
     __slots__ = ("column", "low", "high", "negated")
+    cost = 1.5
 
     def __init__(self, column: str, low: Any, high: Any, negated: bool) -> None:
         self.column = column
@@ -440,6 +452,7 @@ class _LikePred:
     """``col [NOT] LIKE 'pattern'`` with a literal pattern."""
 
     __slots__ = ("column", "regex", "negated")
+    cost = 4.0
 
     def __init__(self, column: str, pattern: str, negated: bool) -> None:
         self.column = column
@@ -472,6 +485,7 @@ class _InListPred:
     """``col [NOT] IN (literal, ...)`` — NULL members are dropped up front."""
 
     __slots__ = ("column", "constants", "negated")
+    cost = 1.5
 
     def __init__(self, column: str, constants: List[Any], negated: bool) -> None:
         self.column = column
@@ -498,6 +512,105 @@ class _InListPred:
         return out
 
 
+class _OrPred:
+    """An OR of conjunct lists, each disjunct built from simple predicates.
+
+    Each disjunct runs its conjuncts over the incoming selection — a
+    superset of what the short-circuiting compiled OR would touch, which
+    the "Error identity" contract explicitly permits — and the results
+    combine with SQL three-valued OR: a row true in any disjunct passes as
+    true (even if NULL in another), a row with no true and at least one
+    NULL disjunct carries NULL, anything else is dropped as false.
+    """
+
+    __slots__ = ("disjuncts", "columns")
+    cost = 4.0
+
+    def __init__(self, disjuncts: List[List[Any]]) -> None:
+        self.disjuncts = disjuncts
+        columns: List[str] = []
+        for conjuncts in disjuncts:
+            for predicate in conjuncts:
+                columns.extend(predicate.columns)
+        self.columns = tuple(columns)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        optimizer_stats.or_scans += 1
+        true_rows: Set[int] = set()
+        null_rows: Set[int] = set()
+        for conjuncts in self.disjuncts:
+            local_sel = sel
+            local_nulls: Set[int] = set()
+            for predicate in conjuncts:
+                local_sel = predicate.apply(relation, local_sel, local_nulls)
+                if not local_sel:
+                    break
+            for i in local_sel:
+                if i in local_nulls:
+                    null_rows.add(i)
+                else:
+                    true_rows.add(i)
+        out: List[int] = []
+        add_null = nulls.add
+        for i in sel:
+            if i in true_rows:
+                out.append(i)
+            elif i in null_rows:
+                out.append(i)
+                add_null(i)
+        return out
+
+
+class _ExprComparePred:
+    """``<arithmetic expr> <op> <arithmetic expr>`` over columns/literals.
+
+    Both sides are compiled by :func:`_compile_value` to ``(cols, i)``
+    closures mirroring the compiled operator semantics exactly (NULL
+    propagation, division/modulo by zero yielding NULL).  Ordering
+    comparisons on incomparable values raise TypeError, which abandons the
+    scan so the row path re-raises its own ``Cannot compare`` error.
+    """
+
+    __slots__ = ("left", "right", "invert", "order_op", "columns")
+    cost = 3.0
+
+    def __init__(self, left_fn, right_fn, op: str, columns: List[str]) -> None:
+        self.left = left_fn
+        self.right = right_fn
+        self.invert = _EQ_OPS.get(op)
+        self.order_op = _ORDER_OPS.get(op)
+        self.columns = tuple(columns)
+
+    def apply(self, relation: Relation, sel: List[int], nulls: Set[int]) -> List[int]:
+        optimizer_stats.expr_compare_scans += 1
+        cols = [relation.column_array(name) for name in self.columns]
+        left = self.left
+        right = self.right
+        out: List[int] = []
+        add_null = nulls.add
+        if self.invert is not None:
+            wanted = not self.invert
+            for i in sel:
+                lhs = left(cols, i)
+                rhs = right(cols, i)
+                if lhs is None or rhs is None:
+                    out.append(i)
+                    add_null(i)
+                elif (lhs == rhs) is wanted:
+                    out.append(i)
+            return out
+        op = self.order_op
+        for i in sel:
+            lhs = left(cols, i)
+            rhs = right(cols, i)
+            if lhs is None or rhs is None:
+                out.append(i)
+                add_null(i)
+            elif op(lhs, rhs):
+                out.append(i)
+        return out
+
+
 def _plain_column(node: ast.Node) -> Optional[str]:
     """The lower-cased name of an unqualified plain column reference."""
     if isinstance(node, ast.Column) and not node.table:
@@ -505,10 +618,118 @@ def _plain_column(node: ast.Node) -> Optional[str]:
     return None
 
 
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%"})
+
+
+def _has_arithmetic(node: ast.Expression) -> bool:
+    """Does either comparison side start with arithmetic (or negation)?"""
+    if isinstance(node, ast.BinaryOp) and node.operator in _ARITH_OPS:
+        return True
+    return isinstance(node, ast.UnaryOp) and node.operator == "-"
+
+
+def _compile_value(node: ast.Expression, columns: List[str]):
+    """Compile an arithmetic operand tree to a ``(cols, i) -> value`` closure.
+
+    ``columns`` is the predicate's shared column registry: every plain
+    column reference resolves to a stable position in it, and ``cols`` at
+    apply time is the matching list of live column arrays.  Returns None
+    for shapes outside the vocabulary (qualified columns, function calls,
+    subqueries...).  Semantics mirror the compiled closures bit for bit:
+    NULL operands propagate, ``/`` and ``%`` by zero yield NULL, every
+    other arithmetic error propagates (and abandons the scan).
+    """
+    if isinstance(node, ast.Literal):
+        const = node.value
+        return lambda cols, i: const
+    name = _plain_column(node)
+    if name is not None:
+        if name in columns:
+            position = columns.index(name)
+        else:
+            position = len(columns)
+            columns.append(name)
+        return lambda cols, i: cols[position][i]
+    if isinstance(node, ast.UnaryOp) and node.operator == "-":
+        inner = _compile_value(node.operand, columns)
+        if inner is None:
+            return None
+
+        def negate(cols, i):
+            value = inner(cols, i)
+            return None if value is None else -value
+
+        return negate
+    if isinstance(node, ast.BinaryOp) and node.operator in _ARITH_OPS:
+        left = _compile_value(node.left, columns)
+        if left is None:
+            return None
+        right = _compile_value(node.right, columns)
+        if right is None:
+            return None
+        op = node.operator
+        if op in ("/", "%"):
+            binop = operator.truediv if op == "/" else operator.mod
+
+            def guarded(cols, i):
+                lhs = left(cols, i)
+                rhs = right(cols, i)
+                if lhs is None or rhs is None or rhs == 0:
+                    return None
+                return binop(lhs, rhs)
+
+            return guarded
+        binop = {"+": operator.add, "-": operator.sub, "*": operator.mul}[op]
+
+        def arith(cols, i):
+            lhs = left(cols, i)
+            rhs = right(cols, i)
+            if lhs is None or rhs is None:
+                return None
+            return binop(lhs, rhs)
+
+        return arith
+    return None
+
+
+def _disjunction_terms(expression: ast.Expression) -> List[ast.Expression]:
+    """Split a boolean expression into its top-level OR-ed branches."""
+    if isinstance(expression, ast.BinaryOp) and expression.operator.upper() == "OR":
+        return _disjunction_terms(expression.left) + _disjunction_terms(
+            expression.right
+        )
+    return [expression]
+
+
+def _or_predicate(term: ast.BinaryOp):
+    """Compile an OR tree to :class:`_OrPred`, or None when any leaf is
+    outside the simple-predicate vocabulary."""
+    disjuncts: List[List[Any]] = []
+    for branch in _disjunction_terms(term):
+        conjuncts: List[Any] = []
+        for sub in ast.conjunction_terms(branch):
+            predicate = _simple_predicate(sub)
+            if predicate is None:
+                return None
+            conjuncts.append(predicate)
+        disjuncts.append(conjuncts)
+    return _OrPred(disjuncts)
+
+
 def _simple_predicate(term: ast.Expression):
-    """Compile one WHERE conjunct to a filter, or None when not simple."""
+    """Compile one WHERE conjunct to a filter, or None when not simple.
+
+    The base vocabulary (comparisons, IS NULL, BETWEEN, LIKE, IN) is always
+    available; OR-of-conjuncts and arithmetic-on-column comparisons are
+    optimizer-era widenings, gated on the toggle so the ablation arm keeps
+    today's syntactic bail behaviour (plan memos key on the toggle).
+    """
     if isinstance(term, ast.BinaryOp):
         op = term.operator.upper()
+        if op == "OR":
+            if not optimizer_enabled():
+                return None
+            return _or_predicate(term)
         if op not in _EQ_OPS and op not in _ORDER_OPS:
             return None
         left_col = _plain_column(term.left)
@@ -523,6 +744,15 @@ def _simple_predicate(term: ast.Expression):
             if term.left.value is None:
                 return _AlwaysNullPred()
             return _ComparePred(right_col, op, term.left.value, swapped=True)
+        if optimizer_enabled() and (
+            _has_arithmetic(term.left) or _has_arithmetic(term.right)
+        ):
+            columns: List[str] = []
+            left_fn = _compile_value(term.left, columns)
+            if left_fn is not None:
+                right_fn = _compile_value(term.right, columns)
+                if right_fn is not None:
+                    return _ExprComparePred(left_fn, right_fn, op, columns)
         return None
     if isinstance(term, ast.IsNull):
         column = _plain_column(term.expression)
@@ -556,12 +786,193 @@ def _simple_predicate(term: ast.Expression):
     return None
 
 
+#: Below this row count conjunct reordering is not worth the estimation
+#: work — either order finishes in microseconds.
+_MIN_REORDER_ROWS = 64
+
+#: ``literal <op> column`` reads as ``column <swapped op> literal``.
+_SWAPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _stats_for(table_stats: Optional[TableStats], name: str):
+    return None if table_stats is None else table_stats.column(name)
+
+
+def predicate_selectivity(predicate: Any, table_stats: Optional[TableStats]) -> float:
+    """Estimated fraction of rows one conjunct passes (NULLs never pass).
+
+    Backed by the column summaries when available, falling back to the
+    classic textbook guesses (1/3 for ranges, 1/10 for equality, 1/4 for
+    LIKE) when the column is unknown or stats are absent.
+    """
+    return min(1.0, max(0.0, _estimate_selectivity(predicate, table_stats)))
+
+
+def _estimate_selectivity(predicate: Any, table_stats: Optional[TableStats]) -> float:
+    if isinstance(predicate, _AlwaysNullPred):
+        return 0.0
+    if isinstance(predicate, _IsNullPred):
+        column = _stats_for(table_stats, predicate.column)
+        if column is None or column.rows == 0:
+            return 0.9 if predicate.negated else 0.1
+        fraction = column.null_fraction
+        return (1.0 - fraction) if predicate.negated else fraction
+    if isinstance(predicate, _ComparePred):
+        column = _stats_for(table_stats, predicate.column)
+        op = predicate.op
+        if column is None or column.rows == 0:
+            return 0.1 if op == "=" else 1.0 / 3.0
+        if predicate.invert is not None:
+            eq = column.eq_fraction(predicate.value)
+            if not predicate.invert:
+                return eq
+            return max(column.non_null / column.rows - eq, 0.0)
+        if predicate.swapped:
+            op = _SWAPPED_OPS.get(op, op)
+        return column.range_fraction(op, predicate.value)
+    if isinstance(predicate, _BetweenPred):
+        column = _stats_for(table_stats, predicate.column)
+        if column is None or column.rows == 0:
+            return 0.75 if predicate.negated else 0.25
+        fraction = column.between_fraction(predicate.low, predicate.high)
+        if predicate.negated:
+            return max(column.non_null / column.rows - fraction, 0.0)
+        return fraction
+    if isinstance(predicate, _InListPred):
+        column = _stats_for(table_stats, predicate.column)
+        if column is None or column.rows == 0:
+            hit = min(0.1 * max(len(predicate.constants), 1), 1.0)
+            return 1.0 - hit if predicate.negated else hit
+        total = min(
+            sum(column.eq_fraction(constant) for constant in predicate.constants),
+            1.0,
+        )
+        if predicate.negated:
+            return max(column.non_null / column.rows - total, 0.0)
+        return total
+    if isinstance(predicate, _LikePred):
+        return 0.75 if predicate.negated else 0.25
+    if isinstance(predicate, _ColumnComparePred):
+        if predicate.invert is not None and not predicate.invert:
+            left = _stats_for(table_stats, predicate.left)
+            right = _stats_for(table_stats, predicate.right)
+            distinct = max(
+                left.distinct if left is not None else 0,
+                right.distinct if right is not None else 0,
+                1,
+            )
+            return 1.0 / distinct
+        return 1.0 / 3.0
+    if isinstance(predicate, _OrPred):
+        miss = 1.0
+        for conjuncts in predicate.disjuncts:
+            disjunct = 1.0
+            for sub in conjuncts:
+                disjunct *= predicate_selectivity(sub, table_stats)
+            miss *= 1.0 - min(disjunct, 1.0)
+        return 1.0 - miss
+    if isinstance(predicate, _ExprComparePred):
+        if predicate.invert is not None and not predicate.invert:
+            return 0.15
+        return 1.0 / 3.0
+    return 1.0 / 3.0
+
+
+def _plain_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float))
+
+
+def _infallible(predicate: Any, relation: Relation) -> bool:
+    """Can this conjunct never raise over ``relation``'s current arrays?
+
+    Equality comparisons, IS NULL, LIKE and IN never raise; ordering
+    comparisons are raise-free when both operands are guaranteed numeric
+    (typed column backing plus a numeric literal).  Fallibility constrains
+    reordering — see :func:`order_conjuncts`.
+    """
+    if isinstance(predicate, (_AlwaysNullPred, _IsNullPred, _LikePred, _InListPred)):
+        return True
+    if isinstance(predicate, _ComparePred):
+        if predicate.invert is not None:
+            return True
+        return isinstance(
+            relation.column_array(predicate.column), TypedColumn
+        ) and _plain_numeric(predicate.value)
+    if isinstance(predicate, _ColumnComparePred):
+        if predicate.invert is not None:
+            return True
+        return isinstance(
+            relation.column_array(predicate.left), TypedColumn
+        ) and isinstance(relation.column_array(predicate.right), TypedColumn)
+    if isinstance(predicate, _BetweenPred):
+        return (
+            isinstance(relation.column_array(predicate.column), TypedColumn)
+            and _plain_numeric(predicate.low)
+            and _plain_numeric(predicate.high)
+        )
+    if isinstance(predicate, _OrPred):
+        return all(
+            _infallible(sub, relation)
+            for conjuncts in predicate.disjuncts
+            for sub in conjuncts
+        )
+    return False  # _ExprComparePred and anything unrecognized
+
+
+def order_conjuncts(
+    predicates: Sequence[Any],
+    relation: Relation,
+    table_stats: Optional[TableStats],
+) -> List[Any]:
+    """Selectivity-then-cost order for AND conjuncts, error-identity safe.
+
+    Pass/NULL semantics are order-independent (NULL rows survive every
+    conjunct and are excluded once at the end), so reordering cannot change
+    *results*.  What it could change is *error* behaviour: a conjunct that
+    can raise must never see fewer rows than it would in written order,
+    else the fast path could succeed where the row path raises.  A
+    fallible conjunct may therefore only move earlier — it may only ever
+    be preceded by conjuncts that were originally before it (evaluating
+    extra rows at worst triggers a spurious scan abandon, which falls back
+    to the row path and stays byte-identical).  Infallible conjuncts move
+    freely.
+    """
+    ranks = [
+        (predicate_selectivity(predicate, table_stats), getattr(predicate, "cost", 2.0))
+        for predicate in predicates
+    ]
+    fallible = [not _infallible(predicate, relation) for predicate in predicates]
+    remaining = list(range(len(predicates)))
+    ordered: List[Any] = []
+    while remaining:
+        barrier = min((i for i in remaining if fallible[i]), default=None)
+        best = None
+        for i in remaining:
+            if barrier is not None and i > barrier:
+                continue
+            key = (ranks[i][0], ranks[i][1], i)
+            if best is None or key < best[0]:
+                best = (key, i)
+        index = best[1]
+        ordered.append(predicates[index])
+        remaining.remove(index)
+    if any(first is not second for first, second in zip(ordered, predicates)):
+        optimizer_stats.conjunct_reorders += 1
+    return ordered
+
+
 def _apply_predicates(
     predicates: Sequence[Any], relation: Relation
 ) -> Optional[List[int]]:
     """Filter row indices through the conjuncts; None means "all rows"."""
     if not predicates:
         return None
+    if (
+        len(predicates) > 1
+        and optimizer_enabled()
+        and len(relation) >= _MIN_REORDER_ROWS
+    ):
+        predicates = order_conjuncts(predicates, relation, relation.stats())
     sel = list(range(len(relation)))
     nulls: Set[int] = set()
     for predicate in predicates:
@@ -592,19 +1003,43 @@ class _VectorAggSpec:
 
 
 class FlatScanPlan:
-    """``SELECT <plain columns> FROM <table> [WHERE simple] [LIMIT/OFFSET]``."""
+    """``SELECT [DISTINCT] <plain columns> FROM <table> [WHERE simple]
+    [ORDER BY <plain columns>] [LIMIT/OFFSET]``."""
 
-    __slots__ = ("query", "table_name", "predicates", "out_names", "out_columns", "required")
+    __slots__ = (
+        "query",
+        "table_name",
+        "predicates",
+        "out_names",
+        "out_columns",
+        "order_spec",
+        "distinct",
+        "required",
+    )
 
-    def __init__(self, query, table_name, predicates, out_names, out_columns) -> None:
+    def __init__(
+        self,
+        query,
+        table_name,
+        predicates,
+        out_names,
+        out_columns,
+        order_spec=None,
+        distinct=False,
+    ) -> None:
         self.query = query
         self.table_name = table_name
         self.predicates = predicates
         self.out_names = out_names
         self.out_columns = out_columns
+        #: ``[(source_column, ascending), ...]`` or None for unordered scans.
+        self.order_spec = order_spec
+        self.distinct = distinct
         self.required = set(out_columns)
         for predicate in predicates:
             self.required.update(predicate.columns)
+        if order_spec:
+            self.required.update(column for column, _ in order_spec)
 
 
 class GroupedScanPlan:
@@ -685,12 +1120,13 @@ def plan_select(executor, query: ast.Query):
     included — so :data:`stats` counts fallback executions.
     """
     memo = executor._vector_plans
+    enabled = optimizer_enabled()
     cached = memo.get(id(query))
-    if cached is not None and cached[0] is query:
+    if cached is not None and cached[0] is query and cached[3] == enabled:
         plan, reason = cached[1], cached[2]
     else:
         plan, reason = _plan_select_uncached(executor, query)
-        executor._store_plan(memo, id(query), (query, plan, reason))
+        executor._store_plan(memo, id(query), (query, plan, reason, enabled))
     if plan is None:
         stats.bail(reason)
     return plan
@@ -735,10 +1171,9 @@ def _plan_select_uncached(executor, query: ast.Query):
             return None, BailReason.AGGREGATE_ARGS
         return GroupedScanPlan(query, table_name, predicates, key_columns, specs), None
 
-    # Flat projection: plain columns only, no DISTINCT/ORDER BY (the row
-    # path owns reordering and dedup of full-width outputs).
-    if query.distinct or query.order_by:
-        return None, BailReason.DISTINCT_OR_ORDER_BY
+    # Flat projection: plain columns only.  DISTINCT and ORDER BY over
+    # plain columns are planned as index permutations when the optimizer
+    # is on; everything else still belongs to the row path.
     items = executor._expand_star_items(query.items, list(table.schema.names))
     out_columns: List[str] = []
     for item in items:
@@ -747,7 +1182,46 @@ def _plan_select_uncached(executor, query: ast.Query):
             return None, BailReason.EXPRESSION_ITEM
         out_columns.append(column)
     out_names = executor._output_names(items)
-    plan = FlatScanPlan(query, query.from_clause.name, predicates, out_names, out_columns)
+
+    distinct = bool(query.distinct)
+    order_spec: Optional[List[Tuple[str, bool]]] = None
+    if distinct or query.order_by:
+        if not optimizer_enabled():
+            return None, BailReason.DISTINCT_OR_ORDER_BY
+        lowered_names = [name.lower() for name in out_names]
+        if len(set(lowered_names)) != len(lowered_names):
+            # Duplicate output names make name-based order resolution
+            # ambiguous; leave those to the row path.
+            return None, BailReason.DISTINCT_OR_ORDER_BY
+        positions = {name: index for index, name in enumerate(lowered_names)}
+        order_spec = []
+        for item in query.order_by:
+            column = _plain_column(item.expression)
+            if column is None:
+                return None, BailReason.DISTINCT_OR_ORDER_BY
+            if column in positions:
+                # Output-name references sort by the projected value, which
+                # wins over the source scope in the row path's merged scope.
+                source = out_columns[positions[column]]
+            elif column in table_columns and not distinct:
+                # Source-column references are only safe without DISTINCT:
+                # after dedup the row path's scope indices misalign, so the
+                # row path owns that combination.
+                source = column
+            else:
+                return None, BailReason.DISTINCT_OR_ORDER_BY
+            order_spec.append((source, item.ascending))
+        if not order_spec:
+            order_spec = None
+    plan = FlatScanPlan(
+        query,
+        query.from_clause.name,
+        predicates,
+        out_names,
+        out_columns,
+        order_spec,
+        distinct,
+    )
     return plan, None
 
 
@@ -761,7 +1235,7 @@ def _plan_select_uncached(executor, query: ast.Query):
 _SCAN_ABANDON_ERRORS = (TypeError, ValueError, OverflowError)
 
 #: Schema types whose columns are expected to carry a typed backing.
-_TYPEABLE = (DataType.INTEGER, DataType.FLOAT)
+_TYPEABLE = (DataType.INTEGER, DataType.FLOAT, DataType.BOOLEAN)
 
 
 def _note_backing(relation: Relation, names) -> None:
@@ -805,6 +1279,8 @@ def try_execute_select(executor, query: ast.Query, parent) -> Optional[Relation]
         return None
     if isinstance(plan, FlatScanPlan):
         result = _execute_flat(plan, relation, sel)
+        if result is None:
+            stats.bail(BailReason.SCAN_ABANDONED)
     else:
         result = _execute_grouped(executor, plan, relation, parent, sel)
         if result is None:
@@ -814,9 +1290,84 @@ def try_execute_select(executor, query: ast.Query, parent) -> Optional[Relation]
     return result
 
 
-def _execute_flat(
+class _OrderKey:
+    """Comparable wrapper handling None values and descending order."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: Any, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        left, right = self.value, other.value
+        if not self.ascending:
+            left, right = right, left
+        if left is None:
+            return right is not None
+        if right is None:
+            return False
+        try:
+            return left < right
+        except TypeError:
+            return str(left) < str(right)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.value == other.value
+
+
+def _execute_flat_ordered(
     plan: FlatScanPlan, relation: Relation, sel: Optional[List[int]]
 ) -> Relation:
+    """Flat scan with DISTINCT/ORDER BY applied as index permutations.
+
+    Mirrors the row path's tail exactly: dedup first (first occurrence in
+    selection order, keyed on the frozen output tuple), then a stable sort
+    with the shared :class:`_OrderKey` semantics, then OFFSET/LIMIT.
+    """
+    query = plan.query
+    out_arrays = [relation.column_array(name) for name in plan.out_columns]
+    indices: List[int] = list(range(len(relation))) if sel is None else sel
+    if plan.distinct:
+        seen: Set[Tuple[Any, ...]] = set()
+        kept: List[int] = []
+        for i in indices:
+            key = tuple(freeze_value(array[i]) for array in out_arrays)
+            if key not in seen:
+                seen.add(key)
+                kept.append(i)
+        indices = kept
+        optimizer_stats.distinct_scans += 1
+    if plan.order_spec:
+        order_arrays = [
+            (relation.column_array(column), ascending)
+            for column, ascending in plan.order_spec
+        ]
+        indices = sorted(
+            indices,
+            key=lambda i: tuple(
+                _OrderKey(array[i], ascending) for array, ascending in order_arrays
+            ),
+        )
+        optimizer_stats.order_by_scans += 1
+    if query.offset is not None:
+        indices = indices[query.offset :]
+    if query.limit is not None:
+        indices = indices[: query.limit]
+    columns = [take_column(array, indices) for array in out_arrays]
+    stats.flat += 1
+    schema = build_schema_from_columns(plan.out_names, columns)
+    return Relation.from_columns(schema, columns, name="")
+
+
+def _execute_flat(
+    plan: FlatScanPlan, relation: Relation, sel: Optional[List[int]]
+) -> Optional[Relation]:
+    if plan.distinct or plan.order_spec:
+        try:
+            return _execute_flat_ordered(plan, relation, sel)
+        except _SCAN_ABANDON_ERRORS:
+            return None
     query = plan.query
     offset = query.offset
     limit = query.limit
@@ -1024,12 +1575,13 @@ class PartialScanPlan(GroupedScanPlan):
 def plan_partial(executor, query: ast.SelectQuery):
     """Build (and cache) a partial-aggregation scan plan, or None."""
     memo = executor._vector_partial_plans
+    enabled = optimizer_enabled()
     cached = memo.get(id(query))
-    if cached is not None and cached[0] is query:
+    if cached is not None and cached[0] is query and cached[3] == enabled:
         plan, reason = cached[1], cached[2]
     else:
         plan, reason = _plan_partial_uncached(executor, query)
-        executor._store_plan(memo, id(query), (query, plan, reason))
+        executor._store_plan(memo, id(query), (query, plan, reason, enabled))
     if plan is None:
         stats.bail(reason)
     return plan
@@ -1109,6 +1661,78 @@ def try_execute_partial(executor, query: ast.SelectQuery) -> Optional[Relation]:
     stats.partial += 1
     _note_backing(relation, plan.required)
     return executor._partial_state_relation(partial_plan, groups, order)
+
+
+# ---------------------------------------------------------------------------
+# cardinality estimation (explain/profile plumbing)
+# ---------------------------------------------------------------------------
+
+
+def _contains_aggregate(node: ast.Node) -> bool:
+    if (
+        isinstance(node, ast.FunctionCall)
+        and node.name.upper() in ast.AGGREGATE_FUNCTIONS
+    ):
+        return True
+    return any(_contains_aggregate(child) for child in node.children())
+
+
+def estimate_select_rows(
+    query: ast.Query,
+    relation: Optional[Relation] = None,
+    input_rows: Optional[int] = None,
+) -> Optional[int]:
+    """Estimated output row count for ``query``, or None when unknowable.
+
+    Uses column statistics when ``relation`` is at hand (selectivity per
+    WHERE conjunct, distinct counts per GROUP BY key); falls back to
+    textbook constants (0.5 per opaque conjunct, ``sqrt(rows)`` groups)
+    when only ``input_rows`` is known.  Estimates are advisory — they feed
+    ``explain()``/profiling and the calibration report, never results.
+    """
+    if not isinstance(query, ast.SelectQuery):
+        return None
+    if relation is not None:
+        rows = len(relation)
+        table_stats: Optional[TableStats] = relation.stats()
+    else:
+        rows = input_rows
+        table_stats = None
+    if rows is None:
+        return None
+    estimate = float(rows)
+    if query.where is not None:
+        for term in ast.conjunction_terms(query.where):
+            predicate = _simple_predicate(term)
+            if predicate is not None:
+                estimate *= predicate_selectivity(predicate, table_stats)
+            else:
+                estimate *= 0.5
+    if query.group_by:
+        groups = 1.0
+        known = True
+        for expression in query.group_by:
+            column = _plain_column(expression)
+            summary = _stats_for(table_stats, column) if column else None
+            if summary is None:
+                known = False
+                break
+            groups *= max(summary.distinct, 1)
+        if not known:
+            groups = max(1.0, estimate**0.5)
+        estimate = min(estimate, groups)
+    elif any(
+        not isinstance(item.expression, ast.Star)
+        and _contains_aggregate(item.expression)
+        for item in query.items
+    ):
+        estimate = 1.0  # a flat aggregate always emits exactly one row
+    result = int(round(estimate))
+    if query.offset is not None:
+        result = max(0, result - query.offset)
+    if query.limit is not None:
+        result = min(result, query.limit)
+    return result
 
 
 # ---------------------------------------------------------------------------

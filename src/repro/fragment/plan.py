@@ -196,6 +196,10 @@ class QueryFragment:
     assigned_node: Optional[str] = None
     partitionable: bool = False
     decomposable: bool = False
+    #: Estimated output rows from the cost model's cardinality estimator
+    #: (filled by the processor for ``explain()``/profiled runs; advisory
+    #: only, never affects results).
+    estimated_rows: Optional[int] = None
 
     @property
     def sql(self) -> str:
@@ -284,7 +288,14 @@ class FragmentPlan:
         lines = ["Vertical fragmentation plan:"]
         for fragment in self.fragments:
             node = f" @ {fragment.assigned_node}" if fragment.assigned_node else ""
-            lines.append(f"  [{fragment.level.short_name}{node}] {fragment.name}:")
+            estimate = (
+                f" (est. {fragment.estimated_rows} rows)"
+                if fragment.estimated_rows is not None
+                else ""
+            )
+            lines.append(
+                f"  [{fragment.level.short_name}{node}] {fragment.name}:{estimate}"
+            )
             lines.append(f"      {fragment.sql}")
             if fragment.description:
                 lines.append(f"      -- {fragment.description}")

@@ -116,6 +116,17 @@ class CalibrationReport:
             f"{'abs err':>10} {'rel err':>8}",
         ]
         for entry in self.kinds:
+            if entry.kind.startswith("rows"):
+                # Cardinality calibration: estimated vs observed row counts,
+                # rendered as raw counts rather than milliseconds.
+                lines.append(
+                    f"{entry.kind:<14} {entry.count:>4} "
+                    f"{entry.predicted_seconds:>9.0f}r "
+                    f"{entry.observed_seconds:>9.0f}r "
+                    f"{entry.mean_abs_error_seconds:>8.1f}r "
+                    f"{entry.mean_rel_error * 100:>7.1f}%"
+                )
+                continue
             lines.append(
                 f"{entry.kind:<14} {entry.count:>4} "
                 f"{entry.predicted_seconds * 1e3:>9.2f}ms "
@@ -190,6 +201,9 @@ class ProfileReport:
         if rows_in is not None or rows_out is not None:
             parts.append(f"rows {rows_in if rows_in is not None else '?'}"
                          f"->{rows_out if rows_out is not None else '?'}")
+        estimated_rows = span.attrs.get("estimated_rows")
+        if estimated_rows is not None:
+            parts.append(f"(est. {estimated_rows} rows)")
         if span.attrs.get("attempt", 1) > 1:
             parts.append(f"attempt {span.attrs['attempt']}")
         if span.status not in (None, "ok"):
@@ -286,12 +300,19 @@ def build_profile_report(
     scan_paths: Dict[str, Any] = {}
     if metrics_before is not None and metrics_after is not None:
         for key, value in metrics_after.items():
-            if not key.startswith("engine.vectorized."):
+            if not key.startswith(("engine.vectorized.", "engine.optimizer.")):
                 continue
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 continue
             diff = value - metrics_before.get(key, 0)
             if not diff:
+                continue
+            if key.startswith("engine.optimizer."):
+                # Cost-based plan decisions taken this run (conjunct
+                # reorders, build-side flips, adaptive placement, ...).
+                scan_paths[
+                    "optimizer." + key[len("engine.optimizer.") :]
+                ] = diff
                 continue
             short = key.replace("engine.vectorized.", "")
             if short.startswith("bails."):

@@ -26,7 +26,9 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.anonymize.anonymizer import Anonymizer
 from repro.engine.executor import execution_mode
 from repro.engine.schema import Schema
+from repro.engine.stats import optimizer_mode
 from repro.engine.table import Relation
+from repro.engine.vectorized import estimate_select_rows
 from repro.fragment.fragmenter import VerticalFragmenter
 from repro.fragment.plan import FragmentPlan
 from repro.fragment.topology import Topology
@@ -80,6 +82,7 @@ class ParadiseProcessor:
         execution: str = "serial",
         cost_model: Optional[CostModel] = None,
         partial_aggregation: bool = True,
+        optimizer: Optional[bool] = None,
         allow_partial_results: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         profile: bool = False,
@@ -124,6 +127,12 @@ class ParadiseProcessor:
         #: aggregation plus per-level combines when possible; ``False``
         #: restores the global-merge baseline (benchmark ablation knob).
         self.partial_aggregation = partial_aggregation
+        #: Statistics-driven cost-based optimization: selectivity-ordered
+        #: conjuncts, vectorized OR/ORDER BY/DISTINCT scans, join build-side
+        #: and nested-loop choices, and the adaptive partial-aggregation
+        #: ratio.  ``False`` restores the purely syntactic choices
+        #: (benchmark ablation knob); results are byte-identical either way.
+        self.optimizer = True if optimizer is None else bool(optimizer)
         #: Default data-loss policy for parallel runs: ``False`` raises
         #: :class:`~repro.runtime.faults.DataLossError` when base data is
         #: unrecoverable, ``True`` degrades to a partial result with a
@@ -287,20 +296,27 @@ class ParadiseProcessor:
             plan = self.fragmenter.cloud_only_plan(working_query)
         result.plan = plan
 
+        if trace is not None:
+            self._annotate_estimates(plan, raw_rows)
+
         # 4. distributed execution + 5. anonymization + 6. remainder
         if strategy == "parallel" and plan.fragments:
-            final = self._execute_plan_parallel(
-                plan,
-                result,
-                anonymize=anonymize,
-                namespace=namespace,
-                faults=faults,
-                on_data_loss=on_data_loss,
-                task_timeout=task_timeout,
-                trace=trace,
-            )
+            # The wrap covers the DAG build (the adaptive partial-aggregation
+            # decision); worker threads re-enter the mode per task from
+            # ``context.optimizer``.
+            with optimizer_mode(self.optimizer):
+                final = self._execute_plan_parallel(
+                    plan,
+                    result,
+                    anonymize=anonymize,
+                    namespace=namespace,
+                    faults=faults,
+                    on_data_loss=on_data_loss,
+                    task_timeout=task_timeout,
+                    trace=trace,
+                )
         else:
-            with execution_mode(self.engine_mode):
+            with execution_mode(self.engine_mode), optimizer_mode(self.optimizer):
                 with maybe_span(trace, "serial_plan", kind="dag_run", epoch=0):
                     final = self._execute_plan(
                         plan, result, anonymize=anonymize, trace=trace
@@ -380,18 +396,20 @@ class ParadiseProcessor:
             plan = self.fragmenter.fragment(working_query)
         else:
             plan = self.fragmenter.cloud_only_plan(working_query)
+        self._annotate_estimates(plan, self._raw_input_rows())
         lines.append("")
         lines.append(plan.pretty())
 
         if strategy == "parallel" and plan.fragments:
-            dag = build_execution_dag(
-                plan,
-                self.topology,
-                self.network,
-                anonymize=anonymize,
-                namespace=namespace,
-                partial_aggregation=self.partial_aggregation,
-            )
+            with optimizer_mode(self.optimizer):
+                dag = build_execution_dag(
+                    plan,
+                    self.topology,
+                    self.network,
+                    anonymize=anonymize,
+                    namespace=namespace,
+                    partial_aggregation=self.partial_aggregation,
+                )
             lines.append("")
             lines.append(
                 f"parallel DAG: {len(dag.tasks)} tasks over "
@@ -414,6 +432,21 @@ class ParadiseProcessor:
             power = self.topology.node(node_name).cpu_power or 1.0
             self.cost_model.charge_compute(rows, power)
 
+    def _annotate_estimates(self, plan: FragmentPlan, raw_rows: int) -> None:
+        """Fill per-fragment estimated output rows, chained bottom-up.
+
+        Each fragment's estimate feeds the next fragment's input cardinality
+        (fragments run over the previous fragment's output).  Advisory only:
+        rendered by ``plan.pretty()``/``explain()`` and compared against
+        observed counts in profiled runs.
+        """
+        rows = raw_rows
+        for fragment in plan.fragments:
+            estimated = estimate_select_rows(fragment.query, input_rows=rows)
+            fragment.estimated_rows = estimated
+            if estimated is not None:
+                rows = estimated
+
     def _observe_serial(
         self,
         trace: Optional[QueryTrace],
@@ -423,6 +456,8 @@ class ParadiseProcessor:
         input_rows: int,
         output: Relation,
         elapsed: float,
+        query: Optional[ast.Query] = None,
+        source: Optional[Relation] = None,
     ) -> None:
         """Annotate a serial-path span and feed the calibration log."""
         if trace is None or span is None:
@@ -430,6 +465,17 @@ class ParadiseProcessor:
         span.attrs["input_rows"] = input_rows
         span.attrs["output_rows"] = len(output)
         span.attrs["estimated_bytes"] = output.estimated_bytes()
+        if query is not None:
+            estimated = estimate_select_rows(
+                query,
+                relation=source,
+                input_rows=None if source is not None else input_rows,
+            )
+            if estimated is not None:
+                span.attrs["estimated_rows"] = estimated
+                self.calibration.observe(
+                    "rows", float(estimated), float(len(output)), rows=len(output)
+                )
         predicted = 0.0
         if self.cost_model is not None:
             power = self.topology.node(node).cpu_power or 1.0
@@ -462,10 +508,11 @@ class ParadiseProcessor:
                     current_relation, fragment.input_name, current_node, target_node
                 )
             database = self.network.database(target_node)
+            source = current_relation
+            if source is None and fragment.input_name in database:
+                source = database.table(fragment.input_name)
             input_rows = (
-                len(current_relation)
-                if current_relation is not None
-                else self._raw_input_rows()
+                len(source) if source is not None else self._raw_input_rows()
             )
             self._charge_compute(input_rows, target_node)
             with maybe_span(
@@ -477,6 +524,7 @@ class ParadiseProcessor:
                 self._observe_serial(
                     trace, span, "fragment", target_node, input_rows,
                     current_relation, elapsed,
+                    query=fragment.query, source=source,
                 )
             current_relation.name = fragment.name
             database.register(fragment.name, current_relation)
@@ -669,6 +717,7 @@ class ParadiseProcessor:
             trace=trace,
             calibration=self.calibration if trace is not None else None,
             dispatcher=self._process_dispatcher(),
+            optimizer=self.optimizer,
         )
 
         current_plan, current_topology = plan, self.topology

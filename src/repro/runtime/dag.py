@@ -76,6 +76,26 @@ GROUP_FALLBACK_MIN_ROWS = 16
 GROUP_FALLBACK_SAMPLE_ROWS = 512
 
 
+def _aggregate_call_count(query: ast.SelectQuery) -> int:
+    """Number of aggregate calls in the query — its partial state width
+    (one packed state column per call) minus the group keys."""
+    count = 0
+    sources: List[ast.Node] = [item.expression for item in query.items]
+    if query.having is not None:
+        sources.append(query.having)
+    sources.extend(item.expression for item in query.order_by)
+    stack = sources
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, ast.FunctionCall) and ast.is_aggregate_function(node.name):
+            count += 1
+            continue  # nested aggregates are not decomposable anyway
+        stack.extend(child for child in node.children() if child is not None)
+    return count
+
+
 def partial_aggregation_pays(
     network: NetworkSimulator,
     holders: Sequence[str],
@@ -96,8 +116,24 @@ def partial_aggregation_pays(
     Global aggregations (no GROUP BY) always pay: they ship one state row.
     Chunks that do not expose the key columns (a preceding fragment renames
     or derives them) cannot be observed and are assumed worthwhile.
+
+    With the cost-based optimizer enabled, the sampled-prefix observation
+    is replaced by per-leaf distinct-key statistics from the chunk's
+    maintained column stats, and the fixed ratio becomes a two-stage rule:
+    below the :data:`GROUP_FALLBACK_RATIO` distinct share partial always
+    pays (sibling states keep merging at every tree level while raw rows
+    concatenate with fan-in); at or above it, a byte-level estimate
+    decides — the query's state width (keys plus one packed state per
+    aggregate call) times the observed packed bytes per state *cell* (fed
+    back by :data:`repro.engine.wire.state_size_feedback` from previously
+    shipped partial states) is compared against the chunk's raw
+    ``estimated_bytes()``, so genuinely small states keep the partial path
+    even at high shares.  Both modes decide *placement only* — results are
+    identical either way.
     """
+    from repro.engine.stats import optimizer_enabled, optimizer_stats
     from repro.engine.vectorized import freeze_value
+    from repro.engine.wire import state_size_feedback
 
     query = fragment.query
     if not isinstance(query, ast.SelectQuery) or not query.group_by:
@@ -109,11 +145,52 @@ def partial_aggregation_pays(
     ]
     if len(keys) != len(query.group_by):
         return True  # non-column keys are not observable on the base chunks
+    adaptive = optimizer_enabled()
     for holder in holders:
         database = network.database(holder)
         if observe_table not in database:
             continue
         chunk = database.table(observe_table)
+        if adaptive:
+            rows = len(chunk)
+            if rows < GROUP_FALLBACK_MIN_ROWS:
+                continue
+            table_stats = chunk.stats()
+            groups = 1
+            observable = True
+            for key in keys:
+                summary = table_stats.column(key)
+                if summary is None:
+                    observable = False
+                    break
+                groups *= max(summary.distinct, 1)
+            if not observable:
+                return True
+            groups = min(groups, rows)
+            # Low distinct share: sibling states keep merging all the way up
+            # the tree while raw rows would concatenate — partial always
+            # pays, whatever a single state row weighs.
+            if groups < GROUP_FALLBACK_RATIO * rows:
+                optimizer_stats.adaptive_partial += 1
+                continue
+            # High share: states barely merge, so the decision comes down to
+            # bytes at the leaf hop.  State width for *this* query (keys +
+            # one state per aggregate call) times the observed packed bytes
+            # per state cell — per-cell feedback transfers across query
+            # shapes where a per-row average would let wide states inflate
+            # narrow ones.  Unlike the fixed-ratio rule, genuinely small
+            # states (few aggregates over wide raw rows) keep the partial
+            # path even at high shares.
+            state_width = len(keys) + max(_aggregate_call_count(query), 1)
+            est_state_bytes = (
+                groups * state_width * state_size_feedback.bytes_per_cell()
+            )
+            raw_bytes = chunk.estimated_bytes()
+            if est_state_bytes >= raw_bytes:
+                optimizer_stats.adaptive_fallback += 1
+                return False
+            optimizer_stats.adaptive_partial += 1
+            continue
         rows = min(len(chunk), GROUP_FALLBACK_SAMPLE_ROWS)
         if rows < GROUP_FALLBACK_MIN_ROWS:
             continue
@@ -244,10 +321,14 @@ class ExecutionContext:
         trace: Optional[QueryTrace] = None,
         calibration: Optional[CalibrationLog] = None,
         dispatcher: Optional[object] = None,
+        optimizer: bool = True,
     ) -> None:
         self.network = network
         self.log = log
         self.engine_mode = engine_mode
+        #: Whether worker threads run with the cost-based optimizer active
+        #: (mirrored into the scan planner's thread-local by the scheduler).
+        self.optimizer = optimizer
         #: Process-pool dispatcher (:class:`repro.runtime.procs.ProcessDispatcher`)
         #: when the run uses ``workers="processes"``; ``None`` keeps engine
         #: operations in the scheduler's threads.
@@ -436,6 +517,31 @@ class Task:
         return context.engine_call(database.finalize_partials, query, state)
 
 
+def _observe_rows_estimate(
+    context: ExecutionContext,
+    query: Optional[ast.Query],
+    source: Optional[Relation],
+    output: Relation,
+) -> None:
+    """Annotate a task span with its estimated output rows (trace-gated).
+
+    Also feeds the run's calibration log so ``calibration_report()`` can
+    score the estimator against the observed counts.
+    """
+    if context.trace is None or query is None or source is None:
+        return
+    from repro.engine.vectorized import estimate_select_rows
+
+    estimated = estimate_select_rows(query, source)
+    if estimated is None:
+        return
+    context.annotate(estimated_rows=estimated)
+    if context.calibration is not None:
+        context.calibration.observe(
+            "rows", float(estimated), float(len(output)), rows=len(output)
+        )
+
+
 @dataclass
 class FragmentTask(Task):
     """Run one fragment query on this node (a leaf scan or a chained hop)."""
@@ -454,18 +560,18 @@ class FragmentTask(Task):
         network = context.network
         database = network.database(self.node)
         if self.source_id is not None:
-            relation = context.outputs[self.source_id]
-            self._receive(context, relation, self.in_name, self.source_node or self.node)
-            input_rows = len(relation)
+            source = context.outputs[self.source_id]
+            self._receive(context, source, self.in_name, self.source_node or self.node)
+            input_rows = len(source)
         else:
-            input_rows = (
-                len(database.table(self.in_name)) if self.in_name in database else 0
-            )
+            source = database.table(self.in_name) if self.in_name in database else None
+            input_rows = len(source) if source is not None else 0
         context.charge_compute(input_rows, self.node)
         output, elapsed = self._engine(context, database, "query", self.query)
         output.name = self.display_name
         database.register(self.out_name, output)
         context.annotate_io(input_rows, output)
+        _observe_rows_estimate(context, self.query, source, output)
         context.record_execution(
             self.order,
             FragmentExecution(
@@ -562,18 +668,27 @@ class PartialAggregateTask(Task):
         network = context.network
         database = network.database(self.node)
         if self.source_id is not None:
-            relation = context.outputs[self.source_id]
-            self._receive(context, relation, self.in_name, self.source_node or self.node)
-            input_rows = len(relation)
+            source = context.outputs[self.source_id]
+            self._receive(context, source, self.in_name, self.source_node or self.node)
+            input_rows = len(source)
         else:
-            input_rows = (
-                len(database.table(self.in_name)) if self.in_name in database else 0
-            )
+            source = database.table(self.in_name) if self.in_name in database else None
+            input_rows = len(source) if source is not None else 0
         context.charge_compute(input_rows, self.node)
         output, elapsed = self._engine(context, database, "partial", self.query)
         output.name = self.display_name
         database.register(self.out_name, output)
+        # Observed state size feeds the adaptive partial-aggregation ratio:
+        # future placement decisions use real packed bytes per state cell.
+        from repro.engine.wire import state_size_feedback
+
+        state_size_feedback.record(
+            len(output),
+            output.estimated_bytes(),
+            cells=len(output) * len(output.schema),
+        )
         context.annotate_io(input_rows, output)
+        _observe_rows_estimate(context, self.query, source, output)
         context.record_execution(
             self.order,
             FragmentExecution(
