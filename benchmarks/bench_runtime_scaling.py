@@ -228,6 +228,13 @@ def run_runtime_scaling(
     from benchmarks.bench_multicore import run_multicore
 
     report["multicore"] = run_multicore(repeats=max(2, repeats))
+    # Incremental standing queries (PR 10): delta-maintained aggregate trees
+    # vs re-execute-per-refresh, differential-checked in-loop.  Row count is
+    # fixed independently of ``rows`` so the from-scratch baseline reflects a
+    # realistically accumulated stream.
+    from benchmarks.bench_standing import run_standing
+
+    report["standing"] = run_standing(refreshes=max(3, repeats))
     if out is not None:
         out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out}")

@@ -29,7 +29,12 @@ Three jobs in one entry point:
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--repeats N] [--skip-suite]
-        [--skip-runtime]
+        [--skip-runtime] [--only SECTION]
+
+``--only <section>`` runs exactly one section (``suite``, ``workloads``,
+``columnar``, ``optimizer``, ``obs``, ``runtime`` or ``standing``) — handy
+for CI smoke runs; pair it with ``--out`` so a partial report never
+overwrites the committed baselines.
 """
 
 from __future__ import annotations
@@ -54,6 +59,18 @@ from benchmarks.common import (  # noqa: E402
     summarize_samples,
 )
 from repro.engine.executor import execution_mode  # noqa: E402
+
+#: Sections selectable with ``--only`` (default: all except the standalone
+#: ``standing`` grid, which normally rides inside the ``runtime`` report).
+SECTIONS = (
+    "suite",
+    "workloads",
+    "columnar",
+    "optimizer",
+    "obs",
+    "runtime",
+    "standing",
+)
 
 #: Engine-bound workloads; row counts mirror the corresponding bench files.
 WORKLOADS = [
@@ -199,6 +216,12 @@ def main(argv: List[str] | None = None) -> int:
         help="skip the cost-based-optimizer section",
     )
     parser.add_argument(
+        "--only",
+        choices=SECTIONS,
+        help="run exactly one section (overrides the --skip-* flags); "
+        "``--only standing`` runs the quick standing-query grid standalone",
+    )
+    parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json", help="output path"
     )
     parser.add_argument(
@@ -209,6 +232,24 @@ def main(argv: List[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.only:
+        enabled = {args.only}
+    else:
+        enabled = set(SECTIONS)
+        if args.skip_suite:
+            enabled.discard("suite")
+        if args.skip_columnar:
+            enabled.discard("columnar")
+        if args.skip_optimizer:
+            enabled.discard("optimizer")
+        if args.skip_obs:
+            enabled.discard("obs")
+        if args.skip_runtime:
+            enabled.discard("runtime")
+        # ``standing`` rides inside the runtime report on full runs; the
+        # standalone section exists for ``--only standing``.
+        enabled.discard("standing")
+
     report: Dict[str, Any] = {
         "generated_by": "benchmarks/run_all.py",
         "python": sys.version.split()[0],
@@ -217,16 +258,17 @@ def main(argv: List[str] | None = None) -> int:
         "execution times, excluding rewriting/anonymization/network overheads "
         "shared by both modes",
     }
-    if not args.skip_suite:
+    if "suite" in enabled:
         report["quick_suite"] = run_quick_suite()
-    report["workloads"] = run_engine_baseline(args.repeats)
+    if "workloads" in enabled:
+        report["workloads"] = run_engine_baseline(args.repeats)
 
-    if not args.skip_columnar:
+    if "columnar" in enabled:
         from benchmarks.bench_columnar import run_columnar
 
         report["columnar"] = run_columnar([10_000, 100_000], repeats=args.repeats)
 
-    if not args.skip_optimizer:
+    if "optimizer" in enabled:
         from benchmarks.bench_optimizer import run_optimizer
 
         # Skewed-conjunct filter, build-side-sensitive join, and adaptive
@@ -234,7 +276,7 @@ def main(argv: List[str] | None = None) -> int:
         # against the optimizer_mode(False) ablation.
         report["optimizer"] = run_optimizer(rows=100_000, repeats=args.repeats)
 
-    if not args.skip_obs:
+    if "obs" in enabled:
         from benchmarks.bench_obs_overhead import run_obs_overhead
 
         # Asserts tracing-disabled overhead < 2% on the fig2 workload and
@@ -247,7 +289,16 @@ def main(argv: List[str] | None = None) -> int:
             f"overlap x{report['obs']['overlap']:.2f}"
         )
 
-    if not args.skip_runtime:
+    if "standing" in enabled:
+        from benchmarks.bench_standing import run_standing
+
+        # Quick standalone grid (one fanout, two query counts) — the full
+        # grid runs inside the runtime section's BENCH_runtime.json.
+        report["standing"] = run_standing(
+            refreshes=3, query_counts=(16, 64), fanouts=(8,)
+        )
+
+    if "runtime" in enabled:
         from benchmarks.bench_runtime_scaling import run_runtime_scaling
 
         runtime_report = run_runtime_scaling(
@@ -271,6 +322,9 @@ def main(argv: List[str] | None = None) -> int:
             "multicore_best_speedup_vs_threads": runtime_report.get(
                 "multicore", {}
             ).get("best_speedup_vs_threads"),
+            "standing_best_marginal_speedup_at_64": runtime_report.get(
+                "standing", {}
+            ).get("best_marginal_speedup_at_64"),
             "chaos_recovery_overheads": {
                 f"fanout{entry['n_sensors']}_failures{entry['injected_failures']}": entry[
                     "overhead_vs_healthy"
@@ -282,7 +336,7 @@ def main(argv: List[str] | None = None) -> int:
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
-    if not args.skip_suite and report["quick_suite"]["exit_code"] != 0:
+    if "quick_suite" in report and report["quick_suite"]["exit_code"] != 0:
         return report["quick_suite"]["exit_code"]
     return 0
 

@@ -156,6 +156,7 @@ class ProfileReport:
     runtime_wall_seconds: float
     busy_seconds: float
     scan_paths: Dict[str, Any] = field(default_factory=dict)
+    standing: Dict[str, Any] = field(default_factory=dict)
     calibration: Optional[CalibrationReport] = None
 
     def render(self) -> str:
@@ -177,6 +178,12 @@ class ProfileReport:
             lines.append("scan paths:")
             for key in sorted(self.scan_paths):
                 value = self.scan_paths[key]
+                if value:
+                    lines.append(f"  {key}: {value}")
+        if self.standing:
+            lines.append("standing queries:")
+            for key in sorted(self.standing):
+                value = self.standing[key]
                 if value:
                     lines.append(f"  {key}: {value}")
         if self.calibration is not None:
@@ -298,8 +305,23 @@ def build_profile_report(
         trace_wall = trace.wall_seconds()
 
     scan_paths: Dict[str, Any] = {}
+    standing: Dict[str, Any] = {}
     if metrics_before is not None and metrics_after is not None:
         for key, value in metrics_after.items():
+            if key.startswith("standing."):
+                # Standing-query maintenance this window: registrations,
+                # refreshes, delta rows, groups re-finalized, shared-tree
+                # subscriber counts (gauges report their current value).
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    continue
+                if key.startswith(("standing.trees", "standing.subscribers",
+                                   "standing.state_bytes")):
+                    standing[key[len("standing.") :]] = value
+                else:
+                    diff = value - metrics_before.get(key, 0)
+                    if diff:
+                        standing[key[len("standing.") :]] = diff
+                continue
             if not key.startswith(("engine.vectorized.", "engine.optimizer.")):
                 continue
             if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -331,5 +353,6 @@ def build_profile_report(
         runtime_wall_seconds=runtime_wall_seconds,
         busy_seconds=trace.busy_seconds("task"),
         scan_paths=scan_paths,
+        standing=standing,
         calibration=calibration.report() if calibration is not None else None,
     )

@@ -212,6 +212,40 @@ class NetworkSimulator:
         if table_name != "stream":
             database.register("stream", relation)
 
+    def append_to_partition(
+        self, node_name: str, table_name: str, delta: Relation
+    ) -> int:
+        """Append ``delta`` rows at the *end* of ``node_name``'s chunk.
+
+        The ingestion primitive of standing queries: a sensor's new readings
+        extend its own contiguous slice of the partitioned stream, so the
+        concatenation of all chunks in partition order stays exactly the
+        relation a from-scratch load would have produced (append-at-end is
+        what keeps incremental group order identical to the serial oracle's
+        first-occurrence order).  Bumps the placement epoch so task
+        signatures built over the old chunk — and any checkpoints saved
+        under them — stop matching.  Returns the chunk's new row count.
+        """
+        database = self.database(node_name)
+        if table_name in database:
+            combined = self._concat_chunks(
+                database.table(table_name), delta, table_name
+            )
+        else:
+            combined = self._concat_chunks(
+                Relation.from_columns(
+                    delta.schema, [[] for _ in delta.schema.columns]
+                ),
+                delta,
+                table_name,
+            )
+        self._register_stream(database, table_name, combined)
+        holders = self._partitions.setdefault(table_name.lower(), [])
+        if node_name not in holders:
+            holders.append(node_name)
+        self._bump_epoch(node_name, table_name)
+        return len(combined)
+
     def load_device_tables(self, tables: Dict[str, Relation]) -> None:
         """Register every device table on the first sensor node."""
         sensor = self.topology.nodes[0]

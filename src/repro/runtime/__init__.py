@@ -67,6 +67,7 @@ from repro.runtime.dag import (
     PartialAggregateTask,
     build_execution_dag,
     last_inside_node,
+    lift_node_groups,
     partial_aggregation_pays,
     replan_without,
     union_partials,
@@ -87,6 +88,11 @@ from repro.runtime.faults import (
 )
 from repro.runtime.scheduler import DagRunReport, Scheduler, TaskTiming
 from repro.runtime.session import QueryRequest, SessionFrontEnd
+from repro.runtime.standing import (
+    StandingQueryError,
+    StandingQueryHandle,
+    StandingQueryRuntime,
+)
 
 __all__ = [
     "CheckpointStore",
@@ -111,10 +117,14 @@ __all__ = [
     "RetryPolicy",
     "Scheduler",
     "SessionFrontEnd",
+    "StandingQueryError",
+    "StandingQueryHandle",
+    "StandingQueryRuntime",
     "TaskTiming",
     "TransientTaskError",
     "build_execution_dag",
     "last_inside_node",
+    "lift_node_groups",
     "partial_aggregation_pays",
     "replan_without",
     "union_partials",

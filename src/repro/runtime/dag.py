@@ -1413,10 +1413,15 @@ def _next_blocker_decomposable(fragments: Sequence[QueryFragment], index: int) -
     return False
 
 
-def _lift_groups(
-    topology: Topology, partitions: Sequence[Task]
-) -> Optional[List[Tuple[str, List[Task]]]]:
-    """Group partition tasks by parent node, preserving partition order.
+def lift_node_groups(
+    topology: Topology, node_names: Sequence[str]
+) -> Optional[List[Tuple[str, List[str]]]]:
+    """Group partition-holding nodes by parent, preserving partition order.
+
+    The placement primitive shared by the DAG builder (which lifts
+    :class:`Task` partitions one level per plan stage) and the standing-query
+    runtime (which computes the per-level combine placement of a maintained
+    state tree once, at tree-creation time).
 
     Returns ``None`` when lifting is not possible or not useful: a partition
     node without a parent, a parent outside the apartment (data may not
@@ -1425,10 +1430,10 @@ def _lift_groups(
     rows relative to the serial oracle), or a lift that would not reduce the
     number of partitions.
     """
-    groups: List[Tuple[str, List[Task]]] = []
+    groups: List[Tuple[str, List[str]]] = []
     seen: Dict[str, int] = {}
-    for task in partitions:
-        parent = topology.parent_of(task.node)
+    for name in node_names:
+        parent = topology.parent_of(name)
         if parent is None or not parent.inside_apartment:
             return None
         if parent.name in seen:
@@ -1436,10 +1441,23 @@ def _lift_groups(
                 # The parent's children are interleaved with another group:
                 # a per-parent union would reorder rows.
                 return None
-            groups[-1][1].append(task)
+            groups[-1][1].append(name)
         else:
             seen[parent.name] = len(groups)
-            groups.append((parent.name, [task]))
-    if len(groups) >= len(partitions):
+            groups.append((parent.name, [name]))
+    if len(groups) >= len(node_names):
         return None
     return groups
+
+
+def _lift_groups(
+    topology: Topology, partitions: Sequence[Task]
+) -> Optional[List[Tuple[str, List[Task]]]]:
+    """Group partition tasks by parent node (see :func:`lift_node_groups`)."""
+    named = lift_node_groups(topology, [task.node for task in partitions])
+    if named is None:
+        return None
+    tasks = iter(partitions)
+    return [
+        (parent, [next(tasks) for _ in children]) for parent, children in named
+    ]

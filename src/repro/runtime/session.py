@@ -27,6 +27,7 @@ same requests one at a time (the determinism tests enforce this).
 from __future__ import annotations
 
 import queue
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -38,6 +39,7 @@ from repro.sql import ast
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.processor.paradise import ParadiseProcessor
+    from repro.runtime.standing import StandingQueryHandle, StandingQueryRuntime
 
 
 @dataclass
@@ -72,6 +74,8 @@ class SessionFrontEnd:
         self._namespaces: "queue.Queue[str]" = queue.Queue()
         for index in range(max_concurrent):
             self._namespaces.put(f"s{index}")
+        self._standing: Optional["StandingQueryRuntime"] = None
+        self._standing_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # submission
@@ -144,6 +148,43 @@ class SessionFrontEnd:
             error = future.exception()
             outcomes.append(future.result() if error is None else error)
         return outcomes
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+    @property
+    def standing(self) -> "StandingQueryRuntime":
+        """The front-end's shared standing-query runtime (lazily created).
+
+        All sessions of one front-end share one runtime — that is what lets
+        containment-equal standing queries from *different* users attach to
+        one maintained state tree.
+        """
+        if self._standing is None:
+            with self._standing_lock:
+                if self._standing is None:
+                    from repro.runtime.standing import StandingQueryRuntime
+
+                    self._standing = StandingQueryRuntime(self.processor)
+        return self._standing
+
+    def register_standing(
+        self,
+        query: Union[str, ast.Query],
+        module_id: str,
+        apply_rewriting: bool = False,
+    ) -> "StandingQueryHandle":
+        """Register a standing query against the shared topology.
+
+        Unlike :meth:`submit` the query is planned *once*; its result is
+        thereafter maintained incrementally on every ingested sensor chunk
+        (see :mod:`repro.runtime.standing`) instead of re-executed per
+        request.
+        """
+        _metrics.counter("session.standing_registered").inc()
+        return self.standing.register(
+            query, module_id, apply_rewriting=apply_rewriting
+        )
 
     # ------------------------------------------------------------------
     # lifecycle

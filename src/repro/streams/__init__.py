@@ -7,7 +7,12 @@ subpackage provides exactly that capability: a bounded
 filters and sliding/tumbling window aggregation.
 """
 
-from repro.streams.windows import SlidingWindow, TumblingWindow, WindowAggregate
+from repro.streams.windows import (
+    SlidingWindow,
+    TumblingWindow,
+    WindowAggregate,
+    readings_to_relation,
+)
 from repro.streams.stream import SensorStream, StreamFilter
 
 __all__ = [
@@ -16,4 +21,5 @@ __all__ = [
     "WindowAggregate",
     "SensorStream",
     "StreamFilter",
+    "readings_to_relation",
 ]

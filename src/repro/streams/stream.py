@@ -17,7 +17,7 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional
 from repro.engine.errors import ExecutionError
 from repro.engine.schema import Schema
 from repro.engine.table import Relation
-from repro.streams.windows import SlidingWindow, WindowAggregate
+from repro.streams.windows import SlidingWindow, WindowAggregate, readings_to_relation
 
 Reading = Dict[str, Any]
 
@@ -65,21 +65,42 @@ class SensorStream:
         self.name = name
         self.schema = schema
         self._buffer: Deque[Reading] = deque(maxlen=capacity)
+        #: Batch listeners (e.g. a standing-query runtime's ingest binding);
+        #: each receives the list of readings just pushed.  Listeners see
+        #: every pushed reading even after it rotates out of the bounded
+        #: buffer — the buffer bounds *sensor-local* lookback, not the
+        #: downstream append-only stream.
+        self._listeners: List[Callable[[List[Reading]], None]] = []
 
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[List[Reading]], None]) -> Callable:
+        """Register a batch listener; returns it (for :meth:`unsubscribe`)."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[List[Reading]], None]) -> None:
+        """Detach a listener registered with :meth:`subscribe`."""
+        self._listeners.remove(listener)
+
+    def _notify(self, batch: List[Reading]) -> None:
+        if batch:
+            for listener in self._listeners:
+                listener([dict(reading) for reading in batch])
+
     def push(self, reading: Mapping[str, Any]) -> None:
         """Append one reading (oldest readings fall out when full)."""
-        self._buffer.append(dict(reading))
+        materialized = dict(reading)
+        self._buffer.append(materialized)
+        self._notify([materialized])
 
     def push_many(self, readings: Iterable[Mapping[str, Any]]) -> int:
-        """Append many readings; returns the number pushed."""
-        count = 0
-        for reading in readings:
-            self.push(reading)
-            count += 1
-        return count
+        """Append many readings (one listener batch); returns the count."""
+        batch = [dict(reading) for reading in readings]
+        self._buffer.extend(batch)
+        self._notify(batch)
+        return len(batch)
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -114,7 +135,13 @@ class SensorStream:
         return window.latest(self.filtered(filters) if filters else self.readings)
 
     def to_relation(self, filters: Sequence[StreamFilter] = ()) -> Relation:
-        """Materialise the (optionally filtered) buffer as a relation."""
+        """Materialise the (optionally filtered) buffer as a relation.
+
+        Built column-wise with values coerced to the declared schema types
+        (:func:`~repro.streams.windows.readings_to_relation`), so the result
+        carries typed column backings and the vectorized kernels engage on
+        stream-fed relations instead of bailing with ``UNTYPED_BACKING``.
+        """
         rows = self.filtered(filters) if filters else self.readings
         schema = self.schema or Schema.infer(rows)
-        return Relation(schema=schema, rows=rows, name=self.name)
+        return readings_to_relation(schema, rows, name=self.name)

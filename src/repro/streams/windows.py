@@ -7,9 +7,45 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.engine.aggregates import SIMPLE_AGGREGATES
+from repro.engine.columns import typed_column_from_values
 from repro.engine.errors import ExecutionError
+from repro.engine.schema import DataType, Schema
+from repro.engine.table import Relation
 
 Reading = Dict[str, Any]
+
+#: Declared types with an ``array``-backed columnar representation.
+_TYPECODES = {DataType.INTEGER: "q", DataType.FLOAT: "d", DataType.BOOLEAN: "b"}
+
+
+def readings_to_relation(
+    schema: Schema, readings: Sequence[Mapping[str, Any]], name: str = ""
+) -> Relation:
+    """Materialize readings column-wise with typed column backings.
+
+    Stream data arrives as dicts whose values do not always match the
+    declared column type exactly — sensors emit ``1`` where the schema says
+    FLOAT — and a single mistyped value used to degrade the whole column to
+    a generic list, silently bailing every vectorized kernel out
+    (``BailReason.UNTYPED_BACKING``).  Here values are coerced to the
+    declared type first (int -> float for FLOAT columns; bools stay bools),
+    so stream-fed relations get the same ``array`` backing loaded tables do.
+    """
+    columns: List[Any] = []
+    for column_def in schema.columns:
+        values = [reading.get(column_def.name) for reading in readings]
+        if column_def.data_type is DataType.FLOAT:
+            # ``type(...) is int`` deliberately excludes bool.
+            values = [
+                float(value) if type(value) is int else value for value in values
+            ]
+        typecode = _TYPECODES.get(column_def.data_type)
+        if typecode is not None:
+            typed = typed_column_from_values(values, typecode)
+            if typed is not None:
+                values = typed
+        columns.append(values)
+    return Relation.from_columns(schema, columns, name=name)
 
 
 @dataclass
@@ -50,7 +86,10 @@ class TumblingWindow:
         if not ordered:
             return []
         results: List[Reading] = []
-        window_start = ordered[0][self.time_column]
+        # Float from the start: ``window_start += size_seconds`` (a float)
+        # would otherwise flip the column's type after the first window and
+        # break its typed backing.
+        window_start = float(ordered[0][self.time_column])
         bucket: List[Mapping[str, Any]] = []
         for reading in ordered:
             timestamp = reading[self.time_column]
@@ -73,6 +112,13 @@ class TumblingWindow:
         for aggregate in self.aggregates:
             row[aggregate.output_name] = aggregate.compute(bucket)
         return row
+
+    def to_relation(
+        self, readings: Iterable[Mapping[str, Any]], name: str = "window"
+    ) -> Relation:
+        """Window the readings and materialize the result typed-columnar."""
+        rows = self.apply(readings)
+        return readings_to_relation(Schema.infer(rows), rows, name=name)
 
 
 @dataclass

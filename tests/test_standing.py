@@ -1,0 +1,430 @@
+"""Tests for incremental standing queries (delta-maintained state trees).
+
+The contract under test (see :mod:`repro.runtime.standing`): after every
+refresh, each registered standing query's maintained result is
+**byte-identical** (wire encoding) to from-scratch re-execution over the
+current data — under both engine modes, with empty/single-row deltas, with
+late-appearing holders, and under concurrent producers.  On top of the
+differential guarantee: cross-session sharing (containment-equal queries
+attach to one state tree), the admission/rewriting gate, and the
+observability surface (metrics, profile section, linked refresh spans).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from tests.conftest import make_sensor_relation
+
+from repro.engine.wire import pack_state_relation
+from repro.fragment.topology import Topology
+from repro.obs.metrics import registry
+from repro.obs.trace import QueryTrace
+from repro.policy.presets import figure4_policy
+from repro.processor.paradise import ParadiseProcessor
+from repro.runtime import (
+    SessionFrontEnd,
+    StandingQueryError,
+    StandingQueryRuntime,
+)
+from repro.sensors.scenario import INTEGRATED_SCHEMA
+
+pytestmark = pytest.mark.standing
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def build_tree_processor(
+    rows: int = 240, n_sensors: int = 8, **kwargs
+) -> ParadiseProcessor:
+    topology = Topology.smart_home_tree(n_sensors=n_sensors, sensors_per_appliance=4)
+    kwargs.setdefault("schema", INTEGRATED_SCHEMA)
+    processor = ParadiseProcessor(figure4_policy(), topology=topology, **kwargs)
+    processor.load_data(make_sensor_relation(rows))
+    return processor
+
+
+def assert_byte_identical(maintained, oracle, context=""):
+    assert maintained.schema.names == oracle.schema.names, context
+    assert pack_state_relation(maintained) == pack_state_relation(oracle), context
+
+
+def feed_chunks(rows: int, chunk: int, seed: int = 11):
+    relation = make_sensor_relation(rows, seed=seed)
+    return [
+        relation.slice_rows(start, min(start + chunk, rows), name="d")
+        for start in range(0, rows, chunk)
+    ]
+
+
+STANDING_SQL = (
+    "SELECT activity, COUNT(*) AS n, AVG(z) AS az, SUM(z) AS sz "
+    "FROM d GROUP BY activity HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC"
+)
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT DISTINCT activity FROM d",
+        "SELECT x, z FROM d WHERE z < 1.5",
+        "SELECT activity, COUNT(*) AS n FROM d GROUP BY activity LIMIT 2",
+        # ORDER BY on an output alias references a non-key plain column,
+        # which the decomposable-aggregation class excludes; spell the
+        # aggregate out (ORDER BY AVG(z)) instead.
+        "SELECT activity, AVG(z) AS az FROM d GROUP BY activity ORDER BY az",
+        "SELECT a.activity, COUNT(*) FROM d a JOIN d b ON a.t = b.t GROUP BY a.activity",
+    ],
+)
+def test_register_rejects_non_decomposable_queries(sql):
+    runtime = StandingQueryRuntime(build_tree_processor(rows=40))
+    with pytest.raises(StandingQueryError):
+        runtime.register(sql)
+
+
+@pytest.mark.parametrize("engine_mode", ["interpreted", "compiled"])
+def test_initial_result_matches_oracle(engine_mode):
+    processor = build_tree_processor(engine_mode=engine_mode)
+    runtime = StandingQueryRuntime(processor)
+    handle = runtime.register(STANDING_SQL)
+    assert handle.epoch == 0 and not handle.shared
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+
+
+# ---------------------------------------------------------------------------
+# the differential guarantee, refresh by refresh
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine_mode", ["interpreted", "compiled"])
+def test_every_refresh_is_byte_identical_to_reexecution(engine_mode):
+    processor = build_tree_processor(engine_mode=engine_mode)
+    runtime = StandingQueryRuntime(processor)
+    handles = [
+        runtime.register(STANDING_SQL),
+        runtime.register(
+            "SELECT person_id, COUNT(*) AS n, MIN(z) AS lo, MAX(z) AS hi "
+            "FROM d GROUP BY person_id"
+        ),
+        runtime.register(
+            "SELECT activity, STDDEV(z) AS s FROM d WHERE z < 1.5 GROUP BY activity"
+        ),
+    ]
+    holders = processor.network.partition_holders("d")
+    for index, delta in enumerate(feed_chunks(rows=120, chunk=20)):
+        epoch = runtime.append(holders[index % len(holders)], delta)
+        assert epoch == index + 1
+        for handle in handles:
+            assert handle.epoch == epoch
+            assert_byte_identical(
+                handle.result(),
+                runtime.reexecute(handle),
+                f"epoch {epoch}: {handle.sql}",
+            )
+
+
+def test_single_row_and_empty_deltas():
+    processor = build_tree_processor()
+    runtime = StandingQueryRuntime(processor)
+    handle = runtime.register(STANDING_SQL)
+    leaf = processor.network.partition_holders("d")[0]
+    before = pack_state_relation(handle.result())
+
+    runtime.append(leaf, feed_chunks(rows=1, chunk=1, seed=5)[0])
+    assert handle.epoch == 1
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+
+    # An empty delta advances the epoch but must not recompute anything:
+    # the maintained bytes are exactly the previous epoch's.
+    refreshed = pack_state_relation(handle.result())
+    runtime.append(leaf, make_sensor_relation(0))
+    assert handle.epoch == 2
+    assert pack_state_relation(handle.result()) == refreshed != before
+
+
+def test_min_max_ties_keep_first_occurrence_semantics():
+    """A delta re-introducing an existing extremum must not change which
+    occurrence MIN/MAX report — first-occurrence over the concatenated
+    stream, exactly like the oracle's single pass."""
+    processor = build_tree_processor(rows=60)
+    runtime = StandingQueryRuntime(processor)
+    handle = runtime.register(
+        "SELECT activity, MIN(z) AS lo, MAX(z) AS hi, COUNT(*) AS n "
+        "FROM d GROUP BY activity"
+    )
+    low = min(row["lo"] for row in runtime.reexecute(handle).rows)
+    # seed=3 overlaps the value range of the loaded data, so the delta
+    # re-introduces existing extrema and exercises the tie-keeping rule.
+    leaf = processor.network.partition_holders("d")[1]
+    runtime.append(leaf, make_sensor_relation(12, seed=3))
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+    assert min(row["lo"] for row in handle.result().rows) <= low
+
+
+def test_new_holder_appearing_after_registration():
+    """A node that receives its first chunk after the tree was built joins
+    the placement without disturbing the differential guarantee."""
+    processor = build_tree_processor()
+    runtime = StandingQueryRuntime(processor)
+    handle = runtime.register(STANDING_SQL)
+    assert "pc" not in handle.tree.leaf_states
+    runtime.append("pc", feed_chunks(rows=30, chunk=30, seed=9)[0])
+    assert "pc" in handle.tree.leaf_states
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+    # And subsequent deltas on old and new holders keep holding it.
+    runtime.append(processor.network.partition_holders("d")[0], feed_chunks(20, 20)[0])
+    runtime.append("pc", feed_chunks(rows=10, chunk=10, seed=21)[0])
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+
+
+# ---------------------------------------------------------------------------
+# cross-session sharing
+# ---------------------------------------------------------------------------
+
+
+def test_identical_and_subset_queries_share_one_tree():
+    runtime = StandingQueryRuntime(build_tree_processor())
+    base = runtime.register(STANDING_SQL)
+    twin = runtime.register(STANDING_SQL)
+    # Subset of the tree's aggregates, in a different order: attaches with
+    # a remapped state layout instead of materializing a second tree.
+    subset = runtime.register(
+        "SELECT activity, SUM(z) AS total, COUNT(*) AS n FROM d GROUP BY activity"
+    )
+    assert runtime.tree_count == 1
+    assert base.tree is twin.tree is subset.tree
+    assert len(base.tree.subscribers) == 3
+    assert base.shared and twin.shared and subset.shared
+    assert subset.state_map == [2, 0]  # SUM(z), COUNT(*) in the core's order
+
+    # A non-subset aggregate needs state the tree never maintained.
+    other = runtime.register(
+        "SELECT activity, MIN(z) AS lo FROM d GROUP BY activity"
+    )
+    assert other.tree is not base.tree
+    assert runtime.tree_count == 2
+
+    leaf = runtime.network.partition_holders("d")[2]
+    runtime.append(leaf, feed_chunks(rows=25, chunk=25)[0])
+    for handle in (base, twin, subset, other):
+        assert_byte_identical(handle.result(), runtime.reexecute(handle), handle.sql)
+
+
+def test_where_and_group_keys_split_trees():
+    runtime = StandingQueryRuntime(build_tree_processor())
+    plain = runtime.register("SELECT activity, AVG(z) AS az FROM d GROUP BY activity")
+    filtered = runtime.register(
+        "SELECT activity, AVG(z) AS az FROM d WHERE z < 1.5 GROUP BY activity"
+    )
+    same_filter = runtime.register(
+        "SELECT activity, AVG(z) AS az FROM d WHERE z < 1.5 GROUP BY activity "
+        "HAVING AVG(z) > 0.2"
+    )
+    keys = runtime.register(
+        "SELECT person_id, activity, AVG(z) AS az FROM d GROUP BY person_id, activity"
+    )
+    assert plain.tree is not filtered.tree
+    assert filtered.tree is same_filter.tree  # identical WHERE shares
+    assert keys.tree not in (plain.tree, filtered.tree)
+    assert runtime.tree_count == 3
+    leaf = runtime.network.partition_holders("d")[0]
+    runtime.append(leaf, feed_chunks(rows=20, chunk=20, seed=2)[0])
+    for handle in (plain, filtered, same_filter, keys):
+        assert_byte_identical(handle.result(), runtime.reexecute(handle), handle.sql)
+
+
+def test_having_and_order_variants_share_and_finalize_per_subscriber():
+    """HAVING thresholds and ORDER BY directions are finalize-tail-only:
+    all variants ride one tree yet keep distinct results."""
+    runtime = StandingQueryRuntime(build_tree_processor())
+    loose = runtime.register(
+        "SELECT activity, COUNT(*) AS n FROM d GROUP BY activity "
+        "HAVING COUNT(*) > 1 ORDER BY COUNT(*) ASC"
+    )
+    strict = runtime.register(
+        "SELECT activity, COUNT(*) AS n FROM d GROUP BY activity "
+        "HAVING COUNT(*) > 1000000 ORDER BY COUNT(*) DESC"
+    )
+    assert loose.tree is strict.tree
+    assert len(strict.result()) == 0 < len(loose.result())
+    runtime.append(
+        runtime.network.partition_holders("d")[3], feed_chunks(15, 15, seed=8)[0]
+    )
+    for handle in (loose, strict):
+        assert_byte_identical(handle.result(), runtime.reexecute(handle), handle.sql)
+
+
+def test_session_front_end_shares_across_registrations():
+    processor = build_tree_processor()
+    front_end = SessionFrontEnd(processor)
+    before = registry.counter("session.standing_registered").value
+    first = front_end.register_standing(STANDING_SQL, "ActionFilter")
+    second = front_end.register_standing(STANDING_SQL, "ActionFilter")
+    assert registry.counter("session.standing_registered").value == before + 2
+    assert first.tree is second.tree and first.shared
+    assert front_end.standing is front_end.standing  # stable lazy singleton
+    assert_byte_identical(first.result(), front_end.standing.reexecute(first))
+
+
+def test_apply_rewriting_routes_through_privacy_gate():
+    """With ``apply_rewriting=True`` the registered form is the privacy-
+    rewritten query (the policy's z-filter appears), and the maintained
+    result tracks *that* query's oracle."""
+    runtime = StandingQueryRuntime(build_tree_processor())
+    handle = runtime.register(
+        "SELECT activity, COUNT(*) AS n, AVG(z) AS az FROM d GROUP BY activity",
+        module_id="ActionFilter",
+        apply_rewriting=True,
+    )
+    assert "z < 2" in handle.sql
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+    runtime.append(
+        runtime.network.partition_holders("d")[0], feed_chunks(20, 20, seed=4)[0]
+    )
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+
+
+# ---------------------------------------------------------------------------
+# observability: metrics, profile section, linked refresh spans
+# ---------------------------------------------------------------------------
+
+
+def test_standing_metrics_populate():
+    before = registry.snapshot(prefix="standing.")
+    runtime = StandingQueryRuntime(build_tree_processor())
+    runtime.register(STANDING_SQL)
+    runtime.register(STANDING_SQL)
+    runtime.append(
+        runtime.network.partition_holders("d")[0], feed_chunks(20, 20)[0]
+    )
+    after = registry.snapshot(prefix="standing.")
+    assert after["standing.registered"] - before.get("standing.registered", 0) == 2
+    assert after["standing.shared_attach"] - before.get("standing.shared_attach", 0) == 1
+    assert after["standing.refreshes"] - before.get("standing.refreshes", 0) == 1
+    assert after["standing.delta_rows"] - before.get("standing.delta_rows", 0) == 20
+    assert (
+        after["standing.subscriber_refreshes"]
+        - before.get("standing.subscriber_refreshes", 0)
+        == 2
+    )
+    assert after["standing.state_bytes"] > 0
+    assert after["standing.refresh_seconds.count"] - before.get(
+        "standing.refresh_seconds.count", 0
+    ) == 1
+    assert after["standing.finalize_seconds.count"] - before.get(
+        "standing.finalize_seconds.count", 0
+    ) == 2
+
+
+def test_profile_report_surfaces_standing_section():
+    from repro.obs.profile import build_profile_report
+
+    trace = QueryTrace("standing-profile")
+    metrics_before = registry.snapshot()
+    runtime = StandingQueryRuntime(build_tree_processor(), trace=trace)
+    runtime.register(STANDING_SQL)
+    runtime.append(
+        runtime.network.partition_holders("d")[1], feed_chunks(10, 10)[0]
+    )
+    report = build_profile_report(
+        trace,
+        metrics_before=metrics_before,
+        metrics_after=registry.snapshot(),
+    )
+    assert report.standing.get("registered") == 1
+    assert report.standing.get("refreshes") == 1
+    assert report.standing.get("delta_rows") == 10
+    assert report.standing.get("trees") >= 1
+    rendered = report.render()
+    assert "standing queries:" in rendered
+    assert "refreshes" in rendered
+
+
+def test_refresh_spans_link_epochs():
+    trace = QueryTrace("standing-spans")
+    runtime = StandingQueryRuntime(build_tree_processor(), trace=trace)
+    runtime.register(STANDING_SQL)
+    leaf = runtime.network.partition_holders("d")[0]
+    runtime.append(leaf, feed_chunks(10, 10, seed=1)[0])
+    runtime.append(leaf, feed_chunks(10, 10, seed=2)[0])
+    spans = trace.by_kind("standing")
+    assert [span.name for span in spans] == ["refresh[epoch=1]", "refresh[epoch=2]"]
+    first, second = spans
+    assert first.attrs["delta_rows"] == 10
+    # Epoch chain: each refresh span points at its predecessor, the same
+    # linking convention the scheduler uses for retry spans.
+    assert "previous_epoch_span" not in first.attrs
+    assert second.attrs["previous_epoch_span"] == first.span_id
+    assert all(span.finished for span in spans)
+
+
+# ---------------------------------------------------------------------------
+# concurrency and stream binding
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.concurrency
+def test_concurrent_producers_interleave_at_chunk_granularity():
+    processor = build_tree_processor()
+    runtime = StandingQueryRuntime(processor)
+    handles = [
+        runtime.register(STANDING_SQL),
+        runtime.register(
+            "SELECT person_id, COUNT(*) AS n, SUM(z) AS sz FROM d GROUP BY person_id"
+        ),
+    ]
+    holders = processor.network.partition_holders("d")
+    chunks = feed_chunks(rows=160, chunk=10, seed=13)
+    errors = []
+
+    def producer(worker: int):
+        try:
+            for index, delta in enumerate(chunks):
+                if index % 4 == worker:
+                    runtime.append(holders[index % len(holders)], delta)
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [threading.Thread(target=producer, args=(worker,)) for worker in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert runtime.refresh_epoch == len(chunks)
+    assert processor.network.base_table_rows("d") == 240 + 160
+    for handle in handles:
+        assert handle.epoch == len(chunks)
+        assert_byte_identical(handle.result(), runtime.reexecute(handle), handle.sql)
+
+
+def test_bind_stream_feeds_refreshes():
+    from repro.streams import SensorStream
+
+    processor = build_tree_processor()
+    runtime = StandingQueryRuntime(processor)
+    handle = runtime.register(STANDING_SQL)
+    leaf = processor.network.partition_holders("d")[0]
+    stream = SensorStream("s0", capacity=64)
+    listener = runtime.bind_stream(stream, leaf)
+
+    readings = [dict(row) for row in make_sensor_relation(12, seed=31).rows]
+    stream.push_many(readings)  # one batch -> one refresh epoch
+    assert runtime.refresh_epoch == 1
+    stream.push(readings[0])  # single reading -> single-row delta
+    assert runtime.refresh_epoch == 2
+    assert_byte_identical(handle.result(), runtime.reexecute(handle))
+
+    stream.unsubscribe(listener)
+    stream.push(readings[1])
+    assert runtime.refresh_epoch == 2  # detached: no further refreshes

@@ -98,3 +98,79 @@ def test_stream_window_aggregate_end_to_end():
     )
     assert summary["count"] > 0
     assert summary["avg_z"] < 8
+
+
+# ---------------------------------------------------------------------------
+# typed column backings on stream-fed relations (UNTYPED_BACKING regression)
+# ---------------------------------------------------------------------------
+
+
+def test_stream_to_relation_builds_typed_backings():
+    from repro.engine.columns import TypedColumn
+    from repro.engine.schema import ColumnDef, Schema
+    from repro.engine.types import DataType
+
+    schema = Schema(
+        [
+            ColumnDef(name="t", data_type=DataType.FLOAT),
+            ColumnDef(name="z", data_type=DataType.FLOAT),
+            ColumnDef(name="on", data_type=DataType.BOOLEAN),
+        ]
+    )
+    stream = SensorStream("s", schema=schema)
+    # Sensors emit ints where the declared schema says FLOAT ("t": 0, 1, ..
+    # would previously degrade the whole column to a generic list).
+    stream.push_many(
+        [{"t": i, "z": round(i * 0.1, 3), "on": i % 2 == 0} for i in range(20)]
+    )
+    relation = stream.to_relation()
+    backing = {
+        column_def.name: column
+        for column_def, column in zip(relation.schema.columns, relation.columns())
+    }
+    assert isinstance(backing["t"], TypedColumn) and backing["t"].typecode == "d"
+    assert isinstance(backing["z"], TypedColumn) and backing["z"].typecode == "d"
+    assert isinstance(backing["on"], TypedColumn) and backing["on"].typecode == "b"
+    assert relation.rows[3]["t"] == 3.0 and type(relation.rows[3]["t"]) is float
+
+
+def test_tumbling_window_to_relation_builds_typed_backings():
+    from repro.engine.columns import TypedColumn
+
+    window = TumblingWindow(size_seconds=10, aggregates=[WindowAggregate("AVG", "z")])
+    relation = window.to_relation(make_readings(60))
+    assert len(relation) == 6
+    backing = {
+        column_def.name: column
+        for column_def, column in zip(relation.schema.columns, relation.columns())
+    }
+    # window_start stays float across every window (the first window used
+    # to take its type from the raw reading, flipping backings when t=0).
+    assert isinstance(backing["window_start"], TypedColumn)
+    assert backing["window_start"].typecode == "d"
+    assert isinstance(backing["count"], TypedColumn)
+    assert backing["count"].typecode == "q"
+    assert isinstance(backing["avg_z"], TypedColumn)
+
+
+def test_stream_fed_query_never_bails_untyped():
+    """Pin the regression: vectorized kernels engage on stream-fed
+    relations — typed scans recorded, zero ``untyped_backing`` bails."""
+    from repro.engine.database import Database
+    from repro.obs.metrics import delta, registry
+
+    stream = SensorStream("s")
+    stream.push_many(
+        [
+            {"t": i, "z": round((i % 7) * 0.3, 3), "x": float(i % 5)}
+            for i in range(200)
+        ]
+    )
+    database = Database(name="sensor-local")
+    database.register("s", stream.to_relation())
+    before = registry.snapshot(prefix="engine.vectorized.")
+    result = database.query("SELECT x, AVG(z) AS az FROM s WHERE z < 1.5 GROUP BY x")
+    assert len(result) == 5
+    diff = delta(before, registry.snapshot(prefix="engine.vectorized."))
+    assert diff.get("engine.vectorized.typed", 0) >= 1
+    assert not diff.get("engine.vectorized.bails.untyped_backing", 0)
